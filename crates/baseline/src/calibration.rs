@@ -1,0 +1,78 @@
+//! Per-application calibration constants.
+//!
+//! The paper's baseline numbers are measurements of a real TensorFlow +
+//! CUDA + NVMe software stack. A first-principles model cannot recover the
+//! filesystem, driver and framework overheads that sit between the 3.2 GB/s
+//! device ceiling and the throughput an application actually observes, so
+//! we expose them as one multiplier per application — the *I/O software
+//! overhead* — fixed once against the published Table 4 / Figure 8 numbers
+//! and then held constant across every other experiment (latency sweeps,
+//! channel/SSD scaling, energy, query cache).
+//!
+//! The overheads correlate with feature size in the expected direction:
+//! TextQA's 0.8 KB records pay the most per-byte software cost, ReId's
+//! 44 KB records the least among the small-record apps.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibration constants for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Host I/O software-overhead multiplier (≥ 1): effective sequential
+    /// read bandwidth = device bandwidth / overhead.
+    pub io_overhead: f64,
+}
+
+impl Calibration {
+    /// Ideal stack: device-speed reads.
+    pub fn ideal() -> Self {
+        Calibration { io_overhead: 1.0 }
+    }
+
+    /// The calibrated constants for one of the five Table 1 applications.
+    ///
+    /// Unknown names get the ideal calibration (useful for synthetic
+    /// workloads).
+    pub fn for_app(name: &str) -> Self {
+        let io_overhead = match name {
+            "reid" => 1.55,
+            "mir" => 1.02,
+            "estp" => 1.62,
+            "tir" => 1.32,
+            "textqa" => 2.19,
+            _ => 1.0,
+        };
+        Calibration { io_overhead }
+    }
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_overheads_at_least_one() {
+        for app in ["reid", "mir", "estp", "tir", "textqa", "unknown"] {
+            assert!(Calibration::for_app(app).io_overhead >= 1.0, "{app}");
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_ideal() {
+        assert_eq!(Calibration::for_app("xyz"), Calibration::ideal());
+        assert_eq!(Calibration::default(), Calibration::ideal());
+    }
+
+    #[test]
+    fn smallest_records_pay_most_overhead() {
+        let textqa = Calibration::for_app("textqa").io_overhead;
+        let mir = Calibration::for_app("mir").io_overhead;
+        assert!(textqa > mir);
+    }
+}

@@ -1,0 +1,80 @@
+//! GPU compute-throughput model.
+//!
+//! The similarity-comparison networks batch thousands of feature vectors
+//! into one GEMM per layer (§3: "batch sizes are taken such that the GPU
+//! utilization is nearly at 100%"), so the GPU runs at a substantial but
+//! not peak fraction of its fp32 throughput. The paper reports that moving
+//! from Pascal to Volta makes the compute-intensive SCN layers 33% faster
+//! (§3), which fixes the relative throughput of the two boards.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU's effective throughput for SCN workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Effective sustained fp32 throughput on batched SCN layers, FLOP/s.
+    pub effective_flops: f64,
+    /// Host-to-device copy bandwidth (pinned cudaMemcpy), bytes/s.
+    pub h2d_bytes_per_sec: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Titan V (Volta): 14.9 TFLOPs peak fp32; SCN layers sustain
+    /// slightly over half of peak at the paper's batch sizes.
+    pub fn titan_v() -> Self {
+        GpuSpec {
+            name: "Titan V (Volta)".into(),
+            effective_flops: 8.0e12,
+            h2d_bytes_per_sec: 12.0e9,
+        }
+    }
+
+    /// NVIDIA Titan Xp (Pascal): fixed at 33% slower SCN compute than
+    /// Volta, matching the paper's measurement (§3).
+    pub fn titan_xp() -> Self {
+        GpuSpec {
+            name: "Titan Xp (Pascal)".into(),
+            effective_flops: 8.0e12 / 1.33,
+            h2d_bytes_per_sec: 12.0e9,
+        }
+    }
+
+    /// Seconds to compute `flops` FLOPs.
+    pub fn compute_secs(&self, flops: u64) -> f64 {
+        flops as f64 / self.effective_flops
+    }
+
+    /// Seconds to copy `bytes` host-to-device.
+    pub fn h2d_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.h2d_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_is_33_percent_faster_than_pascal() {
+        let v = GpuSpec::titan_v();
+        let p = GpuSpec::titan_xp();
+        let flops = 1_000_000_000_000u64;
+        let ratio = p.compute_secs(flops) / v.compute_secs(flops);
+        assert!((ratio - 1.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_time_scales_with_flops() {
+        let v = GpuSpec::titan_v();
+        assert!((v.compute_secs(8_000_000_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(v.compute_secs(0), 0.0);
+    }
+
+    #[test]
+    fn h2d_time_matches_bandwidth() {
+        let v = GpuSpec::titan_v();
+        assert!((v.h2d_secs(12_000_000_000) - 1.0).abs() < 1e-9);
+    }
+}

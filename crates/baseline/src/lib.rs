@@ -1,0 +1,93 @@
+//! Baseline systems for the DeepStore reproduction.
+//!
+//! The paper compares DeepStore against the state-of-the-art *GPU+SSD*
+//! system (§3, §6.1): feature databases on an NVMe SSD, batched similarity
+//! comparison on a high-end NVIDIA GPU (Titan Xp / Pascal and Titan V /
+//! Volta), with batches prefetched to host memory while the GPU computes.
+//! A second baseline runs the similarity network on the SSD's *wimpy*
+//! embedded cores (8-core ARM A57, §6.2), standing in for conventional
+//! in-storage computing.
+//!
+//! * [`gpu`] — GPU compute-throughput model.
+//! * [`system`] — the full GPU+SSD pipeline: SSD read / cudaMemcpy / GPU
+//!   compute phases, pipelined totals, batch-size sweeps (Figure 2) and
+//!   multi-SSD aggregation (Figure 10b).
+//! * [`wimpy`] — the embedded-core baseline.
+//! * [`calibration`] — per-application calibration constants that absorb
+//!   the host software-stack overheads the paper measured but never
+//!   published (see DESIGN.md §3).
+
+pub mod calibration;
+pub mod gpu;
+pub mod system;
+pub mod wimpy;
+
+pub use calibration::Calibration;
+pub use gpu::GpuSpec;
+pub use system::{GpuSsdSystem, PhaseBreakdown};
+pub use wimpy::WimpyCores;
+
+use serde::{Deserialize, Serialize};
+
+/// The parameters of one full-database similarity scan, shared by every
+/// baseline and DeepStore itself: how big the features are, how much work
+/// one comparison costs, and how many features must be scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanSpec {
+    /// Bytes per feature vector.
+    pub feature_bytes: usize,
+    /// FLOPs per similarity comparison (Table 1).
+    pub flops_per_cmp: u64,
+    /// Multiply-accumulates per comparison.
+    pub macs_per_cmp: u64,
+    /// Feature vectors in the database.
+    pub num_features: u64,
+}
+
+impl ScanSpec {
+    /// Builds a scan spec from a similarity model and a database payload
+    /// size in bytes (the paper's standard databases hold 25 GB of feature
+    /// vectors, §6.1).
+    pub fn from_model(model: &deepstore_nn::Model, db_bytes: u64) -> Self {
+        let feature_bytes = model.feature_bytes();
+        ScanSpec {
+            feature_bytes,
+            flops_per_cmp: model.total_flops(),
+            macs_per_cmp: model.total_macs(),
+            num_features: db_bytes / feature_bytes as u64,
+        }
+    }
+
+    /// Total bytes scanned.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_features * self.feature_bytes as u64
+    }
+
+    /// Total FLOPs for a full scan.
+    pub fn total_flops(&self) -> u64 {
+        self.num_features * self.flops_per_cmp
+    }
+
+    /// Total MACs for a full scan.
+    pub fn total_macs(&self) -> u64 {
+        self.num_features * self.macs_per_cmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    #[test]
+    fn scan_spec_from_model() {
+        let m = zoo::tir();
+        let s = ScanSpec::from_model(&m, 25 * (1 << 30));
+        assert_eq!(s.feature_bytes, 2048);
+        assert_eq!(s.num_features, 25 * (1u64 << 30) / 2048);
+        assert_eq!(s.total_bytes(), 25 * (1u64 << 30));
+        assert_eq!(s.flops_per_cmp, m.total_flops());
+        assert_eq!(s.total_flops(), s.num_features * m.total_flops());
+        assert_eq!(s.total_macs(), s.num_features * m.total_macs());
+    }
+}

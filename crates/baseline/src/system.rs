@@ -1,0 +1,262 @@
+//! The GPU+SSD baseline system (§3, §6.1).
+//!
+//! A query scans the whole feature database in batches: each batch is read
+//! from the SSD into host memory, copied to the GPU (`cudaMemcpy`), and
+//! scored by the similarity network. Batches are prefetched while the GPU
+//! computes, so the pipelined total is the maximum of the I/O stream and
+//! the transfer+compute stream — but because storage I/O contributes
+//! 56–90% of the per-batch time (Figure 2), "prefetching barely improves
+//! the performance of the system".
+
+use crate::calibration::Calibration;
+use crate::gpu::GpuSpec;
+use crate::ScanSpec;
+use deepstore_flash::host::HostReadModel;
+use deepstore_flash::{SimDuration, SsdConfig};
+use serde::{Deserialize, Serialize};
+
+/// Time spent in each phase of a query (the Figure 2 decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Time reading the feature database from the SSD, seconds.
+    pub ssd_read_secs: f64,
+    /// Host-to-device copy time, seconds.
+    pub memcpy_secs: f64,
+    /// GPU compute time, seconds.
+    pub compute_secs: f64,
+    /// End-to-end time with prefetch pipelining, seconds.
+    pub total_secs: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the three phases (the denominator of Figure 2's percentage
+    /// bars, which are profiled per-phase).
+    pub fn phase_sum_secs(&self) -> f64 {
+        self.ssd_read_secs + self.memcpy_secs + self.compute_secs
+    }
+
+    /// Percentages (ssd, memcpy, compute) of the phase sum.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let s = self.phase_sum_secs();
+        if s == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                100.0 * self.ssd_read_secs / s,
+                100.0 * self.memcpy_secs / s,
+                100.0 * self.compute_secs / s,
+            )
+        }
+    }
+}
+
+/// The GPU+SSD baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSsdSystem {
+    /// The GPU doing the similarity comparison.
+    pub gpu: GpuSpec,
+    /// The host's view of the SSD.
+    pub host: HostReadModel,
+    /// Per-application calibration.
+    pub calibration: Calibration,
+}
+
+impl GpuSsdSystem {
+    /// Builds the paper's evaluated baseline: Titan V + Intel DC P4500
+    /// class SSD, with the calibration for the named application.
+    pub fn paper_default(app_name: &str) -> Self {
+        let calibration = Calibration::for_app(app_name);
+        GpuSsdSystem {
+            gpu: GpuSpec::titan_v(),
+            host: HostReadModel::new(SsdConfig::paper_default())
+                .with_software_overhead(calibration.io_overhead),
+            calibration,
+        }
+    }
+
+    /// Swaps in a different GPU (e.g. Pascal for Figure 2).
+    pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Aggregates `n` SSDs (Figure 10b).
+    pub fn with_ssds(mut self, n: usize) -> Self {
+        self.host = self.host.with_ssds(n);
+        self
+    }
+
+    /// Uses a custom SSD configuration (Figure 10a sweeps channel counts).
+    pub fn with_ssd_config(mut self, cfg: SsdConfig) -> Self {
+        let n = self.host.num_ssds;
+        self.host = HostReadModel::new(cfg)
+            .with_software_overhead(self.calibration.io_overhead)
+            .with_ssds(n);
+        self
+    }
+
+    /// Full-scan query time decomposition.
+    ///
+    /// The pipelined total overlaps SSD reads with transfer+compute; the
+    /// three phase durations are what a profiler reports for each stream.
+    pub fn query(&self, spec: &ScanSpec) -> PhaseBreakdown {
+        let bytes = spec.total_bytes();
+        let ssd_read = self.host.read_time(bytes).as_secs_f64();
+        let memcpy = self.gpu.h2d_secs(bytes);
+        let compute = self.gpu.compute_secs(spec.total_flops());
+        PhaseBreakdown {
+            ssd_read_secs: ssd_read,
+            memcpy_secs: memcpy,
+            compute_secs: compute,
+            total_secs: ssd_read.max(memcpy + compute),
+        }
+    }
+
+    /// Per-batch breakdown for the Figure 2 batch-size sweep: scanning the
+    /// database in batches of `batch` features adds a per-batch dispatch
+    /// overhead (kernel launches, queue submissions) that shrinks as the
+    /// batch grows.
+    pub fn query_batched(&self, spec: &ScanSpec, batch: u64) -> PhaseBreakdown {
+        assert!(batch > 0, "batch must be positive");
+        let batches = spec.num_features.div_ceil(batch).max(1);
+        // Fixed cost per batch: one NVMe round-trip + one kernel dispatch.
+        const PER_BATCH_IO_OVERHEAD_S: f64 = 120e-6;
+        const PER_BATCH_DISPATCH_S: f64 = 40e-6;
+        let base = self.query(spec);
+        let ssd = base.ssd_read_secs + batches as f64 * PER_BATCH_IO_OVERHEAD_S;
+        let compute = base.compute_secs + batches as f64 * PER_BATCH_DISPATCH_S;
+        PhaseBreakdown {
+            ssd_read_secs: ssd,
+            memcpy_secs: base.memcpy_secs,
+            compute_secs: compute,
+            total_secs: ssd.max(base.memcpy_secs + compute),
+        }
+    }
+
+    /// End-to-end query time as a [`SimDuration`].
+    pub fn query_time(&self, spec: &ScanSpec) -> SimDuration {
+        SimDuration::from_secs_f64(self.query(spec).total_secs)
+    }
+
+    /// GPU board energy for one query, joules. The baseline keeps the GPU
+    /// pipeline saturated (batches sized for ~100% utilization, §3), so
+    /// the board draws its active power for the whole query.
+    pub fn query_energy_j(&self, spec: &ScanSpec) -> f64 {
+        let t = self.query(spec).total_secs;
+        deepstore_energy::gpu::GpuPowerModel::titan_v().energy_j(t, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    const DB: u64 = 25 * (1 << 30);
+
+    fn spec(name: &str) -> ScanSpec {
+        ScanSpec::from_model(&zoo::by_name(name).unwrap(), DB)
+    }
+
+    #[test]
+    fn all_apps_are_io_bound() {
+        // Observation 1: storage I/O dominates for every workload.
+        for app in ["reid", "mir", "estp", "tir", "textqa"] {
+            let sys = GpuSsdSystem::paper_default(app);
+            let b = sys.query(&spec(app));
+            assert!(
+                b.ssd_read_secs > b.memcpy_secs + b.compute_secs,
+                "{app} not I/O-bound: {b:?}"
+            );
+            assert_eq!(b.total_secs, b.ssd_read_secs);
+        }
+    }
+
+    #[test]
+    fn io_share_lands_in_papers_band() {
+        // Figure 2: SSD read time is 56-90% of the phase sum.
+        for app in ["reid", "mir", "estp", "tir", "textqa"] {
+            let sys = GpuSsdSystem::paper_default(app);
+            let (io, _, _) = sys.query(&spec(app)).percentages();
+            assert!((56.0..=90.0).contains(&io), "{app}: io = {io:.1}%");
+        }
+    }
+
+    #[test]
+    fn volta_speeds_compute_not_total() {
+        // §3: Volta's 33% faster compute does not improve the I/O-bound
+        // end-to-end time.
+        let app = "mir";
+        let volta = GpuSsdSystem::paper_default(app);
+        let pascal = GpuSsdSystem::paper_default(app).with_gpu(GpuSpec::titan_xp());
+        let bv = volta.query(&spec(app));
+        let bp = pascal.query(&spec(app));
+        assert!(bp.compute_secs > bv.compute_secs * 1.3);
+        assert!((bp.total_secs - bv.total_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_overheads_shrink_with_batch_size() {
+        let sys = GpuSsdSystem::paper_default("mir");
+        let s = spec("mir");
+        let small = sys.query_batched(&s, 5_000);
+        let large = sys.query_batched(&s, 50_000);
+        assert!(small.total_secs > large.total_secs);
+        assert!(large.total_secs >= sys.query(&s).total_secs);
+    }
+
+    #[test]
+    fn multi_ssd_scaling_saturates_at_compute() {
+        // Figure 10b: the traditional system "does not scale at the same
+        // rate as the number of SSDs" because compute time is constant.
+        let sys1 = GpuSsdSystem::paper_default("mir");
+        let sys8 = GpuSsdSystem::paper_default("mir").with_ssds(8);
+        let s = spec("mir");
+        let t1 = sys1.query(&s).total_secs;
+        let t8 = sys8.query(&s).total_secs;
+        let scaling = t1 / t8;
+        assert!(scaling > 1.5 && scaling < 8.0, "scaling = {scaling}");
+    }
+
+    #[test]
+    fn channel_scaling_saturates_at_external_link() {
+        // Figure 10a: beyond 8 channels the host sees no improvement.
+        let s = spec("mir");
+        let mut cfg8 = SsdConfig::paper_default();
+        cfg8.geometry.channels = 8;
+        let mut cfg64 = SsdConfig::paper_default();
+        cfg64.geometry.channels = 64;
+        let t8 = GpuSsdSystem::paper_default("mir")
+            .with_ssd_config(cfg8)
+            .query(&s)
+            .total_secs;
+        let t64 = GpuSsdSystem::paper_default("mir")
+            .with_ssd_config(cfg64)
+            .query(&s)
+            .total_secs;
+        assert!((t8 - t64).abs() / t8 < 0.05, "t8={t8} t64={t64}");
+    }
+
+    #[test]
+    fn gpu_energy_is_power_times_time() {
+        let sys = GpuSsdSystem::paper_default("tir");
+        let s = spec("tir");
+        let e = sys.query_energy_j(&s);
+        let t = sys.query(&s).total_secs;
+        assert!((e - 250.0 * t).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let sys = GpuSsdSystem::paper_default("mir");
+        let _ = sys.query_batched(&spec("mir"), 0);
+    }
+
+    #[test]
+    fn percentage_parts_sum_to_hundred() {
+        let sys = GpuSsdSystem::paper_default("estp");
+        let (a, b, c) = sys.query(&spec("estp")).percentages();
+        assert!((a + b + c - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion micro-bench: the event-driven channel stream simulator.
+//!
+//! A full 25 GB scan simulates ~50 K page events per channel; this bench
+//! tracks the event loop's throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepstore_flash::stream::ChannelStream;
+use deepstore_flash::SsdConfig;
+
+fn bench_stream(c: &mut Criterion) {
+    let cfg = SsdConfig::paper_default();
+    let stream = ChannelStream::new(&cfg);
+    let chip = ChannelStream::for_chip_direct(&cfg);
+    let mut group = c.benchmark_group("flash_stream");
+    for pages in [1_000u64, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("channel", pages), &pages, |b, &p| {
+            b.iter(|| stream.stream_pages(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("chip_direct", pages), &pages, |b, &p| {
+            b.iter(|| chip.stream_pages(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

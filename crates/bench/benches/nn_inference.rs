@@ -1,0 +1,22 @@
+//! Criterion micro-bench: functional SCN inference for each Table 1
+//! model (the hot loop of the functional engine's full-database scans).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepstore_nn::zoo;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scn_inference");
+    group.sample_size(30);
+    for model in zoo::all() {
+        let model = model.seeded(1);
+        let q = model.random_feature(1);
+        let d = model.random_feature(2);
+        group.bench_function(model.name().to_string(), |b| {
+            b.iter(|| model.similarity(black_box(&q), black_box(&d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

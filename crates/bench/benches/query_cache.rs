@@ -1,0 +1,40 @@
+//! Criterion micro-bench: Query Cache lookups (Algorithm 1) at various
+//! occupancies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepstore_core::qcache::{QueryCache, QueryCacheConfig};
+use deepstore_nn::Tensor;
+use deepstore_systolic::topk::ScoredFeature;
+
+fn filled_cache(entries: usize, dim: usize) -> QueryCache {
+    let mut qc = QueryCache::new(QueryCacheConfig {
+        capacity: entries,
+        threshold: 0.10,
+        qcn_accuracy: 1.0,
+    });
+    for i in 0..entries {
+        qc.insert(
+            Tensor::random(vec![dim], 1.0, i as u64),
+            vec![ScoredFeature {
+                score: 1.0,
+                feature_id: i as u64,
+            }],
+        );
+    }
+    qc
+}
+
+fn bench_qcache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_cache_lookup");
+    for entries in [100usize, 500, 1000] {
+        let mut qc = filled_cache(entries, 512);
+        let probe = Tensor::random(vec![512], 1.0, 999_999);
+        group.bench_with_input(BenchmarkId::new("miss", entries), &entries, |b, _| {
+            b.iter(|| qc.lookup(black_box(&probe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qcache);
+criterion_main!(benches);

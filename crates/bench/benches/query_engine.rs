@@ -1,0 +1,34 @@
+//! Criterion micro-bench: end-to-end functional queries through the
+//! DeepStore API on a small in-memory flash array.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepstore_core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
+use deepstore_nn::{zoo, ModelGraph};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine");
+    group.sample_size(20);
+    for name in ["textqa", "tir"] {
+        let model = zoo::by_name(name).unwrap().seeded(3);
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        let features: Vec<_> = (0..128).map(|i| model.random_feature(i)).collect();
+        let db = store.write_db(&features).unwrap();
+        let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let mut seed = 10_000u64;
+        group.bench_function(format!("scan128/{name}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                let q = model.random_feature(seed);
+                let qid = store
+                    .query(black_box(&q), 10, mid, db, AcceleratorLevel::Channel)
+                    .unwrap();
+                store.results(qid).unwrap().top_k.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

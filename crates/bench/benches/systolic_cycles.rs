@@ -1,0 +1,44 @@
+//! Criterion micro-bench: systolic cycle-model evaluation throughput.
+//!
+//! The scan timing model calls `scn_cycles_per_feature` on every level
+//! configuration; this bench keeps its cost visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepstore_core::config::{AcceleratorConfig, AcceleratorLevel};
+use deepstore_nn::zoo;
+use deepstore_systolic::cycles::{scn_cycles_per_feature, ws_tile_cycles_per_feature};
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systolic_cycles");
+    let channel = AcceleratorConfig::channel_level().array;
+    let chip = AcceleratorConfig::chip_level().array;
+    for model in zoo::all() {
+        let shapes = model.layer_shapes();
+        group.bench_function(format!("os/{}", model.name()), |b| {
+            b.iter(|| scn_cycles_per_feature(black_box(&shapes), black_box(&channel)))
+        });
+        group.bench_function(format!("ws/{}", model.name()), |b| {
+            b.iter(|| ws_tile_cycles_per_feature(black_box(&shapes), black_box(&chip)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scan_timing");
+    let cfg = deepstore_core::DeepStoreConfig::paper_default();
+    for name in ["tir", "reid"] {
+        let w = deepstore_core::ScanWorkload::from_model(
+            &zoo::by_name(name).unwrap(),
+            25 * (1 << 30),
+            &cfg,
+        );
+        for level in AcceleratorLevel::ALL {
+            group.bench_function(format!("{name}/{level}"), |b| {
+                b.iter(|| deepstore_core::scan(black_box(level), black_box(&w), black_box(&cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

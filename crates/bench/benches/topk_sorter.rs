@@ -1,0 +1,28 @@
+//! Criterion micro-bench: the controller's top-K sorter (tag array +
+//! mapping table).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepstore_systolic::topk::TopKSorter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let scores: Vec<f32> = (0..100_000).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut group = c.benchmark_group("topk_sorter");
+    for k in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("offer_100k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = TopKSorter::new(k);
+                for (i, &sc) in scores.iter().enumerate() {
+                    s.offer(black_box(sc), i as u64);
+                }
+                s.ranked().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

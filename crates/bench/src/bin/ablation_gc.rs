@@ -1,0 +1,41 @@
+//! Ablation: FTL behaviour under database-replacement churn.
+//!
+//! Intelligent-query databases are written once and replaced wholesale
+//! (§4.7.2). This study fills and drops databases repeatedly and reports
+//! the FTL's write amplification (1.0 — whole-block invalidation leaves
+//! nothing to copy), GC pressure, and wear spread under the wear-aware
+//! allocator.
+
+use deepstore_bench::report::{emit, num, Table};
+use deepstore_flash::gc::churn;
+use deepstore_flash::SsdConfig;
+
+fn main() {
+    let cfg = SsdConfig::small();
+    let mut table = Table::new(&[
+        "fill_pct",
+        "rounds",
+        "host_blocks",
+        "erases",
+        "gc_runs",
+        "write_amp",
+        "max_wear",
+    ]);
+    for (fill, rounds) in [(0.3, 10), (0.5, 10), (0.8, 10)] {
+        let r = churn(&cfg, rounds, fill).expect("churn survives");
+        table.row(&[
+            num(fill * 100.0, 0),
+            rounds.to_string(),
+            r.host_blocks_written.to_string(),
+            r.erases.to_string(),
+            r.gc_runs.to_string(),
+            num(r.write_amplification, 3),
+            r.max_wear.to_string(),
+        ]);
+    }
+    emit(
+        "ablation_gc",
+        "Ablation: FTL churn (write once, replace wholesale)",
+        &table,
+    );
+}

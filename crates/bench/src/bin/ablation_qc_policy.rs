@@ -1,0 +1,63 @@
+//! Ablation: query-cache replacement policy.
+//!
+//! The paper uses LRU (§4.6). This ablation compares LRU against FIFO and
+//! random replacement on the Figure 13 workload at the 10% threshold,
+//! under both distributions.
+
+use deepstore_bench::report::{emit, num, Table};
+use deepstore_core::qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};
+use deepstore_nn::zoo;
+use deepstore_systolic::topk::ScoredFeature;
+use deepstore_workloads::{QueryStream, TraceDistribution};
+
+fn miss_rate(policy: ReplacementPolicy, distribution: TraceDistribution) -> f64 {
+    let tir = zoo::tir();
+    let mut stream = QueryStream::new(tir.feature_len(), 100_000, 4_000, distribution, 77);
+    let mut cache = QueryCache::new(QueryCacheConfig {
+        capacity: 1000,
+        threshold: 0.10,
+        qcn_accuracy: 1.0,
+    })
+    .with_policy(policy);
+    let dummy = vec![ScoredFeature {
+        score: 1.0,
+        feature_id: 0,
+    }];
+    let warm = 2_000;
+    let measured = 6_000;
+    let mut misses = 0u64;
+    for i in 0..(warm + measured) {
+        let (_, q) = stream.next_query();
+        let hit = cache.lookup(&q).is_some();
+        if !hit {
+            cache.insert(q, dummy.clone());
+            if i >= warm {
+                misses += 1;
+            }
+        }
+    }
+    misses as f64 / measured as f64
+}
+
+fn main() {
+    let mut table = Table::new(&["policy", "uniform_miss_pct", "zipf07_miss_pct"]);
+    for (name, policy) in [
+        ("lru", ReplacementPolicy::Lru),
+        ("fifo", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        table.row(&[
+            name.to_string(),
+            num(100.0 * miss_rate(policy, TraceDistribution::Uniform), 1),
+            num(
+                100.0 * miss_rate(policy, TraceDistribution::Zipfian { alpha: 0.7 }),
+                1,
+            ),
+        ]);
+    }
+    emit(
+        "ablation_qc_policy",
+        "Ablation: query-cache replacement policy (1K entries, threshold 10%)",
+        &table,
+    );
+}

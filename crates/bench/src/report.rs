@@ -1,0 +1,152 @@
+//! Report rendering: aligned text tables and CSV output.
+//!
+//! Every experiment binary prints the rows/series the paper's table or
+//! figure reports, and mirrors them into `results/<name>.csv` for
+//! machine consumption.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple text-table builder with aligned columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Display>(header: &[S]) -> Self {
+        Table {
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row<S: Display>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The `results/` directory (relative to the workspace root, falling back
+/// to the current directory).
+pub fn results_dir() -> PathBuf {
+    // The binaries run from the workspace root under `cargo run`.
+    let candidates = [Path::new("results"), Path::new("../results")];
+    for c in candidates {
+        if c.is_dir() {
+            return c.to_path_buf();
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Prints a titled table and writes it to `results/<name>.csv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{}", table.render());
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Ok(mut f) = fs::File::create(&path) {
+            let _ = f.write_all(table.to_csv().as_bytes());
+            println!("[written {}]", path.display());
+        }
+    }
+    println!();
+}
+
+/// Formats a float with the given precision, rendering `NaN` as "-".
+pub fn num(v: f64, precision: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["app", "speedup"]);
+        t.row(&["mir".to_string(), "8.26".to_string()]);
+        t.row(&["textqa".to_string(), "17.74".to_string()]);
+        let s = t.render();
+        assert!(s.contains("app"));
+        assert!(s.lines().count() >= 4);
+        // Columns align: each line has the same position for the gap.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y".to_string(), "z".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::NAN, 2), "-");
+    }
+}

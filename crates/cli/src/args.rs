@@ -1,0 +1,130 @@
+//! Minimal `--flag value` argument parsing (no external parser crates).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsing/validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs from the argument list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional tokens and flags missing a value.
+    pub fn parse(args: &[String]) -> Result<Flags, ArgError> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("unexpected argument `{tok}`")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    /// A string flag, or its default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the flag is absent.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Errors when present but unparsable.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Verifies no unknown flags were passed.
+    ///
+    /// # Errors
+    ///
+    /// Errors on any flag not in `known`.
+    pub fn expect_only(&self, known: &[&str]) -> Result<(), ArgError> {
+        for key in self.values.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(ArgError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&strings(&["--app", "tir", "--k", "5"])).unwrap();
+        assert_eq!(f.str_or("app", "x"), "tir");
+        assert_eq!(f.num_or("k", 0usize).unwrap(), 5);
+        assert_eq!(f.num_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(Flags::parse(&strings(&["oops"])).is_err());
+        assert!(Flags::parse(&strings(&["--app"])).is_err());
+        assert!(Flags::parse(&strings(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn required_and_unknown_flags() {
+        let f = Flags::parse(&strings(&["--app", "tir"])).unwrap();
+        assert_eq!(f.required("app").unwrap(), "tir");
+        assert!(f.required("k").is_err());
+        assert!(f.expect_only(&["app"]).is_ok());
+        assert!(f.expect_only(&["other"]).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let f = Flags::parse(&strings(&["--k", "five"])).unwrap();
+        assert!(f.num_or("k", 0usize).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! CLI subcommands.
+
+use crate::args::{ArgError, Flags};
+use deepstore_baseline::GpuSsdSystem;
+use deepstore_core::accel::scan;
+use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
+use deepstore_core::runtime::Runtime;
+use deepstore_core::{DeepStore, ScanWorkload};
+use deepstore_nn::{zoo, ModelGraph};
+use deepstore_workloads::replay::QueryTrace;
+use deepstore_workloads::{QueryStream, TraceDistribution, APP_NAMES};
+use std::error::Error;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: deepstore-cli <command> [flags]
+
+commands:
+  zoo                                     Table 1 model summary
+  scan-time  --app <name> [--db-gib N]    timing model at paper scale
+  query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
+                                          functional query on a small drive
+  trace      [--queries N] [--qps F] [--seed S] --out <file>
+                                          generate a Poisson query trace
+  replay     --trace <file> [--features N]
+                                          replay a trace through the runtime
+";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a command line.
+///
+/// # Errors
+///
+/// Returns a description of any parse or execution failure.
+pub fn run(argv: &[String]) -> CmdResult {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| ArgError("no command given".into()))?;
+    match cmd.as_str() {
+        "zoo" => cmd_zoo(rest),
+        "scan-time" => cmd_scan_time(rest),
+        "query" => cmd_query(rest),
+        "trace" => cmd_trace(rest),
+        "replay" => cmd_replay(rest),
+        other => Err(ArgError(format!("unknown command `{other}`")).into()),
+    }
+}
+
+fn parse_level(name: &str) -> Result<AcceleratorLevel, ArgError> {
+    match name {
+        "ssd" => Ok(AcceleratorLevel::Ssd),
+        "channel" => Ok(AcceleratorLevel::Channel),
+        "chip" => Ok(AcceleratorLevel::Chip),
+        other => Err(ArgError(format!(
+            "unknown level `{other}` (expected ssd|channel|chip)"
+        ))),
+    }
+}
+
+fn cmd_zoo(args: &[String]) -> CmdResult {
+    Flags::parse(args)?.expect_only(&[])?;
+    println!("{:<8} {:>10} {:>6} {:>4} {:>4} {:>9} {:>10}", "app", "feature_b", "conv", "fc", "ew", "mflops", "weights_mb");
+    for m in zoo::all() {
+        println!(
+            "{:<8} {:>10} {:>6} {:>4} {:>4} {:>9.3} {:>10.3}",
+            m.name(),
+            m.feature_bytes(),
+            m.conv_layer_count(),
+            m.fc_layer_count(),
+            m.element_wise_layer_count(),
+            m.total_flops() as f64 / 1e6,
+            m.weight_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_scan_time(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["app", "db-gib"])?;
+    let app_name = flags.required("app")?;
+    if !APP_NAMES.contains(&app_name) {
+        return Err(ArgError(format!("unknown app `{app_name}`")).into());
+    }
+    let db_gib: u64 = flags.num_or("db-gib", 25)?;
+    let db_bytes = db_gib * (1 << 30);
+
+    let cfg = DeepStoreConfig::paper_default();
+    let model = zoo::by_name(app_name).expect("validated above");
+    let workload = ScanWorkload::from_model(&model, db_bytes, &cfg);
+    let spec = deepstore_baseline::ScanSpec::from_model(&model, db_bytes);
+    let gpu = GpuSsdSystem::paper_default(app_name).query(&spec);
+
+    println!("{app_name}: scanning {} features ({db_gib} GiB)", spec.num_features);
+    println!("  gpu+ssd baseline: {:8.3} s", gpu.total_secs);
+    for level in AcceleratorLevel::ALL {
+        match scan(level, &workload, &cfg) {
+            Some(t) => println!(
+                "  {:7}-level   : {:8.3} s  ({:5.2}x; compute {}, flash {})",
+                level.to_string(),
+                t.elapsed.as_secs_f64(),
+                gpu.total_secs / t.elapsed.as_secs_f64(),
+                t.compute,
+                t.flash,
+            ),
+            None => println!("  {:7}-level   : unsupported", level.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["app", "features", "k", "level", "seed"])?;
+    let app_name = flags.required("app")?;
+    let features: u64 = flags.num_or("features", 128)?;
+    let k: usize = flags.num_or("k", 5)?;
+    let level = parse_level(flags.str_or("level", "channel"))?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(seed);
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&fs)?;
+    let mid = store.load_model(&ModelGraph::from_model(&model))?;
+    let probe = model.random_feature(seed ^ 0xBEEF);
+    let qid = store.query(&probe, k, mid, db, level)?;
+    let r = store.results(qid)?;
+    println!(
+        "top-{k} of {features} features at the {level} level (simulated {}):",
+        r.elapsed
+    );
+    for (rank, hit) in r.top_k.iter().enumerate() {
+        println!(
+            "  #{rank}: feature {:>5}  score {:>9.4}  ObjectID 0x{:x}",
+            hit.feature_index, hit.score, hit.object_id.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["queries", "qps", "seed", "out"])?;
+    let queries: usize = flags.num_or("queries", 100)?;
+    let qps: f64 = flags.num_or("qps", 10.0)?;
+    let seed: u64 = flags.num_or("seed", 1)?;
+    let out = flags.required("out")?;
+
+    let mut stream = QueryStream::new(
+        zoo::textqa().feature_len(),
+        10_000,
+        2_000,
+        TraceDistribution::Zipfian { alpha: 0.7 },
+        seed,
+    );
+    let trace = QueryTrace::generate(&mut stream, queries, qps, seed);
+    std::fs::write(out, trace.to_bytes())?;
+    println!(
+        "wrote {queries} queries over {} to {out}",
+        trace.duration()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["trace", "features", "k", "level"])?;
+    let path = flags.required("trace")?;
+    let features: u64 = flags.num_or("features", 128)?;
+    let k: usize = flags.num_or("k", 5)?;
+    let level = parse_level(flags.str_or("level", "channel"))?;
+
+    let trace = QueryTrace::from_bytes(&std::fs::read(path)?).map_err(ArgError)?;
+    let dim = trace
+        .entries
+        .first()
+        .ok_or_else(|| ArgError("trace is empty".into()))?
+        .qfv
+        .len();
+    let model = zoo::all()
+        .into_iter()
+        .find(|m| m.feature_len() == dim)
+        .ok_or_else(|| ArgError(format!("no zoo model with feature length {dim}")))?
+        .seeded(7);
+
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&fs)?;
+    let mid = store.load_model(&ModelGraph::from_model(&model))?;
+    let mut rt = Runtime::new(store);
+    for e in &trace.entries {
+        rt.submit_at(e.arrival, e.qfv.clone(), k, mid, db, level);
+    }
+    rt.run_to_completion()?;
+    let s = rt.stats()?;
+    println!(
+        "replayed {} queries ({} offered qps) against model `{}`:",
+        s.completed, trace.offered_qps, model.name()
+    );
+    println!("  cache hits : {}/{}", s.cache_hits, s.completed);
+    println!("  throughput : {:.2} qps (simulated)", s.throughput_qps);
+    println!(
+        "  latency    : mean {}  p50 {}  p95 {}  p99 {}",
+        s.mean_latency, s.p50_latency, s.p95_latency, s.p99_latency
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn zoo_and_scan_time_run() {
+        run(&argv(&["zoo"])).unwrap();
+        run(&argv(&["scan-time", "--app", "mir", "--db-gib", "1"])).unwrap();
+    }
+
+    #[test]
+    fn query_runs_at_each_supported_level() {
+        for level in ["ssd", "channel", "chip"] {
+            run(&argv(&[
+                "query", "--app", "textqa", "--features", "32", "--k", "3", "--level", level,
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_then_replay_roundtrips() {
+        let path = std::env::temp_dir().join("deepstore_cli_test_trace.json");
+        let path_s = path.to_str().unwrap();
+        run(&argv(&[
+            "trace", "--queries", "12", "--qps", "50", "--out", path_s,
+        ]))
+        .unwrap();
+        run(&argv(&["replay", "--trace", path_s, "--features", "32"])).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_invocations_error() {
+        assert!(run(&argv(&[])).is_err());
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&["scan-time"])).is_err()); // missing --app
+        assert!(run(&argv(&["scan-time", "--app", "nope"])).is_err());
+        assert!(run(&argv(&["query", "--app", "tir", "--level", "gpu"])).is_err());
+        assert!(run(&argv(&["zoo", "--bogus", "1"])).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `deepstore-cli` — command-line front end for the DeepStore simulator.
+//!
+//! ```text
+//! deepstore-cli zoo                              # Table 1 model summary
+//! deepstore-cli scan-time --app mir --db-gib 25  # timing model at paper scale
+//! deepstore-cli query --app tir --features 256 --k 5 --level channel
+//! deepstore-cli trace --queries 200 --qps 5 --out /tmp/trace.json
+//! deepstore-cli replay --trace /tmp/trace.json --features 128
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

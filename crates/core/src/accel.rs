@@ -1,0 +1,383 @@
+//! In-storage accelerator timing and access-count models.
+//!
+//! For each accelerator placement (§4.5) this module computes the time and
+//! the event counts of a full-database scan:
+//!
+//! * **SSD-level** — one 32×64 OS accelerator beside the controller. It
+//!   enjoys the full internal bandwidth (flash stream capped by the
+//!   20 GB/s DRAM path) but processes one feature vector at a time, so it
+//!   is limited by single-vector SCN latency and "the lack of parallelism"
+//!   (§6.2).
+//! * **Channel-level** — one 16×64 OS accelerator per channel, fed by its
+//!   own 800 MB/s channel stream through the FLASH_DFV prefetch queue
+//!   (§4.4), with model weights multicast from the shared 8 MB SSD-level
+//!   scratchpad (the "32× weight reuse" of §6.2).
+//! * **Chip-level** — one 4×32 WS accelerator per chip, draining its own
+//!   chip directly; the channel-level hierarchy broadcasts weight tiles
+//!   over the channel bus in lockstep across the chips (§4.5), so models
+//!   whose weights do not stay resident pay a per-pass broadcast.
+//!
+//! The compute side uses the single-feature cycle models of
+//! `deepstore_systolic::cycles`; prefetching overlaps flash streaming with
+//! compute, so each shard's time is the max of its compute and stream
+//! terms (§4.4: "the FLASH_DFV queue isolates the computation in the
+//! accelerator and the data loading from the flash chip").
+
+use crate::config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
+use deepstore_flash::layout::DbLayout;
+use deepstore_flash::stream::{stripe_pages, ChannelStream};
+use deepstore_flash::SimDuration;
+use deepstore_nn::{LayerShape, Model};
+use deepstore_systolic::cycles::{scn_cycles_per_feature, ws_plan, ws_tile_cycles_per_feature};
+use deepstore_systolic::counts::scn_counts_per_feature;
+use deepstore_systolic::AccessCounts;
+use serde::{Deserialize, Serialize};
+
+/// FLASH_DFV prefetch-queue capacity in pages (§4.4, Figure 5): the
+/// channel accelerator's 512 KB scratchpad reserves ~160 KB (ten 16 KB
+/// pages) for the DFV staging region, bounding how far flash reads can
+/// run ahead of the SCN. This is what gives the channel level its mild
+/// (~10% at 4x) sensitivity to flash read latency in Figure 9c.
+pub const DFV_QUEUE_PAGES: usize = 10;
+
+/// A full-database scan workload, as seen by the in-storage accelerators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanWorkload {
+    /// SCN layer shapes (including the element-wise merge pseudo-layer).
+    pub shapes: Vec<LayerShape>,
+    /// Total SCN weight bytes.
+    pub weight_bytes: u64,
+    /// Bytes per feature vector.
+    pub feature_bytes: usize,
+    /// Database layout on flash.
+    pub layout: DbLayout,
+}
+
+impl ScanWorkload {
+    /// Builds the workload for scanning `db_bytes` of features with a
+    /// model, using the configuration's placement and page size.
+    pub fn from_model(model: &Model, db_bytes: u64, cfg: &DeepStoreConfig) -> Self {
+        let layout = DbLayout::for_payload(
+            model.feature_bytes(),
+            db_bytes,
+            cfg.ssd.geometry.page_bytes,
+            cfg.placement,
+        );
+        ScanWorkload {
+            shapes: model.layer_shapes(),
+            weight_bytes: model.weight_bytes(),
+            feature_bytes: model.feature_bytes(),
+            layout,
+        }
+    }
+
+    /// Feature vectors in the database.
+    pub fn num_features(&self) -> u64 {
+        self.layout.num_features
+    }
+
+    /// MACs per comparison.
+    pub fn macs_per_cmp(&self) -> u64 {
+        self.shapes.iter().map(|s| s.macs()).sum()
+    }
+}
+
+/// Result of the scan timing model for one accelerator level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanTiming {
+    /// End-to-end scan time.
+    pub elapsed: SimDuration,
+    /// Compute time of the slowest accelerator shard.
+    pub compute: SimDuration,
+    /// Flash streaming time of the slowest shard.
+    pub flash: SimDuration,
+    /// Weight distribution time (DRAM load, L2 multicast or channel-bus
+    /// broadcast, depending on the level).
+    pub weights: SimDuration,
+    /// Total event counts across all accelerators (for the energy model).
+    pub counts: AccessCounts,
+    /// Accelerator instances participating.
+    pub accelerators: usize,
+}
+
+/// Computes the scan timing at a given level.
+///
+/// Returns `None` when the level cannot execute the workload — the paper's
+/// chip-level accelerator "can not execute ReId due to limited compute and
+/// on-chip memory resources" (Table 4, note 1).
+pub fn scan(
+    level: AcceleratorLevel,
+    workload: &ScanWorkload,
+    cfg: &DeepStoreConfig,
+) -> Option<ScanTiming> {
+    match level {
+        AcceleratorLevel::Ssd => Some(ssd_level_scan(workload, cfg)),
+        AcceleratorLevel::Channel => Some(channel_level_scan(workload, cfg)),
+        AcceleratorLevel::Chip => chip_level_scan(workload, cfg),
+    }
+}
+
+fn per_feature_counts(shapes: &[LayerShape], acc: &AcceleratorConfig) -> AccessCounts {
+    scn_counts_per_feature(shapes, &acc.array)
+}
+
+/// SSD-level scan: one accelerator, full internal bandwidth through DRAM.
+pub fn ssd_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> ScanTiming {
+    let acc = AcceleratorConfig::ssd_level();
+    let n = workload.num_features();
+    let cycles_per_feature =
+        scn_cycles_per_feature(&workload.shapes, &acc.array) + cfg.controller_overhead_cycles;
+    let compute = SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * n as f64);
+
+    // Flash streams from all channels; the single accelerator ingests via
+    // the controller DRAM path.
+    let pages = workload.layout.total_pages();
+    let per_channel = stripe_pages(pages, cfg.ssd.geometry.channels);
+    let internal = deepstore_flash::stream::all_channels_stream(&cfg.ssd, &per_channel);
+    let dram_path = SimDuration::for_transfer(
+        pages * cfg.ssd.geometry.page_bytes as u64,
+        cfg.ssd.timing.dram_bytes_per_sec,
+    );
+    let flash = internal.max(dram_path);
+
+    // Weights: loaded from DRAM; if they do not fit the 8 MB scratchpad
+    // the stream repeats per feature batch, fully pipelined with compute
+    // (§4.5: "fetching weights in DRAM and computing ... can be fully
+    // pipelined"), so it costs bandwidth/energy but only one load of
+    // latency.
+    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let weight_passes = if plan.weights_resident {
+        1
+    } else {
+        n.div_ceil(plan.batch_per_pass).max(1)
+    };
+    let weights = SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
+
+    let mut counts = per_feature_counts(&workload.shapes, &acc).scaled(n);
+    counts.flash_pages += pages;
+    counts.dram_bytes += workload.weight_bytes * weight_passes
+        + pages * cfg.ssd.geometry.page_bytes as u64; // DFVs staged via DRAM
+
+    ScanTiming {
+        elapsed: compute.max(flash) + weights,
+        compute,
+        flash,
+        weights,
+        counts,
+        accelerators: 1,
+    }
+}
+
+/// Channel-level scan: one accelerator per channel, weights multicast from
+/// the shared L2.
+pub fn channel_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> ScanTiming {
+    let acc = AcceleratorConfig::channel_level();
+    let channels = cfg.ssd.geometry.channels;
+    let n = workload.num_features();
+    let shard = n.div_ceil(channels as u64);
+    let cycles_per_feature =
+        scn_cycles_per_feature(&workload.shapes, &acc.array) + cfg.controller_overhead_cycles;
+    let compute =
+        SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * shard as f64);
+
+    let pages = workload.layout.total_pages();
+    let per_channel = stripe_pages(pages, channels);
+    let stream = ChannelStream::new(&cfg.ssd).with_dfv_queue(DFV_QUEUE_PAGES);
+    let flash = per_channel
+        .iter()
+        .map(|&p| stream.stream_pages(p))
+        .fold(SimDuration::ZERO, SimDuration::max);
+
+    // Weights: DRAM -> L2 once, then multicast to the channel accelerators
+    // over the internal bus, re-streamed once per feature batch.
+    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let passes = if plan.weights_resident {
+        1
+    } else {
+        shard.div_ceil(plan.batch_per_pass).max(1)
+    };
+    let weights = SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
+
+    let mut counts = per_feature_counts(&workload.shapes, &acc).scaled(n);
+    counts.flash_pages += pages;
+    counts.dram_bytes += workload.weight_bytes;
+    // One L2 read per multicast pass; the broadcast reaches `channels`
+    // accelerators over the NoC.
+    counts.l2_read_bytes += workload.weight_bytes * passes;
+    counts.noc_bytes += workload.weight_bytes * passes * channels as u64;
+
+    ScanTiming {
+        elapsed: compute.max(flash) + weights,
+        compute,
+        flash,
+        weights,
+        counts,
+        accelerators: channels,
+    }
+}
+
+/// Chip-level scan: one WS accelerator per chip, weight tiles broadcast in
+/// lockstep over each channel bus.
+///
+/// Returns `None` when the model has no chip-level mapping (convolutions
+/// whose reduction exceeds the 128-PE array — ReId).
+pub fn chip_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> Option<ScanTiming> {
+    let acc = AcceleratorConfig::chip_level();
+    let chips = cfg.ssd.geometry.total_chips();
+    let n = workload.num_features();
+    let shard = n.div_ceil(chips as u64);
+    let cycles_per_feature = ws_tile_cycles_per_feature(&workload.shapes, &acc.array)?
+        + cfg.controller_overhead_cycles;
+    let compute =
+        SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * shard as f64);
+
+    // Each chip drains its own planes directly (no channel-bus contention
+    // for DFVs).
+    let pages = workload.layout.total_pages();
+    let pages_per_chip = stripe_pages(pages, chips);
+    let chip_stream = ChannelStream::for_chip_direct(&cfg.ssd);
+    let flash = pages_per_chip
+        .iter()
+        .map(|&p| chip_stream.stream_pages(p))
+        .fold(SimDuration::ZERO, SimDuration::max);
+
+    // Weight-tile broadcast over the channel bus, shared by the channel's
+    // chips in lockstep (§4.5). Non-resident models re-broadcast the whole
+    // weight set once per feature batch.
+    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let passes = if plan.weights_resident {
+        1
+    } else {
+        shard.div_ceil(plan.batch_per_pass).max(1)
+    };
+    let broadcast = SimDuration::for_transfer(
+        workload.weight_bytes * passes,
+        cfg.ssd.timing.channel_bus_bytes_per_sec,
+    );
+
+    let mut counts = per_feature_counts(&workload.shapes, &acc).scaled(n);
+    counts.flash_pages += pages;
+    counts.dram_bytes += workload.weight_bytes * passes;
+    counts.noc_bytes += workload.weight_bytes * passes * cfg.ssd.geometry.channels as u64;
+
+    Some(ScanTiming {
+        // The broadcast paces the lockstep pipeline: it overlaps compute
+        // only up to the slower of the two.
+        elapsed: compute.max(flash).max(broadcast)
+            + SimDuration::for_transfer(
+                workload.weight_bytes,
+                cfg.ssd.timing.channel_bus_bytes_per_sec,
+            ),
+        compute,
+        flash,
+        weights: broadcast,
+        counts,
+        accelerators: chips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    const DB: u64 = 25 * (1 << 30);
+
+    fn cfg() -> DeepStoreConfig {
+        DeepStoreConfig::paper_default()
+    }
+
+    fn workload(app: &str) -> ScanWorkload {
+        ScanWorkload::from_model(&zoo::by_name(app).unwrap(), DB, &cfg())
+    }
+
+    #[test]
+    fn channel_level_is_fastest_for_every_app() {
+        for app in ["reid", "mir", "estp", "tir", "textqa"] {
+            let w = workload(app);
+            let ssd = scan(AcceleratorLevel::Ssd, &w, &cfg()).unwrap();
+            let ch = scan(AcceleratorLevel::Channel, &w, &cfg()).unwrap();
+            assert!(
+                ch.elapsed < ssd.elapsed,
+                "{app}: channel {} !< ssd {}",
+                ch.elapsed,
+                ssd.elapsed
+            );
+            if let Some(chip) = scan(AcceleratorLevel::Chip, &w, &cfg()) {
+                assert!(ch.elapsed < chip.elapsed, "{app}: channel !< chip");
+            }
+        }
+    }
+
+    #[test]
+    fn chip_level_rejects_reid() {
+        // Table 4, note 1.
+        assert!(scan(AcceleratorLevel::Chip, &workload("reid"), &cfg()).is_none());
+        assert!(scan(AcceleratorLevel::Chip, &workload("mir"), &cfg()).is_some());
+    }
+
+    #[test]
+    fn small_models_are_flash_bound_at_channel_level() {
+        // §4.5: "for applications with smaller layers, such as TextQA, the
+        // flash channel bandwidth becomes the bottleneck".
+        let t = channel_level_scan(&workload("textqa"), &cfg());
+        assert!(t.flash > t.compute, "{t:?}");
+        // 25 GiB over 32 channels at ~775 MB/s effective: ~1.0-1.1 s.
+        assert!(t.elapsed.as_secs_f64() > 0.9 && t.elapsed.as_secs_f64() < 1.3);
+    }
+
+    #[test]
+    fn reid_is_compute_bound_at_channel_level() {
+        // §6.2: the channel-level accelerator is "limited by the
+        // performance of executing SCN with one input feature vector" for
+        // large models like ReId.
+        let t = channel_level_scan(&workload("reid"), &cfg());
+        assert!(t.compute > t.flash, "{t:?}");
+    }
+
+    #[test]
+    fn ssd_level_is_compute_bound_everywhere() {
+        for app in ["reid", "mir", "estp", "tir", "textqa"] {
+            let t = ssd_level_scan(&workload(app), &cfg());
+            assert!(t.compute > t.flash, "{app}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn counts_cover_all_macs_and_pages() {
+        let w = workload("tir");
+        let t = channel_level_scan(&w, &cfg());
+        assert_eq!(t.counts.macs, w.num_features() * w.macs_per_cmp());
+        assert_eq!(t.counts.flash_pages, w.layout.total_pages());
+        assert!(t.counts.l2_read_bytes > 0);
+    }
+
+    #[test]
+    fn chip_level_textqa_weights_stay_resident() {
+        // TextQA's 0.157 MB of weights fit the 512 KB chip scratchpad, so
+        // the broadcast happens once — one reason TextQA gets the best
+        // chip-level speedup (§6.2).
+        let t = chip_level_scan(&workload("textqa"), &cfg()).unwrap();
+        assert!(t.weights.as_secs_f64() < 0.01, "{}", t.weights);
+        let mir = chip_level_scan(&workload("mir"), &cfg()).unwrap();
+        assert!(mir.weights > t.weights);
+    }
+
+    #[test]
+    fn scan_times_match_calibration_targets() {
+        // Derived in DESIGN.md §3: channel-level times of ~1.04 s for
+        // flash-bound apps and ~3.3 s for compute-bound ReId.
+        let ch_mir = channel_level_scan(&workload("mir"), &cfg()).elapsed.as_secs_f64();
+        assert!((0.9..1.3).contains(&ch_mir), "mir channel = {ch_mir}");
+        let ch_reid = channel_level_scan(&workload("reid"), &cfg()).elapsed.as_secs_f64();
+        assert!((2.5..4.5).contains(&ch_reid), "reid channel = {ch_reid}");
+    }
+
+    #[test]
+    fn accelerator_counts_match_level() {
+        let w = workload("mir");
+        assert_eq!(ssd_level_scan(&w, &cfg()).accelerators, 1);
+        assert_eq!(channel_level_scan(&w, &cfg()).accelerators, 32);
+        assert_eq!(chip_level_scan(&w, &cfg()).unwrap().accelerators, 128);
+    }
+}

@@ -1,0 +1,438 @@
+//! The DeepStore programming API (Table 2).
+//!
+//! [`DeepStore`] bundles the functional engine, the query cache and the
+//! timing model behind the paper's five-call interface:
+//!
+//! | Paper API    | Here                        |
+//! |--------------|-----------------------------|
+//! | `readDB`     | [`DeepStore::read_db`]      |
+//! | `writeDB`    | [`DeepStore::write_db`]     |
+//! | `appendDB`   | [`DeepStore::append_db`]    |
+//! | `loadModel`  | [`DeepStore::load_model`]   |
+//! | `query`      | [`DeepStore::query`]        |
+//! | `getResults` | [`DeepStore::results`]      |
+//! | `setQC`      | [`DeepStore::set_qc`]       |
+//!
+//! Queries execute functionally (real flash pages, real similarity
+//! scores, a real top-K sorter) and every result carries the simulated
+//! elapsed time from the in-storage accelerator timing model.
+
+use crate::accel::{scan as timing_scan, ScanWorkload};
+use crate::config::{AcceleratorLevel, DeepStoreConfig};
+use crate::engine::{DbId, Engine, ObjectId};
+use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
+use deepstore_flash::layout::DbLayout;
+use deepstore_flash::{FlashError, Result, SimDuration};
+use deepstore_nn::{Model, ModelGraph, Tensor};
+use deepstore_systolic::topk::ScoredFeature;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a loaded similarity model (returned by `loadModel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelId(pub u64);
+
+/// Identifies a submitted query (returned by `query`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u64);
+
+/// One ranked answer: similarity score, feature index, and the feature's
+/// physical address (`ObjectID`) for fetching the raw content.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryHit {
+    /// Similarity score.
+    pub score: f32,
+    /// Index of the feature within its database.
+    pub feature_index: u64,
+    /// Physical address of the feature vector.
+    pub object_id: ObjectId,
+}
+
+/// A completed query's results and provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The query's id.
+    pub query_id: QueryId,
+    /// Ranked hits, best first.
+    pub top_k: Vec<QueryHit>,
+    /// Whether the query was answered from the query cache.
+    pub cache_hit: bool,
+    /// Simulated end-to-end latency inside the SSD.
+    pub elapsed: SimDuration,
+    /// Accelerator level that served (or would have served) the scan.
+    pub level: AcceleratorLevel,
+}
+
+/// The DeepStore device facade.
+#[derive(Debug)]
+pub struct DeepStore {
+    engine: Engine,
+    models: HashMap<ModelId, Model>,
+    qc: Option<QueryCache>,
+    results: HashMap<QueryId, QueryResult>,
+    next_model: u64,
+    next_query: u64,
+}
+
+impl DeepStore {
+    /// Creates a DeepStore device.
+    pub fn new(cfg: DeepStoreConfig) -> Self {
+        let qc = (cfg.qc_capacity > 0).then(|| {
+            QueryCache::new(QueryCacheConfig {
+                capacity: cfg.qc_capacity,
+                ..QueryCacheConfig::paper_default()
+            })
+        });
+        DeepStore {
+            engine: Engine::new(cfg),
+            models: HashMap::new(),
+            qc,
+            results: HashMap::new(),
+            next_model: 1,
+            next_query: 1,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeepStoreConfig {
+        self.engine.config()
+    }
+
+    /// `writeDB`: creates a feature database, returning its id. The
+    /// database is sealed (all buffered pages flushed) before returning.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::write_db`].
+    pub fn write_db(&mut self, features: &[Tensor]) -> Result<DbId> {
+        let db = self.engine.write_db(features)?;
+        self.engine.seal_db(db)?;
+        if let Some(qc) = &mut self.qc {
+            qc.invalidate_all();
+        }
+        Ok(db)
+    }
+
+    /// `appendDB`: appends features to a database and reseals it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::append_db`].
+    pub fn append_db(&mut self, db: DbId, features: &[Tensor]) -> Result<()> {
+        self.engine.append_db(db, features)?;
+        self.engine.seal_db(db)?;
+        if let Some(qc) = &mut self.qc {
+            qc.invalidate_all();
+        }
+        Ok(())
+    }
+
+    /// `readDB`: reads `num` features starting at index `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] or
+    /// [`FlashError::AddressOutOfRange`] for bad ids/ranges.
+    pub fn read_db(&mut self, db: DbId, start: u64, num: u64) -> Result<Vec<Tensor>> {
+        (start..start + num)
+            .map(|i| self.engine.read_feature(db, i))
+            .collect()
+    }
+
+    /// `loadModel`: registers a similarity model shipped as a serialized
+    /// graph, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::SizeMismatch`] if the graph's model has no
+    /// materialized weights (an unweighted graph cannot score anything).
+    pub fn load_model(&mut self, graph: &ModelGraph) -> Result<ModelId> {
+        let model = graph.model().clone();
+        if !model.is_seeded() {
+            return Err(FlashError::SizeMismatch {
+                expected: model.weight_bytes() as usize,
+                found: 0,
+            });
+        }
+        let id = ModelId(self.next_model);
+        self.next_model += 1;
+        self.models.insert(id, model);
+        Ok(id)
+    }
+
+    /// `setQC`: configures (or reconfigures) the query cache.
+    pub fn set_qc(&mut self, config: QueryCacheConfig) {
+        self.qc = Some(QueryCache::new(config));
+    }
+
+    /// Disables the query cache.
+    pub fn disable_qc(&mut self) {
+        self.qc = None;
+    }
+
+    /// Query-cache statistics, if the cache is enabled.
+    pub fn qc_stats(&self) -> Option<crate::qcache::QcStats> {
+        self.qc.as_ref().map(|q| q.stats())
+    }
+
+    /// `query`: submits a query feature vector against a database using a
+    /// loaded model, retrieving `k` results via the accelerators at
+    /// `level`. Returns the query id for [`DeepStore::results`].
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::UnknownDb`] for a bad database or model id.
+    /// * [`FlashError::SizeMismatch`] if the query vector or the
+    ///   database's features do not match the model.
+    /// * [`FlashError::AddressOutOfRange`] if `level` cannot execute the
+    ///   model (chip level vs ReId).
+    pub fn query(
+        &mut self,
+        qfv: &Tensor,
+        k: usize,
+        model: ModelId,
+        db: DbId,
+        level: AcceleratorLevel,
+    ) -> Result<QueryId> {
+        let model_ref = self
+            .models
+            .get(&model)
+            .ok_or(FlashError::UnknownDb(model.0))?
+            .clone();
+        let meta = self.engine.db_meta(db)?.clone();
+        let cfg = self.engine.config().clone();
+
+        // Timing for the full scan at the requested level.
+        let layout = DbLayout::new(
+            meta.feature_bytes,
+            meta.num_features,
+            cfg.ssd.geometry.page_bytes,
+            cfg.placement,
+        );
+        let workload = ScanWorkload {
+            shapes: model_ref.layer_shapes(),
+            weight_bytes: model_ref.weight_bytes(),
+            feature_bytes: meta.feature_bytes,
+            layout,
+        };
+        let scan_timing = timing_scan(level, &workload, &cfg).ok_or_else(|| {
+            FlashError::AddressOutOfRange(format!(
+                "model `{}` has no {level}-level mapping",
+                model_ref.name()
+            ))
+        })?;
+
+        // Query-cache lookup (Algorithm 1), timed on the channel-level
+        // accelerators.
+        let mut elapsed = SimDuration::ZERO;
+        let mut cache_hit = false;
+        let mut ranked: Option<Vec<ScoredFeature>> = None;
+        if let Some(qc) = &mut self.qc {
+            elapsed += lookup_time_for(
+                qc.len(),
+                &workload.shapes,
+                cfg.ssd.geometry.channels,
+                cfg.controller_overhead_cycles,
+            );
+            if let Some(hit) = qc.lookup(qfv) {
+                cache_hit = true;
+                ranked = Some(hit);
+            }
+        }
+
+        let ranked = match ranked {
+            Some(r) => r,
+            None => {
+                elapsed += scan_timing.elapsed;
+                let r = self.engine.scan_top_k(db, &model_ref, qfv, k)?;
+                if let Some(qc) = &mut self.qc {
+                    qc.insert(qfv.clone(), r.clone());
+                }
+                r
+            }
+        };
+
+        let top_k: Vec<QueryHit> = ranked
+            .iter()
+            .map(|e| {
+                Ok(QueryHit {
+                    score: e.score,
+                    feature_index: e.feature_id,
+                    object_id: self.engine.object_id(db, e.feature_id)?,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        self.results.insert(
+            id,
+            QueryResult {
+                query_id: id,
+                top_k,
+                cache_hit,
+                elapsed,
+                level,
+            },
+        );
+        Ok(id)
+    }
+
+    /// `getResults`: retrieves (and removes) a completed query's results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] for unknown query ids.
+    pub fn results(&mut self, query: QueryId) -> Result<QueryResult> {
+        self.results
+            .remove(&query)
+            .ok_or(FlashError::UnknownDb(query.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    fn setup(app: &str, n: u64) -> (DeepStore, Model, DbId, ModelId) {
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let model = zoo::by_name(app).unwrap().seeded(42);
+        let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
+        let db = store.write_db(&features).unwrap();
+        let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        (store, model, db, mid)
+    }
+
+    #[test]
+    fn end_to_end_query_returns_ranked_results() {
+        let (mut store, model, db, mid) = setup("tir", 64);
+        let q = model.random_feature(1000);
+        let qid = store
+            .query(&q, 5, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
+        let r = store.results(qid).unwrap();
+        assert_eq!(r.top_k.len(), 5);
+        assert!(!r.cache_hit);
+        assert!(r.elapsed > SimDuration::ZERO);
+        // Scores are sorted descending.
+        for w in r.top_k.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // Results are consumed.
+        assert!(store.results(qid).is_err());
+    }
+
+    #[test]
+    fn repeated_query_hits_cache_and_is_faster() {
+        let (mut store, model, db, mid) = setup("textqa", 64);
+        let q = model.random_feature(7);
+        let q1 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let r1 = store.results(q1).unwrap();
+        let q2 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let r2 = store.results(q2).unwrap();
+        assert!(!r1.cache_hit);
+        assert!(r2.cache_hit);
+        assert!(r2.elapsed < r1.elapsed, "{} !< {}", r2.elapsed, r1.elapsed);
+        // Same answers.
+        let ids1: Vec<u64> = r1.top_k.iter().map(|h| h.feature_index).collect();
+        let ids2: Vec<u64> = r2.top_k.iter().map(|h| h.feature_index).collect();
+        assert_eq!(ids1, ids2);
+    }
+
+    #[test]
+    fn write_db_invalidates_cache() {
+        let (mut store, model, db, mid) = setup("textqa", 32);
+        let q = model.random_feature(7);
+        let _ = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        store.append_db(db, &[model.random_feature(999)]).unwrap();
+        let q2 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        assert!(!store.results(q2).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn read_db_returns_original_features() {
+        let (mut store, model, db, _) = setup("mir", 20);
+        let got = store.read_db(db, 5, 3).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], model.random_feature(5));
+        assert!(store.read_db(db, 18, 5).is_err());
+    }
+
+    #[test]
+    fn unweighted_model_rejected() {
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let graph = ModelGraph::from_model(&zoo::tir());
+        assert!(store.load_model(&graph).is_err());
+    }
+
+    #[test]
+    fn chip_level_rejects_reid_queries() {
+        let (mut store, model, db, mid) = setup("reid", 4);
+        let q = model.random_feature(0);
+        let err = store.query(&q, 2, mid, db, AcceleratorLevel::Chip);
+        assert!(err.is_err());
+        // Channel level works.
+        assert!(store.query(&q, 2, mid, db, AcceleratorLevel::Channel).is_ok());
+    }
+
+    #[test]
+    fn wrong_query_length_is_rejected() {
+        let (mut store, _, db, mid) = setup("tir", 8);
+        let bad = Tensor::random(vec![7], 1.0, 0);
+        assert!(store
+            .query(&bad, 2, mid, db, AcceleratorLevel::Channel)
+            .is_err());
+    }
+
+    #[test]
+    fn qc_can_be_reconfigured_and_disabled() {
+        let (mut store, model, db, mid) = setup("textqa", 16);
+        store.set_qc(QueryCacheConfig {
+            capacity: 2,
+            threshold: 0.0,
+            qcn_accuracy: 1.0,
+        });
+        let q = model.random_feature(3);
+        let _ = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
+        let q2 = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
+        assert!(store.results(q2).unwrap().cache_hit);
+        store.disable_qc();
+        assert!(store.qc_stats().is_none());
+        let q3 = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
+        assert!(!store.results(q3).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn levels_order_query_latency() {
+        let (mut store, model, db, mid) = setup("mir", 32);
+        store.disable_qc();
+        let q = model.random_feature(5);
+        let mut elapsed = Vec::new();
+        for level in [
+            AcceleratorLevel::Ssd,
+            AcceleratorLevel::Channel,
+            AcceleratorLevel::Chip,
+        ] {
+            let qid = store.query(&q, 3, mid, db, level).unwrap();
+            elapsed.push(store.results(qid).unwrap().elapsed);
+        }
+        // Channel is fastest on this tiny DB too (same model ordering).
+        assert!(elapsed[1] <= elapsed[0]);
+        assert!(elapsed[1] <= elapsed[2]);
+    }
+
+    #[test]
+    fn object_ids_resolve_to_real_features() {
+        let (mut store, model, db, mid) = setup("textqa", 48);
+        store.disable_qc();
+        let q = model.random_feature(123);
+        let qid = store.query(&q, 4, mid, db, AcceleratorLevel::Channel).unwrap();
+        let r = store.results(qid).unwrap();
+        for hit in &r.top_k {
+            let f = store.read_db(db, hit.feature_index, 1).unwrap();
+            let score = model.similarity(&q, &f[0]).unwrap();
+            assert!((score - hit.score).abs() < 1e-6);
+        }
+    }
+}

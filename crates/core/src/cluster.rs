@@ -1,0 +1,301 @@
+//! Multi-drive DeepStore: scatter-gather across several devices.
+//!
+//! Figure 10b shows that "the compute capability of all DeepStore designs
+//! scales linearly with the number of SSDs": a feature database sharded
+//! over N drives is scanned by all of them concurrently, and the host
+//! merges the per-drive top-K — the same map-reduce shape the engine uses
+//! internally across channels (§4.7.1), lifted one level up.
+//!
+//! [`DeepStoreCluster`] shards `writeDB` round-robin, broadcasts
+//! `loadModel`, fans a query out to every shard, and reduces the results;
+//! the simulated latency of a cluster query is the slowest shard (drives
+//! run concurrently).
+
+use crate::api::{DeepStore, ModelId, QueryHit};
+use crate::config::{AcceleratorLevel, DeepStoreConfig};
+use crate::engine::DbId;
+use deepstore_flash::{FlashError, Result, SimDuration};
+use deepstore_nn::{ModelGraph, Tensor};
+use deepstore_systolic::topk::TopKSorter;
+use serde::{Deserialize, Serialize};
+
+/// A database sharded across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterDbId(pub u64);
+
+/// A model registered on every drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterModelId(pub u64);
+
+/// A hit annotated with the drive it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHit {
+    /// Index of the drive holding the feature.
+    pub drive: usize,
+    /// Feature index *within that drive's shard*.
+    pub hit: QueryHit,
+    /// The feature's global index in the original write order.
+    pub global_index: u64,
+}
+
+/// Result of a cluster-wide query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterQueryResult {
+    /// Ranked hits, best first.
+    pub top_k: Vec<ClusterHit>,
+    /// Simulated latency: the slowest shard's query time.
+    pub elapsed: SimDuration,
+}
+
+struct ShardedDb {
+    per_drive: Vec<DbId>,
+}
+
+struct ClusterModel {
+    per_drive: Vec<ModelId>,
+}
+
+/// A group of DeepStore drives behaving as one logical store.
+pub struct DeepStoreCluster {
+    drives: Vec<DeepStore>,
+    dbs: Vec<ShardedDb>,
+    models: Vec<ClusterModel>,
+}
+
+impl std::fmt::Debug for DeepStoreCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeepStoreCluster")
+            .field("drives", &self.drives.len())
+            .field("dbs", &self.dbs.len())
+            .field("models", &self.models.len())
+            .finish()
+    }
+}
+
+impl DeepStoreCluster {
+    /// Creates a cluster of `n` identical drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, cfg: DeepStoreConfig) -> Self {
+        assert!(n > 0, "cluster needs at least one drive");
+        DeepStoreCluster {
+            drives: (0..n).map(|_| DeepStore::new(cfg.clone())).collect(),
+            dbs: Vec::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Drive count.
+    pub fn drives(&self) -> usize {
+        self.drives.len()
+    }
+
+    /// Shards a feature database round-robin across the drives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first drive failure. Requires at least one feature
+    /// per drive so every shard exists.
+    pub fn write_db(&mut self, features: &[Tensor]) -> Result<ClusterDbId> {
+        let n = self.drives.len();
+        if features.len() < n {
+            return Err(FlashError::SizeMismatch {
+                expected: n,
+                found: features.len(),
+            });
+        }
+        let mut per_drive = Vec::with_capacity(n);
+        for (d, drive) in self.drives.iter_mut().enumerate() {
+            let shard: Vec<Tensor> = features
+                .iter()
+                .skip(d)
+                .step_by(n)
+                .cloned()
+                .collect();
+            per_drive.push(drive.write_db(&shard)?);
+        }
+        let id = ClusterDbId(self.dbs.len() as u64);
+        self.dbs.push(ShardedDb { per_drive });
+        Ok(id)
+    }
+
+    /// Registers a model on every drive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first drive failure.
+    pub fn load_model(&mut self, graph: &ModelGraph) -> Result<ClusterModelId> {
+        let mut per_drive = Vec::with_capacity(self.drives.len());
+        for drive in &mut self.drives {
+            per_drive.push(drive.load_model(graph)?);
+        }
+        let id = ClusterModelId(self.models.len() as u64);
+        self.models.push(ClusterModel { per_drive });
+        Ok(id)
+    }
+
+    /// Scatter-gather query: every drive scans its shard concurrently;
+    /// the host merges the per-drive top-K into the global top-K.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] for bad cluster handles and
+    /// propagates drive errors.
+    pub fn query(
+        &mut self,
+        qfv: &Tensor,
+        k: usize,
+        model: ClusterModelId,
+        db: ClusterDbId,
+        level: AcceleratorLevel,
+    ) -> Result<ClusterQueryResult> {
+        let sharded = self
+            .dbs
+            .get(db.0 as usize)
+            .ok_or(FlashError::UnknownDb(db.0))?;
+        let cmodel = self
+            .models
+            .get(model.0 as usize)
+            .ok_or(FlashError::UnknownDb(model.0))?;
+        let n = self.drives.len();
+        let mut elapsed = SimDuration::ZERO;
+        let mut merged = TopKSorter::new(k);
+        let mut hits: Vec<Vec<QueryHit>> = Vec::with_capacity(n);
+        for (d, drive) in self.drives.iter_mut().enumerate() {
+            let qid = drive.query(qfv, k, cmodel.per_drive[d], sharded.per_drive[d], level)?;
+            let result = drive.results(qid)?;
+            // Drives run concurrently: the cluster sees the slowest.
+            elapsed = elapsed.max(result.elapsed);
+            for (rank, h) in result.top_k.iter().enumerate() {
+                // Encode (drive, rank) so the merged sorter can find the
+                // original hit after ranking by score.
+                merged.offer(h.score, (d * k + rank) as u64);
+            }
+            hits.push(result.top_k);
+        }
+        let top_k = merged
+            .ranked()
+            .into_iter()
+            .map(|e| {
+                let d = (e.feature_id as usize) / k;
+                let rank = (e.feature_id as usize) % k;
+                let hit = hits[d][rank];
+                ClusterHit {
+                    drive: d,
+                    hit,
+                    // Round-robin sharding: global = local * n + drive.
+                    global_index: hit.feature_index * n as u64 + d as u64,
+                }
+            })
+            .collect();
+        Ok(ClusterQueryResult { top_k, elapsed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    fn cluster(n: usize) -> (DeepStoreCluster, deepstore_nn::Model, ClusterDbId, ClusterModelId) {
+        let model = zoo::textqa().seeded_metric(4);
+        let mut c = DeepStoreCluster::new(n, DeepStoreConfig::small());
+        let features: Vec<Tensor> = (0..60).map(|i| model.random_feature(i)).collect();
+        let db = c.write_db(&features).unwrap();
+        let mid = c.load_model(&ModelGraph::from_model(&model)).unwrap();
+        (c, model, db, mid)
+    }
+
+    #[test]
+    fn cluster_query_matches_single_drive_results() {
+        let probe_seed = 23; // duplicate of feature 23
+        let (mut single, model, sdb, smid) = cluster(1);
+        let (mut multi, _, mdb, mmid) = cluster(4);
+        let q = model.random_feature(probe_seed);
+        let rs = single
+            .query(&q, 5, smid, sdb, AcceleratorLevel::Channel)
+            .unwrap();
+        let rm = multi
+            .query(&q, 5, mmid, mdb, AcceleratorLevel::Channel)
+            .unwrap();
+        let ids_single: Vec<u64> = rs.top_k.iter().map(|h| h.global_index).collect();
+        let ids_multi: Vec<u64> = rm.top_k.iter().map(|h| h.global_index).collect();
+        assert_eq!(ids_single, ids_multi);
+        // The duplicate wins in both.
+        assert_eq!(ids_multi[0], probe_seed);
+    }
+
+    #[test]
+    fn cluster_latency_is_slowest_shard_not_sum() {
+        // Large enough that streaming dominates the fixed costs: 2048
+        // TextQA features = ~1.6 MB = ~100 pages.
+        let model = zoo::textqa().seeded(4);
+        let features: Vec<Tensor> = (0..2048).map(|i| model.random_feature(i)).collect();
+        let graph = ModelGraph::from_model(&model);
+        let mut single = DeepStoreCluster::new(1, DeepStoreConfig::small());
+        let sdb = single.write_db(&features).unwrap();
+        let smid = single.load_model(&graph).unwrap();
+        let mut multi = DeepStoreCluster::new(4, DeepStoreConfig::small());
+        let mdb = multi.write_db(&features).unwrap();
+        let mmid = multi.load_model(&graph).unwrap();
+        let q = model.random_feature(9999);
+        let t1 = single
+            .query(&q, 3, smid, sdb, AcceleratorLevel::Channel)
+            .unwrap()
+            .elapsed;
+        let t4 = multi
+            .query(&q, 3, mmid, mdb, AcceleratorLevel::Channel)
+            .unwrap()
+            .elapsed;
+        // Four drives each scan a quarter of the data: faster than one.
+        assert!(t4 < t1, "4-drive {t4} !< 1-drive {t1}");
+    }
+
+    #[test]
+    fn global_indices_resolve_to_original_features() {
+        let (mut c, model, db, mid) = cluster(3);
+        let q = model.random_feature(700);
+        let r = c.query(&q, 6, mid, db, AcceleratorLevel::Channel).unwrap();
+        for h in &r.top_k {
+            assert!(h.global_index < 60);
+            assert_eq!(h.drive, (h.global_index % 3) as usize);
+        }
+        // All distinct.
+        let mut idx: Vec<u64> = r.top_k.iter().map(|h| h.global_index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn bad_handles_are_rejected() {
+        let (mut c, model, _, mid) = cluster(2);
+        let q = model.random_feature(0);
+        assert!(c
+            .query(&q, 1, mid, ClusterDbId(9), AcceleratorLevel::Channel)
+            .is_err());
+        let (mut c2, _, db2, _) = cluster(2);
+        assert!(c2
+            .query(&q, 1, ClusterModelId(9), db2, AcceleratorLevel::Channel)
+            .is_err());
+    }
+
+    #[test]
+    fn too_few_features_for_sharding_is_error() {
+        let model = zoo::textqa().seeded(1);
+        let mut c = DeepStoreCluster::new(4, DeepStoreConfig::small());
+        let features: Vec<Tensor> = (0..2).map(|i| model.random_feature(i)).collect();
+        assert!(matches!(
+            c.write_db(&features),
+            Err(FlashError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drive")]
+    fn empty_cluster_panics() {
+        let _ = DeepStoreCluster::new(0, DeepStoreConfig::small());
+    }
+}

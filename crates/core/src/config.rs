@@ -1,0 +1,236 @@
+//! DeepStore configuration: accelerator placements and budgets.
+//!
+//! Table 3 of the paper fixes the accelerator configuration at each
+//! parallelism level, chosen by the design-space exploration of §4.5 under
+//! the SSD's resource constraints: a 55 W power envelope (75 W PCIe slot
+//! minus ~20 W for the existing SSD hardware), 20 GB/s of controller DRAM
+//! bandwidth, and 800 MB/s per flash channel.
+//!
+//! | Property        | SSD-level   | Channel-level | Chip-level  |
+//! |-----------------|-------------|---------------|-------------|
+//! | Dataflow        | Systolic OS | Systolic OS   | Systolic WS |
+//! | PEs             | 32×64       | 16×64         | 4×32        |
+//! | Precision       | fp32        | fp32          | fp32        |
+//! | Frequency       | 800 MHz     | 800 MHz       | 400 MHz     |
+//! | Scratchpad      | 8 MB shared | 512 KB        | 512 KB      |
+//! | Area (mm², 32nm)| 31.7        | 7.4           | 2.5         |
+
+use deepstore_flash::layout::Placement;
+use deepstore_flash::SsdConfig;
+use deepstore_systolic::{ArrayConfig, Dataflow};
+use serde::{Deserialize, Serialize};
+
+/// Which level of SSD parallelism hosts the accelerators (§4.2, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorLevel {
+    /// One accelerator beside the SSD controller (❶).
+    Ssd,
+    /// One accelerator per flash channel (❷) — the paper's most
+    /// energy-efficient choice.
+    Channel,
+    /// One accelerator per flash chip (❸).
+    Chip,
+}
+
+impl AcceleratorLevel {
+    /// All three levels, in Figure 3 order.
+    pub const ALL: [AcceleratorLevel; 3] = [
+        AcceleratorLevel::Ssd,
+        AcceleratorLevel::Channel,
+        AcceleratorLevel::Chip,
+    ];
+
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AcceleratorLevel::Ssd => "ssd",
+            AcceleratorLevel::Channel => "channel",
+            AcceleratorLevel::Chip => "chip",
+        }
+    }
+}
+
+impl std::fmt::Display for AcceleratorLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full per-level accelerator description (Table 3 plus power/area).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// The level this configuration is for.
+    pub level: AcceleratorLevel,
+    /// PE array and scratchpad.
+    pub array: ArrayConfig,
+    /// Per-accelerator power budget, watts (§4.5: 55 W total; 1.71 W per
+    /// channel accelerator at 32 channels; 0.43 W per chip accelerator at
+    /// 128 chips).
+    pub power_budget_w: f64,
+    /// Static (leakage + clock-tree) power per accelerator instance,
+    /// watts; charged for the full scan duration in the energy model.
+    pub static_power_w: f64,
+    /// Die area at 32 nm, mm² (Table 3).
+    pub area_mm2: f64,
+}
+
+impl AcceleratorConfig {
+    /// Table 3, SSD-level: 32×64 OS at 800 MHz with the shared 8 MB
+    /// scratchpad.
+    pub fn ssd_level() -> Self {
+        AcceleratorConfig {
+            level: AcceleratorLevel::Ssd,
+            array: ArrayConfig::new(32, 64, 800e6, Dataflow::OutputStationary, 8 * 1024 * 1024),
+            power_budget_w: 55.0,
+            static_power_w: 25.0,
+            area_mm2: 31.7,
+        }
+    }
+
+    /// Table 3, channel-level: 16×64 OS at 800 MHz with a 512 KB local
+    /// scratchpad (plus the SSD-level 8 MB scratchpad as a shared L2).
+    pub fn channel_level() -> Self {
+        AcceleratorConfig {
+            level: AcceleratorLevel::Channel,
+            array: ArrayConfig::new(16, 64, 800e6, Dataflow::OutputStationary, 512 * 1024),
+            power_budget_w: 55.0 / 32.0,
+            static_power_w: 0.5,
+            area_mm2: 7.4,
+        }
+    }
+
+    /// Table 3, chip-level: 4×32 WS at 400 MHz with a 512 KB scratchpad.
+    pub fn chip_level() -> Self {
+        AcceleratorConfig {
+            level: AcceleratorLevel::Chip,
+            array: ArrayConfig::new(4, 32, 400e6, Dataflow::WeightStationary, 512 * 1024),
+            power_budget_w: 55.0 / 128.0,
+            static_power_w: 0.12,
+            area_mm2: 2.5,
+        }
+    }
+
+    /// The Table 3 configuration for a level.
+    pub fn for_level(level: AcceleratorLevel) -> Self {
+        match level {
+            AcceleratorLevel::Ssd => Self::ssd_level(),
+            AcceleratorLevel::Channel => Self::channel_level(),
+            AcceleratorLevel::Chip => Self::chip_level(),
+        }
+    }
+
+    /// Number of accelerator instances for this level on a drive.
+    pub fn instances(&self, ssd: &SsdConfig) -> usize {
+        match self.level {
+            AcceleratorLevel::Ssd => 1,
+            AcceleratorLevel::Channel => ssd.geometry.channels,
+            AcceleratorLevel::Chip => ssd.geometry.total_chips(),
+        }
+    }
+}
+
+/// Top-level DeepStore configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepStoreConfig {
+    /// The underlying drive.
+    pub ssd: SsdConfig,
+    /// How features are packed into pages (§4.4; see
+    /// [`Placement`] for the trade-off).
+    pub placement: Placement,
+    /// Query-cache capacity in entries (0 disables the cache).
+    pub qc_capacity: usize,
+    /// Per-feature controller overhead in accelerator cycles: DFV dequeue
+    /// from the FLASH_DFV queue, address generation, score write-back and
+    /// the top-K insert (§4.3-4.4).
+    pub controller_overhead_cycles: u64,
+    /// Power consumed by the stock SSD hardware (controller, DRAM, flash
+    /// interface) during a query, watts (§4.5: ~20 W at peak; the share
+    /// attributable to query processing).
+    pub controller_power_w: f64,
+}
+
+impl DeepStoreConfig {
+    /// The paper's evaluated configuration.
+    pub fn paper_default() -> Self {
+        DeepStoreConfig {
+            ssd: SsdConfig::paper_default(),
+            placement: Placement::Packed,
+            qc_capacity: 1000,
+            controller_overhead_cycles: 150,
+            controller_power_w: 5.0,
+        }
+    }
+
+    /// A scaled-down configuration for functional tests and examples.
+    pub fn small() -> Self {
+        DeepStoreConfig {
+            ssd: SsdConfig::small(),
+            placement: Placement::Packed,
+            qc_capacity: 16,
+            controller_overhead_cycles: 150,
+            controller_power_w: 5.0,
+        }
+    }
+}
+
+impl Default for DeepStoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_pe_counts() {
+        assert_eq!(AcceleratorConfig::ssd_level().array.pes(), 2048);
+        assert_eq!(AcceleratorConfig::channel_level().array.pes(), 1024);
+        assert_eq!(AcceleratorConfig::chip_level().array.pes(), 128);
+    }
+
+    #[test]
+    fn table3_frequencies_and_dataflows() {
+        assert_eq!(AcceleratorConfig::ssd_level().array.freq_hz, 800e6);
+        assert_eq!(AcceleratorConfig::chip_level().array.freq_hz, 400e6);
+        assert_eq!(
+            AcceleratorConfig::ssd_level().array.dataflow,
+            Dataflow::OutputStationary
+        );
+        assert_eq!(
+            AcceleratorConfig::chip_level().array.dataflow,
+            Dataflow::WeightStationary
+        );
+    }
+
+    #[test]
+    fn instance_counts_follow_geometry() {
+        let ssd = SsdConfig::paper_default();
+        assert_eq!(AcceleratorConfig::ssd_level().instances(&ssd), 1);
+        assert_eq!(AcceleratorConfig::channel_level().instances(&ssd), 32);
+        assert_eq!(AcceleratorConfig::chip_level().instances(&ssd), 128);
+    }
+
+    #[test]
+    fn power_budgets_divide_55w() {
+        let ch = AcceleratorConfig::channel_level();
+        assert!((ch.power_budget_w - 1.71875).abs() < 1e-6);
+        let chip = AcceleratorConfig::chip_level();
+        assert!((chip.power_budget_w - 0.4296875).abs() < 1e-6);
+    }
+
+    #[test]
+    fn for_level_roundtrips() {
+        for level in AcceleratorLevel::ALL {
+            assert_eq!(AcceleratorConfig::for_level(level).level, level);
+        }
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(AcceleratorLevel::Ssd.to_string(), "ssd");
+        assert_eq!(AcceleratorLevel::Channel.to_string(), "channel");
+        assert_eq!(AcceleratorLevel::Chip.to_string(), "chip");
+    }
+}

@@ -1,0 +1,527 @@
+//! The functional in-storage query engine (§4.7.1).
+//!
+//! This is the software that runs on the SSD's embedded cores: it persists
+//! feature databases into the (simulated) flash array through the FTL,
+//! keeps their metadata cached in controller DRAM, and executes queries
+//! with the map-reduce model — the similarity network is mapped over the
+//! per-channel shards of the database, each shard keeps its own top-K
+//! sorter, and the engine merges (reduces) the per-shard results into the
+//! final top-K.
+//!
+//! Everything here moves real bytes and computes real similarity scores;
+//! the timing model lives in [`crate::accel`] and is attached to query
+//! results by [`crate::api::DeepStore`].
+
+use crate::config::DeepStoreConfig;
+use deepstore_flash::array::FlashArray;
+use deepstore_flash::ftl::BlockFtl;
+use deepstore_flash::geometry::PageAddr;
+use deepstore_flash::layout::Placement;
+use deepstore_flash::{FlashError, Result};
+use deepstore_nn::{Model, Tensor};
+use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a feature database (returned by `writeDB`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DbId(pub u64);
+
+/// A feature's physical location: the paper's `ObjectID` ("physical
+/// address of the feature vector") packed as page-index × page-size +
+/// offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// Per-database metadata (§4.4: "32-byte metadata that includes a db_id,
+/// starting physical address, size of each feature, and the number of
+/// features"), cached in SSD DRAM and persisted in a reserved block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbMeta {
+    /// Database id.
+    pub db_id: DbId,
+    /// Bytes per feature.
+    pub feature_bytes: usize,
+    /// Feature count.
+    pub num_features: u64,
+    /// The database's pages in stripe order.
+    pub pages: Vec<PageAddr>,
+}
+
+/// The in-storage engine state.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: DeepStoreConfig,
+    array: FlashArray,
+    ftl: BlockFtl,
+    dbs: HashMap<DbId, DbMeta>,
+    next_db: u64,
+    /// Write buffer per open database (packed placement buffers partial
+    /// pages until they fill or the database is sealed; §4.7.2:
+    /// "DeepStore buffers writes to ensure the alignment criteria").
+    write_buffers: HashMap<DbId, Vec<u8>>,
+    /// Features skipped during scans because their pages failed ECC.
+    unreadable_skipped: u64,
+}
+
+impl Engine {
+    /// Creates an engine over a fresh flash array.
+    pub fn new(cfg: DeepStoreConfig) -> Self {
+        let geometry = cfg.ssd.geometry;
+        Engine {
+            cfg,
+            array: FlashArray::new(geometry),
+            ftl: BlockFtl::new(geometry),
+            dbs: HashMap::new(),
+            next_db: 1,
+            write_buffers: HashMap::new(),
+            unreadable_skipped: 0,
+        }
+    }
+
+    /// Installs a read-fault plan on the underlying flash array (testing
+    /// and reliability studies).
+    pub fn inject_faults(&mut self, faults: deepstore_flash::fault::FaultPlan) {
+        self.array.inject_faults(faults);
+    }
+
+    /// Features skipped by scans due to uncorrectable reads so far.
+    /// Intelligent queries tolerate approximation, so a scan skips
+    /// unreadable features (slightly reducing recall) instead of failing.
+    pub fn unreadable_skipped(&self) -> u64 {
+        self.unreadable_skipped
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DeepStoreConfig {
+        &self.cfg
+    }
+
+    /// Metadata for a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] for unknown ids.
+    pub fn db_meta(&self, db: DbId) -> Result<&DbMeta> {
+        self.dbs.get(&db).ok_or(FlashError::UnknownDb(db.0))
+    }
+
+    /// Creates a database from feature vectors (the `writeDB` API).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::SizeMismatch`] if the features differ in length or
+    ///   are empty.
+    /// * [`FlashError::OutOfSpace`] if the drive fills up.
+    pub fn write_db(&mut self, features: &[Tensor]) -> Result<DbId> {
+        let first = features.first().ok_or(FlashError::SizeMismatch {
+            expected: 1,
+            found: 0,
+        })?;
+        let feature_bytes = first.len() * 4;
+        let db = DbId(self.next_db);
+        self.next_db += 1;
+        self.dbs.insert(
+            db,
+            DbMeta {
+                db_id: db,
+                feature_bytes,
+                num_features: 0,
+                pages: Vec::new(),
+            },
+        );
+        self.write_buffers.insert(db, Vec::new());
+        self.append_db(db, features)?;
+        Ok(db)
+    }
+
+    /// Appends features to an existing database (the `appendDB` API).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::UnknownDb`] for unknown ids.
+    /// * [`FlashError::SizeMismatch`] if a feature has the wrong length.
+    /// * [`FlashError::OutOfSpace`] if the drive fills up.
+    pub fn append_db(&mut self, db: DbId, features: &[Tensor]) -> Result<()> {
+        let feature_bytes = self.db_meta(db)?.feature_bytes;
+        let page_bytes = self.cfg.ssd.geometry.page_bytes;
+        for f in features {
+            if f.len() * 4 != feature_bytes {
+                return Err(FlashError::SizeMismatch {
+                    expected: feature_bytes,
+                    found: f.len() * 4,
+                });
+            }
+            let mut bytes = Vec::with_capacity(feature_bytes);
+            for v in f.data() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            match self.cfg.placement {
+                Placement::Packed => {
+                    let buf = self.write_buffers.entry(db).or_default();
+                    buf.extend_from_slice(&bytes);
+                    while self.write_buffers[&db].len() >= page_bytes {
+                        let page: Vec<u8> =
+                            self.write_buffers.get_mut(&db).unwrap().drain(..page_bytes).collect();
+                        self.flush_page(db, &page)?;
+                    }
+                }
+                Placement::PageAligned => {
+                    for chunk in bytes.chunks(page_bytes) {
+                        self.flush_page(db, chunk)?;
+                    }
+                }
+            }
+            self.dbs.get_mut(&db).expect("checked above").num_features += 1;
+        }
+        Ok(())
+    }
+
+    /// Seals a database: flushes any partial write buffer so every feature
+    /// is durable and readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfSpace`] if the final page cannot be
+    /// allocated, or [`FlashError::UnknownDb`] for unknown ids.
+    pub fn seal_db(&mut self, db: DbId) -> Result<()> {
+        self.db_meta(db)?;
+        if let Some(buf) = self.write_buffers.get_mut(&db) {
+            let rest: Vec<u8> = buf.drain(..).collect();
+            if !rest.is_empty() {
+                self.flush_page(db, &rest)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self, db: DbId, data: &[u8]) -> Result<()> {
+        // Allocate a fresh page in stripe order. The FTL allocates whole
+        // blocks striped across channels; within a database we cycle
+        // through blocks page-by-page. For simplicity each page gets the
+        // next page slot of a per-db block cursor: we allocate a block
+        // when the previous one fills.
+        let meta = self.dbs.get_mut(&db).expect("caller verified db");
+        let pages_per_block = self.cfg.ssd.geometry.pages_per_block;
+        let need_block = meta.pages.len() % pages_per_block == 0;
+        let addr = if need_block {
+            let (_, phys) = self.ftl.allocate(&mut self.array)?;
+            phys.page(0)
+        } else {
+            let last = *meta.pages.last().expect("non-empty after first block");
+            PageAddr {
+                page: last.page + 1,
+                ..last
+            }
+        };
+        self.array.program(addr, data)?;
+        self.dbs.get_mut(&db).expect("caller verified db").pages.push(addr);
+        Ok(())
+    }
+
+    /// Reads feature `idx` of a database back as a tensor (the `readDB`
+    /// API reads ranges; this is the single-feature primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] / [`FlashError::AddressOutOfRange`]
+    /// for bad ids or indices, or [`FlashError::ReadUnwritten`] when a
+    /// partial page has not been sealed yet.
+    pub fn read_feature(&mut self, db: DbId, idx: u64) -> Result<Tensor> {
+        let meta = self.db_meta(db)?.clone();
+        if idx >= meta.num_features {
+            return Err(FlashError::AddressOutOfRange(format!(
+                "feature {idx} of {} in db {}",
+                meta.num_features, meta.db_id.0
+            )));
+        }
+        let bytes = self.read_feature_bytes(&meta, idx)?;
+        let floats: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Tensor::from_vec(vec![floats.len()], floats)
+            .map_err(|e| FlashError::AddressOutOfRange(e.to_string()))
+    }
+
+    fn read_feature_bytes(&mut self, meta: &DbMeta, idx: u64) -> Result<Vec<u8>> {
+        let page_bytes = self.cfg.ssd.geometry.page_bytes;
+        let (start_page, mut offset) = self.feature_location(meta, idx);
+        let mut out = Vec::with_capacity(meta.feature_bytes);
+        let mut page_idx = start_page;
+        while out.len() < meta.feature_bytes {
+            let addr = *meta.pages.get(page_idx).ok_or_else(|| {
+                FlashError::AddressOutOfRange(format!("page {page_idx} of db {}", meta.db_id.0))
+            })?;
+            let page = self.array.read(addr)?;
+            let take = (meta.feature_bytes - out.len()).min(page_bytes - offset);
+            out.extend_from_slice(&page[offset..offset + take]);
+            offset = 0;
+            page_idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// (page index within the db, byte offset) where feature `idx` starts.
+    fn feature_location(&self, meta: &DbMeta, idx: u64) -> (usize, usize) {
+        let page_bytes = self.cfg.ssd.geometry.page_bytes;
+        match self.cfg.placement {
+            Placement::Packed => {
+                let byte = idx * meta.feature_bytes as u64;
+                ((byte / page_bytes as u64) as usize, (byte % page_bytes as u64) as usize)
+            }
+            Placement::PageAligned => {
+                let ppf = meta.feature_bytes.div_ceil(page_bytes);
+                ((idx as usize) * ppf, 0)
+            }
+        }
+    }
+
+    /// The `ObjectID` of feature `idx`: its physical byte address.
+    pub fn object_id(&self, db: DbId, idx: u64) -> Result<ObjectId> {
+        let meta = self.db_meta(db)?;
+        let (page_idx, offset) = self.feature_location(meta, idx);
+        let addr = *meta
+            .pages
+            .get(page_idx)
+            .ok_or_else(|| FlashError::AddressOutOfRange(format!("feature {idx}")))?;
+        let page_lin = self.cfg.ssd.geometry.page_index(addr);
+        Ok(ObjectId(
+            page_lin * self.cfg.ssd.geometry.page_bytes as u64 + offset as u64,
+        ))
+    }
+
+    /// Map-reduce scan (§4.7.1): scores every feature of `db` against the
+    /// query with `model`, keeping a per-channel top-K (map) and merging
+    /// them (reduce). Returns the global top-K with feature indices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors and
+    /// [`deepstore_nn::NnError`]-derived mismatches as
+    /// [`FlashError::SizeMismatch`].
+    pub fn scan_top_k(
+        &mut self,
+        db: DbId,
+        model: &Model,
+        query: &Tensor,
+        k: usize,
+    ) -> Result<Vec<ScoredFeature>> {
+        let meta = self.db_meta(db)?.clone();
+        let channels = self.cfg.ssd.geometry.channels;
+        let mut sorters: Vec<TopKSorter> = (0..channels).map(|_| TopKSorter::new(k)).collect();
+        for idx in 0..meta.num_features {
+            let feature = match self.read_feature(db, idx) {
+                Ok(f) => f,
+                Err(FlashError::UncorrectableEcc(_)) => {
+                    // Degrade gracefully: skip the unreadable feature.
+                    self.unreadable_skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let score = model
+                .similarity(query, &feature)
+                .map_err(|_| FlashError::SizeMismatch {
+                    expected: model.feature_bytes(),
+                    found: meta.feature_bytes,
+                })?;
+            let (page_idx, _) = self.feature_location(&meta, idx);
+            let channel = meta.pages[page_idx].channel;
+            sorters[channel].offer(score, idx);
+        }
+        let mut merged = TopKSorter::new(k);
+        for s in &sorters {
+            merged.merge(s);
+        }
+        Ok(merged.ranked())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    fn small_engine() -> Engine {
+        Engine::new(DeepStoreConfig::small())
+    }
+
+    fn features(model: &Model, n: u64) -> Vec<Tensor> {
+        (0..n).map(|i| model.random_feature(i)).collect()
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(1);
+        let fs = features(&model, 50);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        for (i, f) in fs.iter().enumerate() {
+            let back = e.read_feature(db, i as u64).unwrap();
+            assert_eq!(&back, f, "feature {i}");
+        }
+    }
+
+    #[test]
+    fn unsealed_tail_requires_seal() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(1);
+        // 3 x 800 B features: less than one 16 KB page, so everything sits
+        // in the write buffer until sealed.
+        let fs = features(&model, 3);
+        let db = e.write_db(&fs).unwrap();
+        assert!(e.read_feature(db, 0).is_err());
+        e.seal_db(db).unwrap();
+        assert!(e.read_feature(db, 0).is_ok());
+    }
+
+    #[test]
+    fn append_extends_db() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(1);
+        let db = e.write_db(&features(&model, 10)).unwrap();
+        e.append_db(db, &features(&model, 5)).unwrap();
+        e.seal_db(db).unwrap();
+        assert_eq!(e.db_meta(db).unwrap().num_features, 15);
+        assert!(e.read_feature(db, 14).is_ok());
+        assert!(e.read_feature(db, 15).is_err());
+    }
+
+    #[test]
+    fn mismatched_feature_size_rejected() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(1);
+        let db = e.write_db(&features(&model, 2)).unwrap();
+        let wrong = Tensor::random(vec![100], 1.0, 9);
+        assert!(matches!(
+            e.append_db(db, &[wrong]),
+            Err(FlashError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_db_is_error() {
+        let mut e = small_engine();
+        assert!(matches!(
+            e.read_feature(DbId(42), 0),
+            Err(FlashError::UnknownDb(42))
+        ));
+        assert!(e.db_meta(DbId(42)).is_err());
+    }
+
+    #[test]
+    fn multi_page_features_roundtrip() {
+        // ReId features span 2.75 pages each.
+        let mut e = small_engine();
+        let model = zoo::reid().seeded(2);
+        let fs = features(&model, 4);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        for (i, f) in fs.iter().enumerate() {
+            assert_eq!(&e.read_feature(db, i as u64).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn scan_scores_planted_duplicate_like_host() {
+        let mut e = small_engine();
+        let model = zoo::tir().seeded(3);
+        let mut fs = features(&model, 40);
+        let query = model.random_feature(1000);
+        fs[17] = query.clone(); // plant an exact duplicate
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let top = e.scan_top_k(db, &model, &query, 40).unwrap();
+        assert_eq!(top.len(), 40);
+        // The duplicate's in-storage score equals the host-side
+        // self-similarity bit for bit (the flash roundtrip is lossless).
+        let dup = top.iter().find(|e| e.feature_id == 17).unwrap();
+        assert_eq!(dup.score, model.similarity(&query, &query).unwrap());
+    }
+
+    #[test]
+    fn scan_matches_host_side_reference() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(4);
+        let fs = features(&model, 64);
+        let query = model.random_feature(77);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let top = e.scan_top_k(db, &model, &query, 8).unwrap();
+        // Reference: score on the host from the original tensors.
+        let mut reference: Vec<(f32, u64)> = fs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (model.similarity(&query, f).unwrap(), i as u64))
+            .collect();
+        reference.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let expected: Vec<u64> = reference[..8].iter().map(|(_, i)| *i).collect();
+        let got: Vec<u64> = top.iter().map(|e| e.feature_id).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn object_ids_are_unique_and_stable() {
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(5);
+        let db = e.write_db(&features(&model, 30)).unwrap();
+        e.seal_db(db).unwrap();
+        let mut ids: Vec<u64> = (0..30).map(|i| e.object_id(db, i).unwrap().0).collect();
+        let before = ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 30);
+        // Stable across calls.
+        let again: Vec<u64> = (0..30).map(|i| e.object_id(db, i).unwrap().0).collect();
+        assert_eq!(again, before);
+    }
+
+    #[test]
+    fn scan_degrades_gracefully_under_read_faults() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(8);
+        // 40 features of 800 B: 2 features share each 16 KB page... in
+        // fact 20 per page, so failing the first page drops features 0-19.
+        let fs = features(&model, 40);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let first_page = e.db_meta(db).unwrap().pages[0];
+        let geometry = e.config().ssd.geometry;
+        e.inject_faults(FaultPlan::none().fail_page(&geometry, first_page));
+
+        let q = model.random_feature(999);
+        let top = e.scan_top_k(db, &model, &q, 40).unwrap();
+        // 16 KB / 800 B = 20.48 features per page: features 0-19 live on
+        // the failed page and feature 20 straddles into it, so 21 reads
+        // fail and the scan skips them all.
+        assert_eq!(e.unreadable_skipped(), 21);
+        assert_eq!(top.len(), 19);
+        assert!(top.iter().all(|h| h.feature_id >= 21));
+        // Direct reads of affected features surface the ECC error.
+        assert!(matches!(
+            e.read_feature(db, 0),
+            Err(FlashError::UncorrectableEcc(_))
+        ));
+        assert!(e.read_feature(db, 25).is_ok());
+    }
+
+    #[test]
+    fn databases_stripe_across_channels() {
+        let mut e = small_engine();
+        let model = zoo::tir().seeded(6);
+        // Enough features to span several blocks.
+        let db = e.write_db(&features(&model, 200)).unwrap();
+        e.seal_db(db).unwrap();
+        let meta = e.db_meta(db).unwrap();
+        let mut channels: Vec<usize> = meta.pages.iter().map(|p| p.channel).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        assert!(
+            channels.len() > 1,
+            "db occupies only channels {channels:?}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! DeepStore: in-storage acceleration for intelligent queries.
+//!
+//! This crate is the paper's primary contribution — an SSD augmented with
+//! neural-network accelerators at three levels of its internal hierarchy
+//! (§4), a lightweight query engine on the embedded cores, a
+//! similarity-based query cache, and a small programming API:
+//!
+//! * [`config`] — the Table 3 accelerator configurations and power
+//!   budgets.
+//! * [`accel`] — the scan timing/energy-count model for the SSD-,
+//!   channel- and chip-level placements.
+//! * [`engine`] — the functional in-storage engine: real flash pages,
+//!   real similarity scores, map-reduce top-K.
+//! * [`qcache`] — the similarity-based Query Cache (Algorithm 1).
+//! * [`api`] — the Table 2 programming interface ([`DeepStore`]).
+//! * [`dse`] — the power-constrained design-space exploration.
+//!
+//! # Example
+//!
+//! ```
+//! use deepstore_core::{DeepStore, DeepStoreConfig, AcceleratorLevel};
+//! use deepstore_nn::{zoo, ModelGraph};
+//!
+//! let mut store = DeepStore::new(DeepStoreConfig::small());
+//! let model = zoo::textqa().seeded(9);
+//! let features: Vec<_> = (0..32).map(|i| model.random_feature(i)).collect();
+//! let db = store.write_db(&features).unwrap();
+//! let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+//! let qid = store
+//!     .query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Channel)
+//!     .unwrap();
+//! let result = store.results(qid).unwrap();
+//! assert_eq!(result.top_k.len(), 3);
+//! ```
+
+pub mod accel;
+pub mod api;
+pub mod cluster;
+pub mod config;
+pub mod dse;
+pub mod engine;
+pub mod proto;
+pub mod qcache;
+pub mod runtime;
+
+pub use accel::{scan, ScanTiming, ScanWorkload};
+pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryResult};
+pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
+pub use cluster::DeepStoreCluster;
+pub use engine::{DbId, ObjectId};
+pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};

@@ -1,0 +1,571 @@
+//! The host↔device command protocol.
+//!
+//! The Table 2 APIs "internally use new NVMe commands to interact with the
+//! query engine" (§4.7.2). This module defines that command set as framed,
+//! serialized messages: a fixed header (magic, version, opcode, payload
+//! length) followed by a JSON payload — the vendor-specific-command shape
+//! an NVMe driver would carry in practice. [`Device`] is the in-storage
+//! endpoint that parses command frames and dispatches to the
+//! [`DeepStore`] engine; [`HostClient`] is the host-side convenience
+//! wrapper that speaks bytes to a device.
+//!
+//! # Example
+//!
+//! ```
+//! use deepstore_core::proto::{Device, HostClient};
+//! use deepstore_core::{AcceleratorLevel, DeepStoreConfig};
+//! use deepstore_nn::{zoo, ModelGraph};
+//!
+//! let mut device = Device::new(DeepStoreConfig::small());
+//! let mut host = HostClient::new(&mut device);
+//! let model = zoo::textqa().seeded(1);
+//! let db = host.write_db(&(0..16).map(|i| model.random_feature(i)).collect::<Vec<_>>()).unwrap();
+//! let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+//! let qid = host.query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Channel).unwrap();
+//! let results = host.get_results(qid).unwrap();
+//! assert_eq!(results.top_k.len(), 3);
+//! ```
+
+use crate::api::{DeepStore, ModelId, QueryId, QueryResult};
+use crate::config::{AcceleratorLevel, DeepStoreConfig};
+use crate::engine::DbId;
+use crate::qcache::QueryCacheConfig;
+use deepstore_nn::{ModelGraph, Tensor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Protocol magic ("DSTR").
+pub const MAGIC: [u8; 4] = *b"DSTR";
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Frame header length: magic(4) + version(1) + opcode(1) + len(4).
+pub const HEADER_LEN: usize = 10;
+
+/// Errors produced by the protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame was shorter than its header or declared length.
+    Truncated,
+    /// Bad magic bytes.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// The payload failed to deserialize.
+    BadPayload(String),
+    /// The device rejected the command.
+    Device(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadMagic => write!(f, "bad magic"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            ProtoError::BadPayload(e) => write!(f, "bad payload: {e}"),
+            ProtoError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Host→device commands (the Table 2 call set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// `writeDB`: create a database from feature vectors.
+    WriteDb {
+        /// The features to persist.
+        features: Vec<Tensor>,
+    },
+    /// `appendDB`: extend an existing database.
+    AppendDb {
+        /// Target database.
+        db: DbId,
+        /// Features to append.
+        features: Vec<Tensor>,
+    },
+    /// `readDB`: read a feature range back.
+    ReadDb {
+        /// Source database.
+        db: DbId,
+        /// First feature index.
+        start: u64,
+        /// Feature count.
+        num: u64,
+    },
+    /// `loadModel`: register a serialized model graph.
+    LoadModel {
+        /// The ONNX-like graph bytes (see
+        /// [`ModelGraph::to_bytes`]).
+        graph: Vec<u8>,
+    },
+    /// `setQC`: configure the query cache.
+    SetQc {
+        /// New cache configuration.
+        config: QueryCacheConfig,
+    },
+    /// `query`: submit a query feature vector.
+    Query {
+        /// Query feature vector.
+        qfv: Tensor,
+        /// Results to retrieve.
+        k: usize,
+        /// Registered model.
+        model: ModelId,
+        /// Target database.
+        db: DbId,
+        /// Accelerator level to use (`accel_level`).
+        level: AcceleratorLevel,
+    },
+    /// `getResults`: fetch a completed query's results.
+    GetResults {
+        /// The query handle.
+        query: QueryId,
+    },
+}
+
+impl Command {
+    fn opcode(&self) -> u8 {
+        match self {
+            Command::WriteDb { .. } => 0x01,
+            Command::AppendDb { .. } => 0x02,
+            Command::ReadDb { .. } => 0x03,
+            Command::LoadModel { .. } => 0x04,
+            Command::SetQc { .. } => 0x05,
+            Command::Query { .. } => 0x06,
+            Command::GetResults { .. } => 0x07,
+        }
+    }
+}
+
+/// Device→host responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// `writeDB` succeeded.
+    DbCreated(DbId),
+    /// `appendDB` succeeded.
+    Appended,
+    /// `readDB` payload.
+    Features(Vec<Tensor>),
+    /// `loadModel` succeeded.
+    ModelLoaded(ModelId),
+    /// `setQC` succeeded.
+    QcConfigured,
+    /// `query` accepted; poll with `getResults`.
+    QuerySubmitted(QueryId),
+    /// `getResults` payload.
+    Results(Box<QueryResult>),
+    /// The command failed on the device.
+    Error(String),
+}
+
+fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn unframe(bytes: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(ProtoError::BadVersion(bytes[4]));
+    }
+    let opcode = bytes[5];
+    let len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + len)
+        .ok_or(ProtoError::Truncated)?;
+    Ok((opcode, payload))
+}
+
+/// Serializes a command into a wire frame.
+pub fn encode_command(cmd: &Command) -> Vec<u8> {
+    let payload = serde_json::to_vec(cmd).expect("commands always serialize");
+    frame(cmd.opcode(), &payload)
+}
+
+/// Parses a command frame.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] describing any framing or payload problem.
+pub fn decode_command(bytes: &[u8]) -> Result<Command, ProtoError> {
+    let (opcode, payload) = unframe(bytes)?;
+    if !(0x01..=0x07).contains(&opcode) {
+        return Err(ProtoError::UnknownOpcode(opcode));
+    }
+    let cmd: Command =
+        serde_json::from_slice(payload).map_err(|e| ProtoError::BadPayload(e.to_string()))?;
+    if cmd.opcode() != opcode {
+        return Err(ProtoError::BadPayload(format!(
+            "opcode {opcode:#x} does not match payload variant"
+        )));
+    }
+    Ok(cmd)
+}
+
+/// Serializes a response into a wire frame (opcode 0x80).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let payload = serde_json::to_vec(resp).expect("responses always serialize");
+    frame(0x80, &payload)
+}
+
+/// Parses a response frame.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] describing any framing or payload problem.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, ProtoError> {
+    let (opcode, payload) = unframe(bytes)?;
+    if opcode != 0x80 {
+        return Err(ProtoError::UnknownOpcode(opcode));
+    }
+    serde_json::from_slice(payload).map_err(|e| ProtoError::BadPayload(e.to_string()))
+}
+
+/// The device-side endpoint: a [`DeepStore`] behind the wire protocol.
+#[derive(Debug)]
+pub struct Device {
+    store: DeepStore,
+    frames_handled: u64,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(cfg: DeepStoreConfig) -> Self {
+        Device {
+            store: DeepStore::new(cfg),
+            frames_handled: 0,
+        }
+    }
+
+    /// Direct access to the underlying store (diagnostics/tests).
+    pub fn store_mut(&mut self) -> &mut DeepStore {
+        &mut self.store
+    }
+
+    /// Command frames processed so far.
+    pub fn frames_handled(&self) -> u64 {
+        self.frames_handled
+    }
+
+    /// Handles one command frame, returning a response frame. Malformed
+    /// frames and engine failures become [`Response::Error`] frames rather
+    /// than device panics.
+    pub fn handle(&mut self, frame_bytes: &[u8]) -> Vec<u8> {
+        self.frames_handled += 1;
+        let resp = match decode_command(frame_bytes) {
+            Ok(cmd) => self.dispatch(cmd),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        encode_response(&resp)
+    }
+
+    fn dispatch(&mut self, cmd: Command) -> Response {
+        let result = match cmd {
+            Command::WriteDb { features } => {
+                self.store.write_db(&features).map(Response::DbCreated)
+            }
+            Command::AppendDb { db, features } => {
+                self.store.append_db(db, &features).map(|()| Response::Appended)
+            }
+            Command::ReadDb { db, start, num } => {
+                self.store.read_db(db, start, num).map(Response::Features)
+            }
+            Command::LoadModel { graph } => match ModelGraph::from_bytes(&graph) {
+                Ok(g) => self.store.load_model(&g).map(Response::ModelLoaded),
+                Err(e) => return Response::Error(e.to_string()),
+            },
+            Command::SetQc { config } => {
+                self.store.set_qc(config);
+                Ok(Response::QcConfigured)
+            }
+            Command::Query {
+                qfv,
+                k,
+                model,
+                db,
+                level,
+            } => self
+                .store
+                .query(&qfv, k, model, db, level)
+                .map(Response::QuerySubmitted),
+            Command::GetResults { query } => self
+                .store
+                .results(query)
+                .map(|r| Response::Results(Box::new(r))),
+        };
+        result.unwrap_or_else(|e| Response::Error(e.to_string()))
+    }
+}
+
+/// Host-side wrapper: the Table 2 API expressed over the wire protocol.
+#[derive(Debug)]
+pub struct HostClient<'a> {
+    device: &'a mut Device,
+}
+
+impl<'a> HostClient<'a> {
+    /// Attaches to a device.
+    pub fn new(device: &'a mut Device) -> Self {
+        HostClient { device }
+    }
+
+    fn round_trip(&mut self, cmd: &Command) -> Result<Response, ProtoError> {
+        let resp_bytes = self.device.handle(&encode_command(cmd));
+        match decode_response(&resp_bytes)? {
+            Response::Error(e) => Err(ProtoError::Device(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// `writeDB` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the engine rejects the write.
+    pub fn write_db(&mut self, features: &[Tensor]) -> Result<DbId, ProtoError> {
+        match self.round_trip(&Command::WriteDb {
+            features: features.to_vec(),
+        })? {
+            Response::DbCreated(db) => Ok(db),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `appendDB` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the engine rejects the append.
+    pub fn append_db(&mut self, db: DbId, features: &[Tensor]) -> Result<(), ProtoError> {
+        match self.round_trip(&Command::AppendDb {
+            db,
+            features: features.to_vec(),
+        })? {
+            Response::Appended => Ok(()),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `readDB` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] for bad ids/ranges.
+    pub fn read_db(&mut self, db: DbId, start: u64, num: u64) -> Result<Vec<Tensor>, ProtoError> {
+        match self.round_trip(&Command::ReadDb { db, start, num })? {
+            Response::Features(f) => Ok(f),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `loadModel` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] for unweighted or malformed graphs.
+    pub fn load_model(&mut self, graph: &ModelGraph) -> Result<ModelId, ProtoError> {
+        let bytes = graph
+            .to_bytes()
+            .map_err(|e| ProtoError::BadPayload(e.to_string()))?;
+        match self.round_trip(&Command::LoadModel { graph: bytes })? {
+            Response::ModelLoaded(m) => Ok(m),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `setQC` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] on rejection.
+    pub fn set_qc(&mut self, config: QueryCacheConfig) -> Result<(), ProtoError> {
+        match self.round_trip(&Command::SetQc { config })? {
+            Response::QcConfigured => Ok(()),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `query` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] for bad handles or unsupported
+    /// levels.
+    pub fn query(
+        &mut self,
+        qfv: &Tensor,
+        k: usize,
+        model: ModelId,
+        db: DbId,
+        level: AcceleratorLevel,
+    ) -> Result<QueryId, ProtoError> {
+        match self.round_trip(&Command::Query {
+            qfv: qfv.clone(),
+            k,
+            model,
+            db,
+            level,
+        })? {
+            Response::QuerySubmitted(q) => Ok(q),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `getResults` over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] for unknown query handles.
+    pub fn get_results(&mut self, query: QueryId) -> Result<QueryResult, ProtoError> {
+        match self.round_trip(&Command::GetResults { query })? {
+            Response::Results(r) => Ok(*r),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::zoo;
+
+    #[test]
+    fn command_frames_roundtrip() {
+        let model = zoo::textqa().seeded(1);
+        let cmds = vec![
+            Command::WriteDb {
+                features: vec![model.random_feature(0)],
+            },
+            Command::ReadDb {
+                db: DbId(1),
+                start: 0,
+                num: 4,
+            },
+            Command::SetQc {
+                config: QueryCacheConfig::paper_default(),
+            },
+            Command::GetResults {
+                query: QueryId(7),
+            },
+        ];
+        for cmd in cmds {
+            let bytes = encode_command(&cmd);
+            assert_eq!(decode_command(&bytes).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let cmd = Command::GetResults { query: QueryId(1) };
+        let good = encode_command(&cmd);
+        // Truncated.
+        assert_eq!(decode_command(&good[..5]), Err(ProtoError::Truncated));
+        assert_eq!(
+            decode_command(&good[..good.len() - 1]),
+            Err(ProtoError::Truncated)
+        );
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_command(&bad), Err(ProtoError::BadMagic));
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(decode_command(&bad), Err(ProtoError::BadVersion(99)));
+        // Unknown opcode.
+        let mut bad = good.clone();
+        bad[5] = 0x7F;
+        assert!(matches!(
+            decode_command(&bad),
+            Err(ProtoError::UnknownOpcode(0x7F))
+        ));
+        // Garbage payload.
+        let mut bad = good;
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        assert!(matches!(
+            decode_command(&bad),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn opcode_must_match_variant() {
+        let cmd = Command::GetResults { query: QueryId(1) };
+        let mut bytes = encode_command(&cmd);
+        bytes[5] = 0x01; // claims WriteDb
+        assert!(matches!(
+            decode_command(&bytes),
+            Err(ProtoError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn device_full_session_over_the_wire() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        let mut host = HostClient::new(&mut device);
+        let model = zoo::tir().seeded_metric(5);
+        let features: Vec<Tensor> = (0..32).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        host.append_db(db, &[model.random_feature(500)]).unwrap();
+        let back = host.read_db(db, 32, 1).unwrap();
+        assert_eq!(back[0], model.random_feature(500));
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let q = model.random_feature(0); // exact duplicate of feature 0
+        let qid = host
+            .query(&q, 1, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
+        let r = host.get_results(qid).unwrap();
+        assert_eq!(r.top_k[0].feature_index, 0);
+        assert!(device.frames_handled() >= 6);
+    }
+
+    #[test]
+    fn device_errors_are_frames_not_panics() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        // Unknown database.
+        let resp = device.handle(&encode_command(&Command::ReadDb {
+            db: DbId(99),
+            start: 0,
+            num: 1,
+        }));
+        assert!(matches!(
+            decode_response(&resp).unwrap(),
+            Response::Error(_)
+        ));
+        // Garbage bytes.
+        let resp = device.handle(b"not a frame");
+        assert!(matches!(
+            decode_response(&resp).unwrap(),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn host_client_surfaces_device_errors() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        let mut host = HostClient::new(&mut device);
+        let err = host.read_db(DbId(42), 0, 1).unwrap_err();
+        assert!(matches!(err, ProtoError::Device(_)));
+        // Unweighted model rejected through the wire too.
+        let err = host
+            .load_model(&ModelGraph::from_model(&zoo::tir()))
+            .unwrap_err();
+        assert!(matches!(err, ProtoError::Device(_)));
+    }
+}

@@ -1,0 +1,400 @@
+//! The in-storage runtime: multi-query scheduling on a simulated clock.
+//!
+//! The query engine "is responsible for consuming queries, managing the
+//! QC, scheduling work on the DeepStore accelerators, and aggregating the
+//! results" (§4.7.1). This module adds the scheduling dimension on top of
+//! [`crate::api::DeepStore`]: queries arrive at timestamps, are queued,
+//! and execute serially on the accelerator fabric (one query owns all the
+//! accelerators of its level — the paper's map-reduce model parallelizes
+//! *within* a query, not across queries). Regular block I/O issued while
+//! a query holds the read path sees the §4.5 busy behaviour: "the SSD
+//! controller responds to regular read/write operations with a busy
+//! signal", modelled as queueing delay.
+//!
+//! The runtime produces per-query latency records (arrival, start,
+//! completion, queueing) and aggregate statistics (throughput, mean/p50/
+//! p95/p99 latency) used by the `throughput` experiment binary.
+
+use crate::api::{DeepStore, ModelId};
+use crate::config::AcceleratorLevel;
+use crate::engine::DbId;
+use deepstore_flash::{FlashError, Result, SimDuration};
+use deepstore_nn::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A query waiting to run.
+#[derive(Debug, Clone)]
+struct PendingQuery {
+    arrival: SimDuration,
+    qfv: Tensor,
+    k: usize,
+    model: ModelId,
+    db: DbId,
+    level: AcceleratorLevel,
+}
+
+/// Completion record for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// When the query arrived (simulated).
+    pub arrival: SimDuration,
+    /// When it started executing.
+    pub start: SimDuration,
+    /// When its results were ready.
+    pub completion: SimDuration,
+    /// Whether the query cache served it.
+    pub cache_hit: bool,
+}
+
+impl QueryRecord {
+    /// Time spent waiting behind other queries.
+    pub fn queueing(&self) -> SimDuration {
+        self.start - self.arrival
+    }
+
+    /// End-to-end latency (arrival to completion).
+    pub fn latency(&self) -> SimDuration {
+        self.completion - self.arrival
+    }
+
+    /// Service time alone.
+    pub fn service(&self) -> SimDuration {
+        self.completion - self.start
+    }
+}
+
+/// Aggregate latency/throughput statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Completed queries.
+    pub completed: u64,
+    /// Cache hits among them.
+    pub cache_hits: u64,
+    /// Makespan: first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Queries per second over the makespan.
+    pub throughput_qps: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: SimDuration,
+    /// Median latency.
+    pub p50_latency: SimDuration,
+    /// 95th-percentile latency.
+    pub p95_latency: SimDuration,
+    /// 99th-percentile latency.
+    pub p99_latency: SimDuration,
+}
+
+/// Serial query scheduler over a [`DeepStore`] device.
+#[derive(Debug)]
+pub struct Runtime {
+    store: DeepStore,
+    queue: VecDeque<PendingQuery>,
+    /// When the accelerator fabric frees up.
+    fabric_free: SimDuration,
+    records: Vec<QueryRecord>,
+    /// Regular (non-query) I/O requests deferred by the busy signal.
+    deferred_io: u64,
+}
+
+impl Runtime {
+    /// Wraps a device in a scheduler.
+    pub fn new(store: DeepStore) -> Self {
+        Runtime {
+            store,
+            queue: VecDeque::new(),
+            fabric_free: SimDuration::ZERO,
+            records: Vec::new(),
+            deferred_io: 0,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn store_mut(&mut self) -> &mut DeepStore {
+        &mut self.store
+    }
+
+    /// Queued (not yet executed) queries.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Regular I/O operations that hit the busy signal so far.
+    pub fn deferred_io(&self) -> u64 {
+        self.deferred_io
+    }
+
+    /// Completion records so far.
+    pub fn records(&self) -> &[QueryRecord] {
+        &self.records
+    }
+
+    /// Enqueues a query arriving at simulated time `arrival`.
+    ///
+    /// Arrivals must be non-decreasing (the runtime is fed from a trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` precedes the previous arrival.
+    pub fn submit_at(
+        &mut self,
+        arrival: SimDuration,
+        qfv: Tensor,
+        k: usize,
+        model: ModelId,
+        db: DbId,
+        level: AcceleratorLevel,
+    ) {
+        if let Some(last) = self.queue.back() {
+            assert!(arrival >= last.arrival, "arrivals must be ordered");
+        }
+        self.queue.push_back(PendingQuery {
+            arrival,
+            qfv,
+            k,
+            model,
+            db,
+            level,
+        });
+    }
+
+    /// A regular block read arriving at `now`: if a query holds the read
+    /// path, the host sees a busy signal and the read is serviced when the
+    /// fabric frees (§4.5). Returns the time the read can start.
+    pub fn regular_read_at(&mut self, now: SimDuration) -> SimDuration {
+        if now < self.fabric_free {
+            self.deferred_io += 1;
+            self.fabric_free
+        } else {
+            now
+        }
+    }
+
+    /// Drains the queue, executing every pending query in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (unknown handles, unsupported levels);
+    /// queries before the failing one remain recorded.
+    pub fn run_to_completion(&mut self) -> Result<()> {
+        while let Some(p) = self.queue.pop_front() {
+            let start = p.arrival.max(self.fabric_free);
+            let qid = self
+                .store
+                .query(&p.qfv, p.k, p.model, p.db, p.level)?;
+            let result = self.store.results(qid)?;
+            let completion = start + result.elapsed;
+            self.fabric_free = completion;
+            self.records.push(QueryRecord {
+                arrival: p.arrival,
+                start,
+                completion,
+                cache_hit: result.cache_hit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics over the completed queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::SizeMismatch`] if no queries have completed.
+    pub fn stats(&self) -> Result<RuntimeStats> {
+        if self.records.is_empty() {
+            return Err(FlashError::SizeMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        let mut latencies: Vec<SimDuration> =
+            self.records.iter().map(|r| r.latency()).collect();
+        latencies.sort_unstable();
+        let pct = |p: f64| {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        };
+        let first = self.records.iter().map(|r| r.arrival).min().expect("non-empty");
+        let last = self
+            .records
+            .iter()
+            .map(|r| r.completion)
+            .max()
+            .expect("non-empty");
+        let makespan = last - first;
+        let total: SimDuration = latencies.iter().copied().sum();
+        Ok(RuntimeStats {
+            completed: self.records.len() as u64,
+            cache_hits: self.records.iter().filter(|r| r.cache_hit).count() as u64,
+            makespan,
+            throughput_qps: self.records.len() as f64 / makespan.as_secs_f64().max(1e-12),
+            mean_latency: SimDuration::from_nanos(
+                total.as_nanos() / latencies.len() as u64,
+            ),
+            p50_latency: pct(0.50),
+            p95_latency: pct(0.95),
+            p99_latency: pct(0.99),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepStoreConfig;
+    use deepstore_nn::{zoo, ModelGraph};
+
+    fn runtime_with(n: u64) -> (Runtime, deepstore_nn::Model, DbId, ModelId) {
+        let model = zoo::textqa().seeded(3);
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
+        let db = store.write_db(&features).unwrap();
+        let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        (Runtime::new(store), model, db, mid)
+    }
+
+    #[test]
+    fn serial_queries_queue_behind_each_other() {
+        let (mut rt, model, db, mid) = runtime_with(32);
+        // Two queries arriving at the same instant: the second queues.
+        for i in 0..2 {
+            rt.submit_at(
+                SimDuration::ZERO,
+                model.random_feature(100 + i),
+                3,
+                mid,
+                db,
+                AcceleratorLevel::Channel,
+            );
+        }
+        rt.run_to_completion().unwrap();
+        let r = rt.records();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].queueing(), SimDuration::ZERO);
+        assert_eq!(r[1].start, r[0].completion);
+        assert!(r[1].queueing() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn idle_arrivals_do_not_queue() {
+        let (mut rt, model, db, mid) = runtime_with(32);
+        rt.submit_at(
+            SimDuration::ZERO,
+            model.random_feature(1),
+            2,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+        rt.submit_at(
+            SimDuration::from_millis(100), // long after the first finishes
+            model.random_feature(2),
+            2,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+        rt.run_to_completion().unwrap();
+        assert_eq!(rt.records()[1].queueing(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_signal_defers_regular_io() {
+        let (mut rt, model, db, mid) = runtime_with(16);
+        rt.submit_at(
+            SimDuration::ZERO,
+            model.random_feature(9),
+            2,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+        rt.run_to_completion().unwrap();
+        let busy_until = rt.records()[0].completion;
+        // A regular read mid-query is deferred to completion.
+        let mid_query = SimDuration::from_nanos(busy_until.as_nanos() / 2);
+        assert_eq!(rt.regular_read_at(mid_query), busy_until);
+        assert_eq!(rt.deferred_io(), 1);
+        // After the query, reads pass through.
+        let later = busy_until + SimDuration::from_micros(1);
+        assert_eq!(rt.regular_read_at(later), later);
+        assert_eq!(rt.deferred_io(), 1);
+    }
+
+    #[test]
+    fn stats_summarize_latencies() {
+        let (mut rt, model, db, mid) = runtime_with(32);
+        for i in 0..8 {
+            rt.submit_at(
+                SimDuration::from_micros(i * 10),
+                model.random_feature(200 + i),
+                2,
+                mid,
+                db,
+                AcceleratorLevel::Channel,
+            );
+        }
+        rt.run_to_completion().unwrap();
+        let s = rt.stats().unwrap();
+        assert_eq!(s.completed, 8);
+        assert!(s.throughput_qps > 0.0);
+        assert!(s.p50_latency <= s.p95_latency);
+        assert!(s.p95_latency <= s.p99_latency);
+        assert!(s.mean_latency >= rt.records()[0].latency().min(s.p50_latency));
+        assert!(s.makespan >= s.p99_latency);
+    }
+
+    #[test]
+    fn empty_stats_is_error() {
+        let (rt, ..) = runtime_with(4);
+        assert!(rt.stats().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_arrivals_panic() {
+        let (mut rt, model, db, mid) = runtime_with(4);
+        rt.submit_at(
+            SimDuration::from_micros(10),
+            model.random_feature(0),
+            1,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+        rt.submit_at(
+            SimDuration::ZERO,
+            model.random_feature(1),
+            1,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+    }
+
+    #[test]
+    fn cache_hits_recorded_in_stats() {
+        let (mut rt, model, db, mid) = runtime_with(16);
+        rt.store_mut().set_qc(crate::qcache::QueryCacheConfig {
+            capacity: 4,
+            threshold: 0.10,
+            qcn_accuracy: 1.0,
+        });
+        let q = model.random_feature(5);
+        for i in 0..3 {
+            rt.submit_at(
+                SimDuration::from_micros(i),
+                q.clone(),
+                2,
+                mid,
+                db,
+                AcceleratorLevel::Channel,
+            );
+        }
+        rt.run_to_completion().unwrap();
+        let s = rt.stats().unwrap();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.cache_hits, 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Baseline GPU power model.
+//!
+//! §6.4: "The power consumption of the Volta GPU is measured using
+//! nvidia-smi." The baseline keeps GPU utilization near 100% during the
+//! similarity comparison (§3), so the measured power sits near the board
+//! power limit; during I/O-bound stretches the board drops toward idle.
+//! The model integrates those two phases.
+
+use serde::{Deserialize, Serialize};
+
+/// Power model for one GPU board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuPowerModel {
+    /// Board power while kernels run (W).
+    pub active_watts: f64,
+    /// Board power while idle/waiting on I/O (W).
+    pub idle_watts: f64,
+}
+
+impl GpuPowerModel {
+    /// NVIDIA Titan V (Volta), 250 W board power.
+    pub fn titan_v() -> Self {
+        GpuPowerModel {
+            active_watts: 250.0,
+            idle_watts: 60.0,
+        }
+    }
+
+    /// NVIDIA Titan Xp (Pascal), 250 W board power.
+    pub fn titan_xp() -> Self {
+        GpuPowerModel {
+            active_watts: 250.0,
+            idle_watts: 60.0,
+        }
+    }
+
+    /// Energy in joules for a query in which the GPU is busy for
+    /// `busy_secs` out of `total_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_secs > total_secs` or either is negative.
+    pub fn energy_j(&self, busy_secs: f64, total_secs: f64) -> f64 {
+        assert!(
+            busy_secs >= 0.0 && total_secs >= busy_secs,
+            "busy {busy_secs} must be within total {total_secs}"
+        );
+        busy_secs * self.active_watts + (total_secs - busy_secs) * self.idle_watts
+    }
+
+    /// Average power over a query (W).
+    pub fn average_watts(&self, busy_secs: f64, total_secs: f64) -> f64 {
+        if total_secs == 0.0 {
+            0.0
+        } else {
+            self.energy_j(busy_secs, total_secs) / total_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_busy_uses_active_power() {
+        let g = GpuPowerModel::titan_v();
+        assert_eq!(g.energy_j(2.0, 2.0), 500.0);
+        assert_eq!(g.average_watts(2.0, 2.0), 250.0);
+    }
+
+    #[test]
+    fn idle_phases_use_idle_power() {
+        let g = GpuPowerModel::titan_v();
+        // 1 s busy + 1 s idle = 250 + 60.
+        assert_eq!(g.energy_j(1.0, 2.0), 310.0);
+        assert_eq!(g.average_watts(1.0, 2.0), 155.0);
+    }
+
+    #[test]
+    fn zero_time_zero_energy() {
+        let g = GpuPowerModel::titan_xp();
+        assert_eq!(g.energy_j(0.0, 0.0), 0.0);
+        assert_eq!(g.average_watts(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within total")]
+    fn busy_exceeding_total_panics() {
+        GpuPowerModel::titan_v().energy_j(3.0, 2.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Energy models for the DeepStore reproduction.
+//!
+//! The paper computes accelerator energy with a linear energy model (§6.1):
+//! event counts from the cycle simulator multiplied by per-event energies,
+//! with
+//!
+//! * arithmetic-unit energies scaled to 32 nm,
+//! * CACTI-derived SRAM access energies (`itrs-hp` transistors for the SSD-
+//!   and channel-level accelerators, `itrs-low` for the power-constrained
+//!   chip-level accelerators),
+//! * DRAM at 20 pJ/bit,
+//! * flash page-access energy derived from the Intel DC P4500's power, and
+//! * network-on-chip energy extrapolated from wire length and area.
+//!
+//! The [`EnergyModel`] converts [`AccessCounts`] into joules with a
+//! per-category breakdown (compute / memory / flash) used by Figure 12, and
+//! [`gpu`] models the baseline GPU's power as measured by `nvidia-smi`.
+
+pub mod gpu;
+pub mod sram;
+
+use deepstore_systolic::AccessCounts;
+use serde::{Deserialize, Serialize};
+
+/// SRAM transistor flavor (CACTI model selection, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SramVariant {
+    /// High-performance transistors (SSD- and channel-level scratchpads).
+    ItrsHp,
+    /// Low-standby-power transistors (chip-level scratchpads, chosen for
+    /// the tight 0.43 W budget).
+    ItrsLow,
+}
+
+/// CACTI-style SRAM access energy in picojoules per byte, as a function of
+/// capacity. Larger arrays pay longer bitlines/wordlines; the `itrs-low`
+/// variant trades ~45% of the access energy for higher latency.
+pub fn sram_pj_per_byte(capacity_bytes: usize, variant: SramVariant) -> f64 {
+    let mb = (capacity_bytes as f64 / (1024.0 * 1024.0)).max(0.015625); // >= 16 KB
+    let hp = 0.55 + 1.05 * mb.sqrt();
+    match variant {
+        SramVariant::ItrsHp => hp,
+        SramVariant::ItrsLow => hp * 0.55,
+    }
+}
+
+/// Per-event energies for one accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per 32-bit floating-point MAC at 32 nm, in pJ.
+    pub mac_pj: f64,
+    /// Local scratchpad energy, pJ/byte.
+    pub sram_pj_per_byte: f64,
+    /// Shared second-level scratchpad energy, pJ/byte (the SSD-level 8 MB
+    /// scratchpad when used as an L2 by channel accelerators, §4.5).
+    pub l2_pj_per_byte: f64,
+    /// DRAM energy, pJ/byte (20 pJ/bit, §6.1).
+    pub dram_pj_per_byte: f64,
+    /// Flash page access energy, µJ/page (array read + bus transfer,
+    /// derived from Intel DC P4500 power).
+    pub flash_uj_per_page: f64,
+    /// Interconnect energy, pJ/byte (CACTI wire extrapolation).
+    pub noc_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// Energy per fp32 MAC at 32 nm (multiplier + adder, scaled from
+    /// published 45 nm figures).
+    pub const MAC_PJ_32NM: f64 = 4.0;
+    /// Flash page access energy in µJ for a 16 KB page.
+    pub const FLASH_UJ_PER_PAGE: f64 = 12.0;
+    /// NoC energy per byte.
+    pub const NOC_PJ_PER_BYTE: f64 = 2.0;
+
+    /// Builds the model for an accelerator with the given scratchpad.
+    pub fn for_scratchpad(capacity_bytes: usize, variant: SramVariant) -> Self {
+        EnergyModel {
+            mac_pj: Self::MAC_PJ_32NM,
+            sram_pj_per_byte: sram_pj_per_byte(capacity_bytes, variant),
+            l2_pj_per_byte: sram_pj_per_byte(8 * 1024 * 1024, SramVariant::ItrsHp),
+            dram_pj_per_byte: 20.0 * 8.0, // 20 pJ/bit x 8 bits/byte
+            flash_uj_per_page: Self::FLASH_UJ_PER_PAGE,
+            noc_pj_per_byte: Self::NOC_PJ_PER_BYTE,
+        }
+    }
+
+    /// Converts access counts to a per-category energy breakdown.
+    pub fn energy(&self, counts: &AccessCounts) -> EnergyBreakdown {
+        let compute = counts.macs as f64 * self.mac_pj * 1e-12;
+        let memory = (counts.sram_read_bytes + counts.sram_write_bytes) as f64
+            * self.sram_pj_per_byte
+            * 1e-12
+            + counts.l2_read_bytes as f64 * self.l2_pj_per_byte * 1e-12
+            + counts.dram_bytes as f64 * self.dram_pj_per_byte * 1e-12
+            + counts.noc_bytes as f64 * self.noc_pj_per_byte * 1e-12;
+        let flash = counts.flash_pages as f64 * self.flash_uj_per_page * 1e-6;
+        EnergyBreakdown {
+            compute_j: compute,
+            memory_j: memory,
+            flash_j: flash,
+        }
+    }
+}
+
+/// Energy split by the three categories of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE array (arithmetic) energy, joules.
+    pub compute_j: f64,
+    /// SRAM + L2 + DRAM + interconnect energy, joules.
+    pub memory_j: f64,
+    /// Flash array and bus energy, joules.
+    pub flash_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.memory_j + self.flash_j
+    }
+
+    /// Percentages (compute, memory, flash) of the total.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total_j();
+        if t == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                100.0 * self.compute_j / t,
+                100.0 * self.memory_j / t,
+                100.0 * self.flash_j / t,
+            )
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: self.compute_j + rhs.compute_j,
+            memory_j: self.memory_j + rhs.memory_j,
+            flash_j: self.flash_j + rhs.flash_j,
+        }
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), std::ops::Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let small = sram_pj_per_byte(512 * 1024, SramVariant::ItrsHp);
+        let big = sram_pj_per_byte(8 * 1024 * 1024, SramVariant::ItrsHp);
+        assert!(big > small);
+        assert!(small > 0.8 && small < 2.0, "small = {small}");
+        assert!(big > 2.5 && big < 5.0, "big = {big}");
+    }
+
+    #[test]
+    fn itrs_low_is_cheaper() {
+        let hp = sram_pj_per_byte(512 * 1024, SramVariant::ItrsHp);
+        let low = sram_pj_per_byte(512 * 1024, SramVariant::ItrsLow);
+        assert!(low < hp);
+        assert!((low / hp - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accounts_all_categories() {
+        let m = EnergyModel::for_scratchpad(512 * 1024, SramVariant::ItrsHp);
+        let counts = AccessCounts {
+            macs: 1_000_000,
+            sram_read_bytes: 4_000_000,
+            sram_write_bytes: 1_000_000,
+            l2_read_bytes: 100,
+            dram_bytes: 100,
+            flash_pages: 10,
+            noc_bytes: 100,
+        };
+        let e = m.energy(&counts);
+        assert!(e.compute_j > 0.0 && e.memory_j > 0.0 && e.flash_j > 0.0);
+        // 1e6 MACs at 4 pJ = 4 uJ.
+        assert!((e.compute_j - 4e-6).abs() < 1e-12);
+        // 10 pages at 12 uJ = 120 uJ.
+        assert!((e.flash_j - 120e-6).abs() < 1e-12);
+        let (c, mem, f) = e.percentages();
+        assert!((c + mem + f - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_counts_zero_energy() {
+        let m = EnergyModel::for_scratchpad(512 * 1024, SramVariant::ItrsLow);
+        let e = m.energy(&AccessCounts::default());
+        assert_eq!(e.total_j(), 0.0);
+        assert_eq!(e.percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn breakdowns_sum() {
+        let a = EnergyBreakdown {
+            compute_j: 1.0,
+            memory_j: 2.0,
+            flash_j: 3.0,
+        };
+        let total: EnergyBreakdown = [a, a].into_iter().sum();
+        assert_eq!(total.total_j(), 12.0);
+    }
+}

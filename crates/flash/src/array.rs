@@ -1,0 +1,263 @@
+//! Functional flash array: stores real bytes with NAND semantics.
+//!
+//! The functional layer of the simulator keeps actual page contents so that
+//! end-to-end queries return real results. NAND semantics are enforced:
+//! pages must be erased (at block granularity) before being programmed, and
+//! each block tracks an erase count for wear-leveling statistics.
+
+use crate::fault::FaultPlan;
+use crate::geometry::{PageAddr, SsdGeometry};
+use crate::{FlashError, Result};
+use std::collections::HashMap;
+
+/// State of a single page. Pages start (and return to, after erase) the
+/// `Erased` state implicitly by being absent from the state map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Programmed,
+}
+
+/// A functional flash array.
+///
+/// Pages are stored sparsely, so a terabyte-scale geometry costs nothing
+/// until data is written.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: SsdGeometry,
+    /// Page payloads, keyed by dense page index.
+    data: HashMap<u64, Vec<u8>>,
+    /// Page states, keyed by dense page index; absent = erased (fresh).
+    states: HashMap<u64, PageState>,
+    /// Erase counts per (dense) block index.
+    erase_counts: HashMap<u64, u64>,
+    /// Injected read faults.
+    faults: FaultPlan,
+    /// Statistics.
+    reads: u64,
+    programs: u64,
+    erases: u64,
+}
+
+impl FlashArray {
+    /// Creates an empty (fully erased) array for the geometry.
+    pub fn new(geometry: SsdGeometry) -> Self {
+        FlashArray {
+            geometry,
+            data: HashMap::new(),
+            states: HashMap::new(),
+            erase_counts: HashMap::new(),
+            faults: FaultPlan::none(),
+            reads: 0,
+            programs: 0,
+            erases: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &SsdGeometry {
+        &self.geometry
+    }
+
+    /// Programs a page with `data` (padded with zeros to the page size).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] for an invalid address.
+    /// * [`FlashError::ProgramWithoutErase`] if the page is already
+    ///   programmed.
+    /// * [`FlashError::SizeMismatch`] if `data` exceeds the page size.
+    pub fn program(&mut self, addr: PageAddr, data: &[u8]) -> Result<()> {
+        self.geometry.check(addr)?;
+        if data.len() > self.geometry.page_bytes {
+            return Err(FlashError::SizeMismatch {
+                expected: self.geometry.page_bytes,
+                found: data.len(),
+            });
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.states.get(&idx) == Some(&PageState::Programmed) {
+            return Err(FlashError::ProgramWithoutErase(addr));
+        }
+        let mut page = data.to_vec();
+        page.resize(self.geometry.page_bytes, 0);
+        self.data.insert(idx, page);
+        self.states.insert(idx, PageState::Programmed);
+        self.programs += 1;
+        Ok(())
+    }
+
+    /// Installs a fault plan; subsequent reads of failing pages return
+    /// [`FlashError::UncorrectableEcc`].
+    pub fn inject_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Reads a programmed page.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::AddressOutOfRange`] for an invalid address.
+    /// * [`FlashError::ReadUnwritten`] if the page was never programmed.
+    /// * [`FlashError::UncorrectableEcc`] if a fault plan marks the page.
+    pub fn read(&mut self, addr: PageAddr) -> Result<&[u8]> {
+        self.geometry.check(addr)?;
+        if self.faults.fails(&self.geometry, addr) {
+            return Err(FlashError::UncorrectableEcc(addr));
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.states.get(&idx) != Some(&PageState::Programmed) {
+            return Err(FlashError::ReadUnwritten(addr));
+        }
+        self.reads += 1;
+        Ok(self.data.get(&idx).expect("programmed page has data"))
+    }
+
+    /// True if the page is currently programmed.
+    pub fn is_programmed(&self, addr: PageAddr) -> bool {
+        self.geometry
+            .check(addr)
+            .ok()
+            .map(|()| {
+                self.states.get(&self.geometry.page_index(addr)) == Some(&PageState::Programmed)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Erases a whole block, freeing all of its pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] for an invalid address
+    /// (the `page` field of `block_addr` is ignored).
+    pub fn erase_block(&mut self, block_addr: PageAddr) -> Result<()> {
+        let base = PageAddr {
+            page: 0,
+            ..block_addr
+        };
+        self.geometry.check(base)?;
+        for page in 0..self.geometry.pages_per_block {
+            let idx = self.geometry.page_index(PageAddr { page, ..base });
+            self.data.remove(&idx);
+            self.states.remove(&idx);
+        }
+        let block_idx = self.geometry.page_index(base) / self.geometry.pages_per_block as u64;
+        *self.erase_counts.entry(block_idx).or_insert(0) += 1;
+        self.erases += 1;
+        Ok(())
+    }
+
+    /// Erase count of the block containing `addr`.
+    pub fn erase_count(&self, addr: PageAddr) -> u64 {
+        let base = PageAddr { page: 0, ..addr };
+        let block_idx = self.geometry.page_index(base) / self.geometry.pages_per_block as u64;
+        self.erase_counts.get(&block_idx).copied().unwrap_or(0)
+    }
+
+    /// (reads, programs, erases) issued so far.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.reads, self.programs, self.erases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SsdConfig;
+
+    fn array() -> FlashArray {
+        FlashArray::new(SsdConfig::small().geometry)
+    }
+
+    #[test]
+    fn program_then_read_roundtrips() {
+        let mut a = array();
+        let addr = PageAddr::zero();
+        a.program(addr, b"hello flash").unwrap();
+        let page = a.read(addr).unwrap();
+        assert_eq!(&page[..11], b"hello flash");
+        assert_eq!(page.len(), a.geometry().page_bytes); // zero-padded
+    }
+
+    #[test]
+    fn read_unwritten_fails() {
+        let mut a = array();
+        assert!(matches!(
+            a.read(PageAddr::zero()),
+            Err(FlashError::ReadUnwritten(_))
+        ));
+    }
+
+    #[test]
+    fn double_program_fails_until_erase() {
+        let mut a = array();
+        let addr = PageAddr::zero();
+        a.program(addr, b"one").unwrap();
+        assert!(matches!(
+            a.program(addr, b"two"),
+            Err(FlashError::ProgramWithoutErase(_))
+        ));
+        a.erase_block(addr).unwrap();
+        a.program(addr, b"two").unwrap();
+        assert_eq!(&a.read(addr).unwrap()[..3], b"two");
+    }
+
+    #[test]
+    fn erase_clears_whole_block() {
+        let mut a = array();
+        let g = *a.geometry();
+        for page in 0..g.pages_per_block {
+            a.program(PageAddr { page, ..PageAddr::zero() }, &[1]).unwrap();
+        }
+        a.erase_block(PageAddr::zero()).unwrap();
+        for page in 0..g.pages_per_block {
+            assert!(!a.is_programmed(PageAddr { page, ..PageAddr::zero() }));
+        }
+    }
+
+    #[test]
+    fn erase_counts_accumulate() {
+        let mut a = array();
+        assert_eq!(a.erase_count(PageAddr::zero()), 0);
+        a.erase_block(PageAddr::zero()).unwrap();
+        a.erase_block(PageAddr::zero()).unwrap();
+        assert_eq!(a.erase_count(PageAddr::zero()), 2);
+        // Another block is unaffected.
+        let other = PageAddr {
+            block: 1,
+            ..PageAddr::zero()
+        };
+        assert_eq!(a.erase_count(other), 0);
+    }
+
+    #[test]
+    fn oversized_program_fails() {
+        let mut a = array();
+        let too_big = vec![0u8; a.geometry().page_bytes + 1];
+        assert!(matches!(
+            a.program(PageAddr::zero(), &too_big),
+            Err(FlashError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_everywhere() {
+        let mut a = array();
+        let bad = PageAddr {
+            channel: 99,
+            ..PageAddr::zero()
+        };
+        assert!(a.program(bad, &[0]).is_err());
+        assert!(a.read(bad).is_err());
+        assert!(a.erase_block(bad).is_err());
+        assert!(!a.is_programmed(bad));
+    }
+
+    #[test]
+    fn op_counts_track_operations() {
+        let mut a = array();
+        a.program(PageAddr::zero(), &[9]).unwrap();
+        let _ = a.read(PageAddr::zero()).unwrap();
+        a.erase_block(PageAddr::zero()).unwrap();
+        assert_eq!(a.op_counts(), (1, 1, 1));
+    }
+}

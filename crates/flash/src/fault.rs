@@ -1,0 +1,124 @@
+//! Fault injection: uncorrectable read errors.
+//!
+//! Real NAND wears out; reads occasionally fail ECC correction. The
+//! functional simulator can inject deterministic read faults so the
+//! engine's degradation behaviour is testable: intelligent queries
+//! already tolerate approximation (the whole premise of the query cache,
+//! §4.6), so a scan that skips a handful of unreadable features degrades
+//! recall marginally instead of failing the query.
+
+use crate::geometry::{PageAddr, SsdGeometry};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A deterministic set of pages whose reads fail ECC.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    failing: HashSet<u64>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Marks a specific page as unreadable.
+    pub fn fail_page(mut self, geometry: &SsdGeometry, addr: PageAddr) -> Self {
+        self.failing.insert(geometry.page_index(addr));
+        self
+    }
+
+    /// Fails an (approximately) `rate` fraction of all pages,
+    /// deterministically derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn random(geometry: &SsdGeometry, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut failing = HashSet::new();
+        let threshold = (rate * u64::MAX as f64) as u64;
+        for idx in 0..geometry.total_pages() {
+            // splitmix64 hash of (seed, idx).
+            let mut z = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            if z < threshold {
+                failing.insert(idx);
+            }
+        }
+        FaultPlan { failing }
+    }
+
+    /// Whether a page read fails.
+    pub fn fails(&self, geometry: &SsdGeometry, addr: PageAddr) -> bool {
+        self.failing.contains(&geometry.page_index(addr))
+    }
+
+    /// Number of failing pages.
+    pub fn len(&self) -> usize {
+        self.failing.len()
+    }
+
+    /// True when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.failing.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SsdConfig;
+
+    #[test]
+    fn explicit_page_fails() {
+        let g = SsdConfig::small().geometry;
+        let plan = FaultPlan::none().fail_page(&g, PageAddr::zero());
+        assert!(plan.fails(&g, PageAddr::zero()));
+        let other = PageAddr {
+            block: 1,
+            ..PageAddr::zero()
+        };
+        assert!(!plan.fails(&g, other));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn random_plan_hits_roughly_the_rate() {
+        let g = SsdConfig::small().geometry;
+        let plan = FaultPlan::random(&g, 0.1, 42);
+        let total = g.total_pages() as f64;
+        let frac = plan.len() as f64 / total;
+        assert!((frac - 0.1).abs() < 0.03, "frac = {frac}");
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let g = SsdConfig::small().geometry;
+        assert_eq!(
+            FaultPlan::random(&g, 0.05, 7),
+            FaultPlan::random(&g, 0.05, 7)
+        );
+        assert_ne!(
+            FaultPlan::random(&g, 0.05, 7),
+            FaultPlan::random(&g, 0.05, 8)
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let g = SsdConfig::small().geometry;
+        assert!(FaultPlan::random(&g, 0.0, 1).is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn bad_rate_panics() {
+        let g = SsdConfig::small().geometry;
+        let _ = FaultPlan::random(&g, 1.5, 0);
+    }
+}

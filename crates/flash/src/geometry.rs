@@ -1,0 +1,221 @@
+//! Flash geometry: the channel → chip → plane → block → page hierarchy.
+//!
+//! Modern SSDs reach terabyte capacities by organizing dense NAND into this
+//! hierarchy (§2.2): the paper's evaluated drive has 32 channels, 4 chips
+//! per channel, 8 planes per chip, 512 blocks per plane and 128 pages of
+//! 16 KB per block.
+
+use crate::{FlashError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical organization of an SSD's flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SsdGeometry {
+    /// Number of flash channels (16–32 in modern drives).
+    pub channels: usize,
+    /// Flash chips sharing each channel bus (4–8).
+    pub chips_per_channel: usize,
+    /// Planes per chip (2–8); each plane has its own page buffer.
+    pub planes_per_chip: usize,
+    /// Blocks per plane.
+    pub blocks_per_plane: usize,
+    /// Pages per block (flash is read at page granularity).
+    pub pages_per_block: usize,
+    /// Page size in bytes.
+    pub page_bytes: usize,
+}
+
+impl SsdGeometry {
+    /// The paper's configuration (§6.1).
+    pub fn paper_default() -> Self {
+        SsdGeometry {
+            channels: 32,
+            chips_per_channel: 4,
+            planes_per_chip: 8,
+            blocks_per_plane: 512,
+            pages_per_block: 128,
+            page_bytes: 16 * 1024,
+        }
+    }
+
+    /// Total number of chips in the drive.
+    pub fn total_chips(&self) -> usize {
+        self.channels * self.chips_per_channel
+    }
+
+    /// Total number of planes in the drive.
+    pub fn total_planes(&self) -> usize {
+        self.total_chips() * self.planes_per_chip
+    }
+
+    /// Planes per channel.
+    pub fn planes_per_channel(&self) -> usize {
+        self.chips_per_channel * self.planes_per_chip
+    }
+
+    /// Pages per plane.
+    pub fn pages_per_plane(&self) -> usize {
+        self.blocks_per_plane * self.pages_per_block
+    }
+
+    /// Total page count.
+    pub fn total_pages(&self) -> u64 {
+        self.total_planes() as u64 * self.pages_per_plane() as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Pages needed to hold `bytes` bytes.
+    pub fn pages_for_bytes(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_bytes as u64)
+    }
+
+    /// Validates that an address lies inside this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::AddressOutOfRange`] if any coordinate exceeds
+    /// its bound.
+    pub fn check(&self, addr: PageAddr) -> Result<()> {
+        if addr.channel < self.channels
+            && addr.chip < self.chips_per_channel
+            && addr.plane < self.planes_per_chip
+            && addr.block < self.blocks_per_plane
+            && addr.page < self.pages_per_block
+        {
+            Ok(())
+        } else {
+            Err(FlashError::AddressOutOfRange(format!(
+                "{addr:?} vs geometry {self:?}"
+            )))
+        }
+    }
+
+    /// Linearizes a page address (used as a dense index by the functional
+    /// array). Inverse of [`SsdGeometry::page_from_index`].
+    pub fn page_index(&self, addr: PageAddr) -> u64 {
+        let planes = ((addr.channel * self.chips_per_channel + addr.chip)
+            * self.planes_per_chip
+            + addr.plane) as u64;
+        planes * self.pages_per_plane() as u64
+            + (addr.block * self.pages_per_block + addr.page) as u64
+    }
+
+    /// Reconstructs a page address from a dense index.
+    pub fn page_from_index(&self, mut idx: u64) -> PageAddr {
+        let pp = self.pages_per_plane() as u64;
+        let plane_lin = (idx / pp) as usize;
+        idx %= pp;
+        let block = (idx as usize) / self.pages_per_block;
+        let page = (idx as usize) % self.pages_per_block;
+        let plane = plane_lin % self.planes_per_chip;
+        let chip_lin = plane_lin / self.planes_per_chip;
+        let chip = chip_lin % self.chips_per_channel;
+        let channel = chip_lin / self.chips_per_channel;
+        PageAddr {
+            channel,
+            chip,
+            plane,
+            block,
+            page,
+        }
+    }
+}
+
+/// A physical flash page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Chip index within the channel.
+    pub chip: usize,
+    /// Plane index within the chip.
+    pub plane: usize,
+    /// Block index within the plane.
+    pub block: usize,
+    /// Page index within the block.
+    pub page: usize,
+}
+
+impl PageAddr {
+    /// Address of the first page of the drive.
+    pub fn zero() -> Self {
+        PageAddr {
+            channel: 0,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_multiply_out() {
+        let g = SsdGeometry::paper_default();
+        assert_eq!(g.total_chips(), 128);
+        assert_eq!(g.total_planes(), 1024);
+        assert_eq!(g.planes_per_channel(), 32);
+        assert_eq!(g.pages_per_plane(), 512 * 128);
+        assert_eq!(g.total_pages(), 1024 * 512 * 128);
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        let g = SsdGeometry::paper_default();
+        assert_eq!(g.pages_for_bytes(1), 1);
+        assert_eq!(g.pages_for_bytes(16 * 1024), 1);
+        assert_eq!(g.pages_for_bytes(16 * 1024 + 1), 2);
+        assert_eq!(g.pages_for_bytes(0), 0);
+    }
+
+    #[test]
+    fn check_accepts_valid_rejects_invalid() {
+        let g = SsdGeometry::paper_default();
+        assert!(g.check(PageAddr::zero()).is_ok());
+        let last = PageAddr {
+            channel: 31,
+            chip: 3,
+            plane: 7,
+            block: 511,
+            page: 127,
+        };
+        assert!(g.check(last).is_ok());
+        let bad = PageAddr {
+            channel: 32,
+            ..PageAddr::zero()
+        };
+        assert!(g.check(bad).is_err());
+    }
+
+    #[test]
+    fn page_index_roundtrips() {
+        let g = SsdGeometry {
+            channels: 3,
+            chips_per_channel: 2,
+            planes_per_chip: 2,
+            blocks_per_plane: 4,
+            pages_per_block: 8,
+            page_bytes: 4096,
+        };
+        for idx in 0..g.total_pages() {
+            let addr = g.page_from_index(idx);
+            assert!(g.check(addr).is_ok());
+            assert_eq!(g.page_index(addr), idx);
+        }
+    }
+
+    #[test]
+    fn page_index_zero_is_origin() {
+        let g = SsdGeometry::paper_default();
+        assert_eq!(g.page_index(PageAddr::zero()), 0);
+        assert_eq!(g.page_from_index(0), PageAddr::zero());
+    }
+}

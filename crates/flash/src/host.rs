@@ -1,0 +1,177 @@
+//! External (host-side) read path: the GPU+SSD baseline's view of the SSD.
+//!
+//! "The external bandwidth of modern SSDs is limited by flash channel
+//! arbitration, the weak processor cores in the SSD controller, and the
+//! bandwidth of the PCIe interface" (§2.2). The paper's baseline drive
+//! (Intel DC P4500) measures up to 3.2 GB/s externally while the internal
+//! aggregate is 32 channels × 800 MB/s = 25.6 GB/s.
+//!
+//! The host model delivers bytes at the minimum of the PCIe limit and the
+//! internal supply, divided by a software-overhead factor calibrated per
+//! workload (real filesystems and block stacks never hit the device
+//! ceiling; §3's measured breakdowns embed that overhead).
+
+use crate::stream::{stripe_pages, ChannelStream};
+use crate::timing::SimDuration;
+use crate::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Host-side read model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostReadModel {
+    /// The drive configuration.
+    pub cfg: SsdConfig,
+    /// Multiplier ≥ 1 applied to transfer time to model filesystem /
+    /// driver / queueing overheads (1.0 = ideal device-speed reads).
+    pub software_overhead: f64,
+    /// Number of identical SSDs aggregated (Figure 10b sweeps 1–8).
+    pub num_ssds: usize,
+}
+
+impl HostReadModel {
+    /// Ideal single-drive host model.
+    pub fn new(cfg: SsdConfig) -> Self {
+        HostReadModel {
+            cfg,
+            software_overhead: 1.0,
+            num_ssds: 1,
+        }
+    }
+
+    /// Sets the software-overhead multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead < 1.0`.
+    pub fn with_software_overhead(mut self, overhead: f64) -> Self {
+        assert!(overhead >= 1.0, "overhead must be >= 1.0");
+        self.software_overhead = overhead;
+        self
+    }
+
+    /// Aggregates `n` identical SSDs (reads stripe across them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_ssds(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one SSD");
+        self.num_ssds = n;
+        self
+    }
+
+    /// Effective sequential read bandwidth seen by the host, in bytes/s.
+    ///
+    /// Per drive this is `min(PCIe limit, internal supply)`; aggregation
+    /// over drives is linear; the software overhead divides the result.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let internal = ChannelStream::new(&self.cfg)
+            .effective_bandwidth(self.cfg.geometry.page_bytes)
+            * self.cfg.geometry.channels as f64;
+        let per_drive = self.cfg.timing.external_bytes_per_sec.min(internal);
+        per_drive * self.num_ssds as f64 / self.software_overhead
+    }
+
+    /// Time for the host to read `bytes` bytes sequentially.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        // First-byte latency: one flash array read plus one page transfer,
+        // then pipelined delivery at the effective bandwidth.
+        let first = self.cfg.timing.array_read
+            + self.cfg.timing.page_transfer(self.cfg.geometry.page_bytes);
+        first + SimDuration::for_transfer(bytes, self.effective_bandwidth())
+    }
+
+    /// Time for the host to read `pages` whole pages striped over the
+    /// drive's channels — exact event-driven internal time, clamped by the
+    /// external link. Used for validation of [`HostReadModel::read_time`].
+    pub fn read_pages_exact(&self, pages: u64) -> SimDuration {
+        let per_channel = stripe_pages(pages, self.cfg.geometry.channels);
+        let internal = crate::stream::all_channels_stream(&self.cfg, &per_channel);
+        let bytes = pages * self.cfg.geometry.page_bytes as u64;
+        let external = SimDuration::for_transfer(
+            bytes,
+            self.cfg.timing.external_bytes_per_sec * self.num_ssds as f64
+                / self.software_overhead,
+        );
+        internal.max(external)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> HostReadModel {
+        HostReadModel::new(SsdConfig::paper_default())
+    }
+
+    #[test]
+    fn external_link_is_the_bottleneck() {
+        // Internal 25.6 GB/s >> external 3.2 GB/s.
+        let bw = model().effective_bandwidth();
+        assert!((bw - 3.2e9).abs() / 3.2e9 < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn read_time_scales_linearly() {
+        let m = model();
+        let t1 = m.read_time(1 << 30);
+        let t2 = m.read_time(2 << 30);
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+        // 1 GiB at 3.2 GB/s is ~0.336 s.
+        assert!((t1.as_secs_f64() - 0.3355).abs() < 0.01);
+    }
+
+    #[test]
+    fn software_overhead_slows_reads() {
+        let ideal = model().read_time(1 << 30);
+        let real = model()
+            .with_software_overhead(1.5)
+            .read_time(1 << 30);
+        let ratio = real.as_secs_f64() / ideal.as_secs_f64();
+        assert!((ratio - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn multiple_ssds_add_bandwidth() {
+        let one = model().read_time(1 << 30);
+        let four = model().with_ssds(4).read_time(1 << 30);
+        let ratio = one.as_secs_f64() / four.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn exact_matches_analytic_for_large_reads() {
+        let m = model();
+        let pages = 100_000; // 1.6 GB
+        let exact = m.read_pages_exact(pages);
+        let analytic = m.read_time(pages * 16 * 1024);
+        let dev = (exact.as_secs_f64() - analytic.as_secs_f64()).abs() / exact.as_secs_f64();
+        assert!(dev < 0.01, "dev = {dev}");
+    }
+
+    #[test]
+    fn internal_limit_applies_with_many_ssds_of_few_channels() {
+        // A 2-channel drive supplies only ~1.56 GB/s internally.
+        let mut cfg = SsdConfig::paper_default();
+        cfg.geometry.channels = 2;
+        let m = HostReadModel::new(cfg);
+        let bw = m.effective_bandwidth();
+        assert!(bw < 1.7e9, "bw = {bw}");
+    }
+
+    #[test]
+    fn zero_read_is_free() {
+        assert_eq!(model().read_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead")]
+    fn rejects_sub_unity_overhead() {
+        let _ = model().with_software_overhead(0.5);
+    }
+}

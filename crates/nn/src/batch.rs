@@ -1,0 +1,258 @@
+//! Batched inference.
+//!
+//! The GPU+SSD baseline scores *batches* of database feature vectors per
+//! kernel launch (§3: "a batch of database feature vectors are compared
+//! against an intelligent query on a GPU at the same time"). This module
+//! provides that execution style for the functional layer: a dense
+//! matrix-matrix path and a batched similarity entry point that is
+//! bit-for-bit consistent with the per-item path (the scores must agree,
+//! because the paper's in-storage and GPU systems compute the same SCN).
+
+use crate::layer::{LayerShape, MergeOp};
+use crate::{Model, NnError, Result, Tensor};
+
+/// A batch of feature vectors stored row-major: `rows` vectors of length
+/// `dim` each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    rows: usize,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Batch {
+    /// Stacks feature vectors into a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the vectors differ in length
+    /// or the batch is empty.
+    pub fn from_rows(rows: &[Tensor]) -> Result<Batch> {
+        let first = rows.first().ok_or(NnError::ShapeMismatch {
+            expected: "at least one row".into(),
+            found: "empty batch".into(),
+        })?;
+        let dim = first.len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            if r.len() != dim {
+                return Err(NnError::ShapeMismatch {
+                    expected: format!("[{dim}]"),
+                    found: format!("{:?}", r.shape()),
+                });
+            }
+            data.extend_from_slice(r.data());
+        }
+        Ok(Batch {
+            rows: rows.len(),
+            dim,
+            data,
+        })
+    }
+
+    /// Batch size.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Per-row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Dense layer applied to every row: `Y = X W^T + b`, where `W` is
+    /// `[out, in]`. A blocked triple loop — the "GEMM" of the functional
+    /// simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on dimension mismatch.
+    pub fn dense(&self, w: &Tensor, b: &Tensor) -> Result<Batch> {
+        if w.shape().len() != 2 || w.shape()[1] != self.dim {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("weights [out, {}]", self.dim),
+                found: format!("{:?}", w.shape()),
+            });
+        }
+        let out = w.shape()[0];
+        if b.len() != out {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("bias [{out}]"),
+                found: format!("{:?}", b.shape()),
+            });
+        }
+        let mut data = vec![0.0f32; self.rows * out];
+        for r in 0..self.rows {
+            let x = self.row(r);
+            let y = &mut data[r * out..(r + 1) * out];
+            for (o, yo) in y.iter_mut().enumerate() {
+                let wrow = &w.data()[o * self.dim..(o + 1) * self.dim];
+                let mut acc = 0.0f32;
+                for (wi, xi) in wrow.iter().zip(x) {
+                    acc += wi * xi;
+                }
+                *yo = acc + b.data()[o];
+            }
+        }
+        Ok(Batch {
+            rows: self.rows,
+            dim: out,
+            data,
+        })
+    }
+}
+
+impl Model {
+    /// Scores a whole batch of items against one query with batched
+    /// layer execution where possible (dense stacks), falling back to the
+    /// per-item path for convolutional models. The results are identical
+    /// to [`Model::similarity`] on each item.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::similarity`].
+    pub fn similarity_batched(&self, query: &Tensor, items: &[Tensor]) -> Result<Vec<f32>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Convolutional models keep the per-item path (ReId); dense-only
+        // models run as stacked GEMMs.
+        let dense_only = self
+            .layers()
+            .iter()
+            .all(|l| matches!(l.shape, LayerShape::Dense { .. }));
+        if !dense_only {
+            return self.similarity_batch(query, items);
+        }
+        // Merge every item with the query.
+        let merged: Result<Vec<Tensor>> = items
+            .iter()
+            .map(|item| {
+                if item.len() != self.feature_len() || query.len() != self.feature_len() {
+                    return Err(NnError::ShapeMismatch {
+                        expected: format!("[{}]", self.feature_len()),
+                        found: format!("{:?}", item.shape()),
+                    });
+                }
+                Ok(match self.merge() {
+                    MergeOp::Concat => query.concat(item),
+                    MergeOp::ElementWise(op) => match op {
+                        crate::ElementWiseOp::Add => query.add(item)?,
+                        crate::ElementWiseOp::Sub => query.sub(item)?,
+                        crate::ElementWiseOp::Mul => query.mul(item)?,
+                    },
+                })
+            })
+            .collect();
+        let mut batch = Batch::from_rows(&merged?)?;
+        for layer in self.layers() {
+            let (w, b) = match (&layer.weights, &layer.bias) {
+                (Some(w), Some(b)) => (w, b),
+                _ => {
+                    return Err(NnError::UninitializedWeights {
+                        layer: layer.name.clone(),
+                    })
+                }
+            };
+            batch = batch.dense(w, b)?;
+            // Activation, row-wise.
+            for i in 0..batch.rows {
+                let start = i * batch.dim;
+                let row =
+                    Tensor::from_slice(&batch.data[start..start + batch.dim]);
+                let activated = layer.activation.apply(row);
+                batch.data[start..start + batch.dim].copy_from_slice(activated.data());
+            }
+        }
+        // Reduce each row exactly as `similarity` reduces the head.
+        Ok((0..batch.rows)
+            .map(|i| {
+                let row = batch.row(i);
+                match row.len() {
+                    0 => 0.0,
+                    1 | 2 => row[0],
+                    _ => row.iter().sum::<f32>() / row.len() as f32,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn batch_construction_checks_shapes() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let batch = Batch::from_rows(&[a, b]).unwrap();
+        assert_eq!(batch.rows(), 2);
+        assert_eq!(batch.dim(), 2);
+        assert_eq!(batch.row(1), &[3.0, 4.0]);
+        let odd = Tensor::from_slice(&[1.0]);
+        assert!(Batch::from_rows(&[Tensor::from_slice(&[1.0, 2.0]), odd]).is_err());
+        assert!(Batch::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn batched_dense_matches_per_row_dense() {
+        let w = Tensor::random(vec![3, 4], 1.0, 1);
+        let b = Tensor::random(vec![3], 1.0, 2);
+        let rows: Vec<Tensor> = (0..5).map(|i| Tensor::random(vec![4], 1.0, 10 + i)).collect();
+        let batch = Batch::from_rows(&rows).unwrap().dense(&w, &b).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let single = r.dense(&w, &b).unwrap();
+            assert_eq!(batch.row(i), single.data(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn batched_similarity_matches_per_item_for_dense_models() {
+        for name in ["mir", "estp", "tir", "textqa"] {
+            let m = zoo::by_name(name).unwrap().seeded(5);
+            let q = m.random_feature(0);
+            let items: Vec<Tensor> = (1..9).map(|i| m.random_feature(i)).collect();
+            let batched = m.similarity_batched(&q, &items).unwrap();
+            let single = m.similarity_batch(&q, &items).unwrap();
+            for (i, (a, b)) in batched.iter().zip(&single).enumerate() {
+                assert!((a - b).abs() < 1e-4, "{name} item {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_models_fall_back_and_still_agree() {
+        let m = zoo::reid().seeded(6);
+        let q = m.random_feature(0);
+        let items: Vec<Tensor> = (1..3).map(|i| m.random_feature(i)).collect();
+        let batched = m.similarity_batched(&q, &items).unwrap();
+        let single = m.similarity_batch(&q, &items).unwrap();
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let m = zoo::tir().seeded(1);
+        assert!(m
+            .similarity_batched(&m.random_feature(0), &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn unseeded_batched_model_errors() {
+        let m = zoo::tir();
+        let q = m.random_feature(0);
+        assert!(matches!(
+            m.similarity_batched(&q, &[m.random_feature(1)]),
+            Err(NnError::UninitializedWeights { .. })
+        ));
+    }
+}

@@ -1,0 +1,481 @@
+//! Layer types for similarity-comparison networks.
+//!
+//! The paper's characterization study (§3, Observation 2) found that
+//! intelligent-query SCNs consist of convolutional, fully-connected and
+//! element-wise layers; those are exactly the layer families modelled here.
+//! Each layer carries both a *shape* (used by the timing/energy simulators,
+//! which never touch real data) and optional *weights* (used by the
+//! functional inference path).
+
+use crate::{NnError, Result, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Element-wise operations supported by the modified systolic array (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementWiseOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise (Hadamard) product — used by TIR's "vector dot product".
+    Mul,
+}
+
+/// How the query branch and dataset branch are merged at the entrance of a
+/// two-branch SCN (§2.1, Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeOp {
+    /// Concatenate the two feature vectors (no arithmetic, no element-wise
+    /// layer in the Table 1 accounting).
+    Concat,
+    /// Combine with an element-wise operation (counts as one element-wise
+    /// layer in Table 1).
+    ElementWise(ElementWiseOp),
+}
+
+/// Nonlinear activations applied after a weighted layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a tensor.
+    pub fn apply(self, t: Tensor) -> Tensor {
+        match self {
+            Activation::Identity => t,
+            Activation::Relu => t.relu(),
+            Activation::Sigmoid => t.sigmoid(),
+            Activation::Tanh => t.tanh(),
+        }
+    }
+}
+
+/// The pure shape of a layer: everything the cycle-accurate and energy
+/// simulators need, with no weight data attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// Fully-connected layer `in_features -> out_features`.
+    Dense {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// 2-D convolution over `[in_channels, in_h, in_w]` with "same" padding.
+    Conv2d {
+        /// Input channel count.
+        in_channels: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride (rows, cols).
+        stride: (usize, usize),
+        /// Channel groups (1 = dense convolution).
+        groups: usize,
+    },
+    /// Element-wise operation over vectors of the given length.
+    ElementWise {
+        /// Vector length.
+        len: usize,
+        /// Operation applied lane-wise.
+        op: ElementWiseOp,
+    },
+}
+
+impl LayerShape {
+    /// Number of output elements this layer produces for one input sample.
+    pub fn output_len(&self) -> usize {
+        match *self {
+            LayerShape::Dense { out_features, .. } => out_features,
+            LayerShape::Conv2d {
+                out_channels,
+                in_h,
+                in_w,
+                stride,
+                ..
+            } => out_channels * in_h.div_ceil(stride.0) * in_w.div_ceil(stride.1),
+            LayerShape::ElementWise { len, .. } => len,
+        }
+    }
+
+    /// Number of input elements this layer consumes for one sample.
+    pub fn input_len(&self) -> usize {
+        match *self {
+            LayerShape::Dense { in_features, .. } => in_features,
+            LayerShape::Conv2d {
+                in_channels,
+                in_h,
+                in_w,
+                ..
+            } => in_channels * in_h * in_w,
+            LayerShape::ElementWise { len, .. } => len,
+        }
+    }
+
+    /// Multiply-accumulate count for one sample.
+    ///
+    /// Element-wise layers are counted as one op per lane (the paper counts
+    /// them in "Total FLOPs" at one FLOP per element).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerShape::Dense {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+            LayerShape::Conv2d {
+                in_channels,
+                kernel,
+                groups,
+                ..
+            } => {
+                let reduction = kernel * kernel * in_channels / groups;
+                (self.output_len() * reduction) as u64
+            }
+            LayerShape::ElementWise { len, .. } => len as u64,
+        }
+    }
+
+    /// Floating-point operation count for one sample (2 per MAC for weighted
+    /// layers, 1 per element for element-wise layers).
+    pub fn flops(&self) -> u64 {
+        match self {
+            LayerShape::ElementWise { .. } => self.macs(),
+            _ => 2 * self.macs(),
+        }
+    }
+
+    /// Weight parameter count (kernel + bias; element-wise layers have none).
+    pub fn weight_params(&self) -> u64 {
+        match *self {
+            LayerShape::Dense {
+                in_features,
+                out_features,
+            } => (in_features * out_features + out_features) as u64,
+            LayerShape::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => (out_channels * (in_channels / groups) * kernel * kernel + out_channels) as u64,
+            LayerShape::ElementWise { .. } => 0,
+        }
+    }
+
+    /// Weight size in bytes at 32-bit precision (the paper evaluates all
+    /// systems at fp32, §5).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_params() * 4
+    }
+
+    /// The intrinsic per-cycle parallelism of this layer when processing a
+    /// single feature vector on a systolic array (§4.5, Figure 6):
+    ///
+    /// * fully-connected layers expose at most `out_features` parallel MACs
+    ///   (one output element per PE under output-stationary dataflow);
+    /// * convolutions expose at most `kernel² × in_channels/groups` parallel
+    ///   MACs (the reduction tree of one output element);
+    /// * element-wise layers expose the full vector length.
+    pub fn intrinsic_parallelism(&self) -> usize {
+        match *self {
+            LayerShape::Dense { out_features, .. } => out_features,
+            LayerShape::Conv2d {
+                in_channels,
+                kernel,
+                groups,
+                ..
+            } => kernel * kernel * in_channels / groups,
+            LayerShape::ElementWise { len, .. } => len,
+        }
+    }
+
+    /// True for convolutional layers.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerShape::Conv2d { .. })
+    }
+
+    /// True for fully-connected layers.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, LayerShape::Dense { .. })
+    }
+
+    /// True for element-wise layers.
+    pub fn is_element_wise(&self) -> bool {
+        matches!(self, LayerShape::ElementWise { .. })
+    }
+}
+
+/// A layer: a shape, an activation, and (optionally) materialized weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (unique within a model).
+    pub name: String,
+    /// The layer's shape, used by the timing and energy models.
+    pub shape: LayerShape,
+    /// Activation applied to the layer output.
+    pub activation: Activation,
+    /// Kernel / weight-matrix tensor, if materialized.
+    pub weights: Option<Tensor>,
+    /// Bias tensor, if materialized.
+    pub bias: Option<Tensor>,
+}
+
+impl Layer {
+    /// Creates an unweighted layer (shape only).
+    pub fn new(name: impl Into<String>, shape: LayerShape, activation: Activation) -> Self {
+        Layer {
+            name: name.into(),
+            shape,
+            activation,
+            weights: None,
+            bias: None,
+        }
+    }
+
+    /// Fills the layer with deterministic pseudo-random weights scaled by
+    /// `1/sqrt(fan_in)` (so activations stay O(1) through deep stacks).
+    pub fn seed_weights(&mut self, seed: u64) {
+        match self.shape {
+            LayerShape::Dense {
+                in_features,
+                out_features,
+            } => {
+                let scale = 1.0 / (in_features as f32).sqrt();
+                self.weights = Some(Tensor::random(
+                    vec![out_features, in_features],
+                    scale,
+                    seed,
+                ));
+                self.bias = Some(Tensor::zeros(vec![out_features]));
+            }
+            LayerShape::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => {
+                let cg = in_channels / groups;
+                let fan_in = (kernel * kernel * cg) as f32;
+                let scale = 1.0 / fan_in.sqrt();
+                self.weights = Some(Tensor::random(
+                    vec![out_channels, cg, kernel, kernel],
+                    scale,
+                    seed,
+                ));
+                self.bias = Some(Tensor::zeros(vec![out_channels]));
+            }
+            LayerShape::ElementWise { .. } => {
+                // Element-wise layers carry no weights.
+                self.weights = None;
+                self.bias = None;
+            }
+        }
+    }
+
+    /// Runs the layer forward on one input tensor.
+    ///
+    /// Element-wise layers interpret the input as the *already merged*
+    /// operand stream and simply pass it through (the merge arithmetic is
+    /// done by [`MergeOp`] handling in [`crate::Model::similarity`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UninitializedWeights`] if a weighted layer has no
+    /// weights, or [`NnError::ShapeMismatch`] if the input does not fit.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        let out = match self.shape {
+            LayerShape::Dense { .. } => {
+                let (w, b) = self.weights_or_err()?;
+                input.dense(w, b)?
+            }
+            LayerShape::Conv2d {
+                in_channels,
+                in_h,
+                in_w,
+                stride,
+                groups,
+                ..
+            } => {
+                let (w, b) = self.weights_or_err()?;
+                let x = input
+                    .clone()
+                    .reshape(vec![in_channels, in_h, in_w])?;
+                x.conv2d(w, b, stride, groups)?
+            }
+            LayerShape::ElementWise { len, .. } => {
+                if input.len() != len {
+                    return Err(NnError::ShapeMismatch {
+                        expected: format!("[{len}]"),
+                        found: format!("{:?}", input.shape()),
+                    });
+                }
+                input.clone()
+            }
+        };
+        Ok(self.activation.apply(out))
+    }
+
+    fn weights_or_err(&self) -> Result<(&Tensor, &Tensor)> {
+        match (&self.weights, &self.bias) {
+            (Some(w), Some(b)) => Ok((w, b)),
+            _ => Err(NnError::UninitializedWeights {
+                layer: self.name.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(inf: usize, outf: usize) -> LayerShape {
+        LayerShape::Dense {
+            in_features: inf,
+            out_features: outf,
+        }
+    }
+
+    #[test]
+    fn dense_accounting() {
+        let s = dense(512, 256);
+        assert_eq!(s.macs(), 512 * 256);
+        assert_eq!(s.flops(), 2 * 512 * 256);
+        assert_eq!(s.weight_params(), 512 * 256 + 256);
+        assert_eq!(s.output_len(), 256);
+        assert_eq!(s.input_len(), 512);
+        assert_eq!(s.intrinsic_parallelism(), 256);
+        assert!(s.is_dense() && !s.is_conv() && !s.is_element_wise());
+    }
+
+    #[test]
+    fn conv_accounting() {
+        let s = LayerShape::Conv2d {
+            in_channels: 64,
+            out_channels: 64,
+            in_h: 16,
+            in_w: 11,
+            kernel: 3,
+            stride: (2, 1),
+            groups: 1,
+        };
+        // Same padding, stride (2,1): output 8 x 11 x 64.
+        assert_eq!(s.output_len(), 8 * 11 * 64);
+        assert_eq!(s.macs(), (8 * 11 * 64) as u64 * 576);
+        assert_eq!(s.intrinsic_parallelism(), 3 * 3 * 64); // = 576 (Fig. 6)
+        assert!(s.is_conv());
+    }
+
+    #[test]
+    fn grouped_conv_divides_reduction() {
+        let s = LayerShape::Conv2d {
+            in_channels: 128,
+            out_channels: 128,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: (1, 1),
+            groups: 2,
+        };
+        assert_eq!(s.intrinsic_parallelism(), 3 * 3 * 64);
+        assert_eq!(s.weight_params(), (128 * 64 * 9 + 128) as u64);
+    }
+
+    #[test]
+    fn element_wise_accounting() {
+        let s = LayerShape::ElementWise {
+            len: 512,
+            op: ElementWiseOp::Mul,
+        };
+        assert_eq!(s.macs(), 512);
+        assert_eq!(s.flops(), 512); // one FLOP per lane
+        assert_eq!(s.weight_params(), 0);
+        assert_eq!(s.intrinsic_parallelism(), 512);
+    }
+
+    #[test]
+    fn forward_dense_requires_weights() {
+        let layer = Layer::new("fc", dense(4, 2), Activation::Identity);
+        let x = Tensor::from_slice(&[1.0; 4]);
+        assert!(matches!(
+            layer.forward(&x),
+            Err(NnError::UninitializedWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_dense_with_seeded_weights() {
+        let mut layer = Layer::new("fc", dense(4, 2), Activation::Relu);
+        layer.seed_weights(9);
+        let x = Tensor::from_slice(&[1.0; 4]);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.len(), 2);
+        assert!(y.data().iter().all(|&v| v >= 0.0)); // ReLU applied
+    }
+
+    #[test]
+    fn forward_conv_reshapes_flat_input() {
+        let shape = LayerShape::Conv2d {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: (2, 2),
+            groups: 1,
+        };
+        let mut layer = Layer::new("conv", shape, Activation::Identity);
+        layer.seed_weights(1);
+        let x = Tensor::from_slice(&[0.5; 32]);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.len(), 3 * 2 * 2);
+        assert_eq!(y.len(), shape.output_len());
+    }
+
+    #[test]
+    fn forward_element_wise_passthrough() {
+        let layer = Layer::new(
+            "ew",
+            LayerShape::ElementWise {
+                len: 3,
+                op: ElementWiseOp::Add,
+            },
+            Activation::Identity,
+        );
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(layer.forward(&x).unwrap(), x);
+        let bad = Tensor::from_slice(&[1.0]);
+        assert!(layer.forward(&bad).is_err());
+    }
+
+    #[test]
+    fn seeded_weights_are_deterministic() {
+        let mut a = Layer::new("fc", dense(8, 8), Activation::Identity);
+        let mut b = Layer::new("fc", dense(8, 8), Activation::Identity);
+        a.seed_weights(5);
+        b.seed_weights(5);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn activation_default_is_identity() {
+        assert_eq!(Activation::default(), Activation::Identity);
+        let t = Tensor::from_slice(&[-1.0]);
+        assert_eq!(Activation::Identity.apply(t.clone()), t);
+    }
+}

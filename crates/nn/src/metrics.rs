@@ -1,0 +1,131 @@
+//! Retrieval-quality metrics.
+//!
+//! Intelligent-query systems are judged by ranking quality: the paper's
+//! applications train "until the model accuracy is within 5% of the
+//! advertised accuracy" (§3). These helpers score a retrieved ranking
+//! against a ground-truth relevance set: recall@K, precision@K, and
+//! average precision — used by the functional engine's quality tests and
+//! the `recall` extension experiment.
+
+/// Recall@K: the fraction of relevant items found in the top `k` of the
+/// ranking. Returns 0 when there are no relevant items.
+pub fn recall_at_k(ranking: &[u64], relevant: &[u64], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Precision@K: the fraction of the top `k` that is relevant. Returns 0
+/// for `k == 0`.
+pub fn precision_at_k(ranking: &[u64], relevant: &[u64], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let considered = ranking.len().min(k);
+    if considered == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / considered as f64
+}
+
+/// Average precision of a ranking: the mean of precision@i over the ranks
+/// `i` where a relevant item appears, normalized by the relevant count.
+pub fn average_precision(ranking: &[u64], relevant: &[u64]) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, id) in ranking.iter().enumerate() {
+        if relevant.contains(id) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Mean average precision over several queries' `(ranking, relevant)`
+/// pairs. Returns 0 for an empty set.
+pub fn mean_average_precision(queries: &[(Vec<u64>, Vec<u64>)]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(r, rel)| average_precision(r, rel))
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranking = [1, 2, 3, 9, 8];
+        let relevant = [1, 2, 3];
+        assert_eq!(recall_at_k(&ranking, &relevant, 3), 1.0);
+        assert_eq!(precision_at_k(&ranking, &relevant, 3), 1.0);
+        assert_eq!(average_precision(&ranking, &relevant), 1.0);
+    }
+
+    #[test]
+    fn recall_grows_with_k() {
+        let ranking = [9, 1, 8, 2, 7, 3];
+        let relevant = [1, 2, 3];
+        assert_eq!(recall_at_k(&ranking, &relevant, 1), 0.0);
+        assert!((recall_at_k(&ranking, &relevant, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&ranking, &relevant, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&ranking, &relevant, 6), 1.0);
+    }
+
+    #[test]
+    fn precision_penalizes_noise() {
+        let ranking = [1, 9, 2, 8];
+        let relevant = [1, 2];
+        assert_eq!(precision_at_k(&ranking, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&ranking, &relevant, 1), 1.0);
+        assert_eq!(precision_at_k(&ranking, &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_orders_matter() {
+        let relevant = [1, 2];
+        let good = [1, 2, 9, 8];
+        let bad = [9, 8, 1, 2];
+        assert!(average_precision(&good, &relevant) > average_precision(&bad, &relevant));
+        // AP of [1,2,...] = (1/1 + 2/2)/2 = 1.0.
+        assert_eq!(average_precision(&good, &relevant), 1.0);
+        // AP of [9,8,1,2] = (1/3 + 2/4)/2.
+        let expected = (1.0 / 3.0 + 0.5) / 2.0;
+        assert!((average_precision(&bad, &relevant) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let q1 = (vec![1u64, 9], vec![1u64]);
+        let q2 = (vec![9u64, 1], vec![1u64]);
+        let map = mean_average_precision(&[q1, q2]);
+        assert!((map - (1.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_relevant_sets_score_zero() {
+        assert_eq!(recall_at_k(&[1, 2], &[], 2), 0.0);
+        assert_eq!(average_precision(&[1, 2], &[]), 0.0);
+    }
+}

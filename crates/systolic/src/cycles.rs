@@ -1,0 +1,308 @@
+//! Cycle model: per-feature-vector SCN execution time.
+//!
+//! The key observation behind the paper's design-space exploration (§4.5,
+//! Figure 6) is that when a similarity network processes **one feature
+//! vector at a time**, each layer exposes only a bounded amount of
+//! per-cycle parallelism:
+//!
+//! * an FC layer has at most `out_features` useful MACs per cycle (with
+//!   output-stationary mapping, one PE per output element, reducing over
+//!   `in_features` cycles) — the studied apps cap at 512, so "there is no
+//!   performance gain beyond 512 PEs" for FC;
+//! * a convolution has at most `kernel² × in_channels/groups` useful MACs
+//!   per cycle (the reduction tree of one output element, with outputs
+//!   produced over time) — the studied apps cap at 576, saturating the
+//!   sweep at 1024 PEs;
+//! * an element-wise layer processes `rows × cols` lanes per cycle thanks
+//!   to the per-row input injection of §4.3 (a plain systolic array would
+//!   manage only `cols`).
+//!
+//! When the PE array is smaller than a layer's intrinsic parallelism, the
+//! layer is folded: `ceil(parallelism / PEs)` passes over the temporal
+//! dimension. Weight-stationary arrays additionally pay weight-tile load
+//! time, and — when the model outgrows the scratchpad — per-batch tile
+//! *reloads*, which is what separates chip-level TextQA (weights fit) from
+//! chip-level MIR/ESTP (weights must be re-streamed; §6.2).
+
+use crate::{ArrayConfig, Dataflow};
+use deepstore_nn::LayerShape;
+
+/// Steady-state cycle cost of one layer for a single feature vector,
+/// excluding pipeline fill (used by the Figure 6 design-space sweep, which
+/// assumes infinite memory bandwidth and amortized fill).
+pub fn layer_cycles_steady(shape: &LayerShape, array: &ArrayConfig) -> u64 {
+    let pes = array.pes() as u64;
+    let parallel = shape.intrinsic_parallelism() as u64;
+    let folds = parallel.div_ceil(pes);
+    match *shape {
+        LayerShape::Dense { in_features, .. } => folds * in_features as u64,
+        LayerShape::Conv2d { .. } => {
+            // Convolution maps its reduction tree across the array ROWS
+            // (which is why §4.5 reports "1024 PEs in one column" as the
+            // best conv aspect): too few rows fold the reduction.
+            let row_folds = parallel.div_ceil(array.rows as u64);
+            row_folds * shape.output_len() as u64
+        }
+        LayerShape::ElementWise { len, .. } => (len as u64).div_ceil(pes),
+    }
+}
+
+/// Cycle cost of one layer for a single feature vector.
+pub fn layer_cycles(shape: &LayerShape, array: &ArrayConfig) -> u64 {
+    let pes = array.pes() as u64;
+    let fill = array.fill_cycles();
+    match *shape {
+        LayerShape::Dense { in_features, .. } => {
+            let parallel = shape.intrinsic_parallelism() as u64;
+            let folds = parallel.div_ceil(pes);
+            match array.dataflow {
+                Dataflow::OutputStationary => folds * (in_features as u64 + fill),
+                // WS: weights for the fold must be loaded row-by-row before
+                // inputs stream; the tile is rows x cols so loading costs
+                // `rows` cycles per fold.
+                Dataflow::WeightStationary => {
+                    folds * (in_features as u64 + fill + array.rows as u64)
+                }
+            }
+        }
+        LayerShape::Conv2d { .. } => {
+            // Reduction across ROWS (see `layer_cycles_steady`); outputs
+            // stream temporally.
+            let parallel = shape.intrinsic_parallelism() as u64;
+            let folds = parallel.div_ceil(array.rows as u64);
+            let outputs = shape.output_len() as u64;
+            match array.dataflow {
+                Dataflow::OutputStationary => folds * outputs + fill,
+                Dataflow::WeightStationary => folds * outputs + fill + array.rows as u64,
+            }
+        }
+        LayerShape::ElementWise { len, .. } => {
+            // Per-row input injection: rows x cols lanes per cycle.
+            (len as u64).div_ceil(pes) + fill
+        }
+    }
+}
+
+/// Cycle cost of one full SCN pass (all layers) for a single feature
+/// vector, assuming operands are already in the scratchpad.
+pub fn scn_cycles_per_feature(shapes: &[LayerShape], array: &ArrayConfig) -> u64 {
+    shapes.iter().map(|s| layer_cycles(s, array)).sum()
+}
+
+/// Time in seconds for one SCN pass on this array.
+pub fn scn_secs_per_feature(shapes: &[LayerShape], array: &ArrayConfig) -> f64 {
+    array.cycles_to_secs(scn_cycles_per_feature(shapes, array))
+}
+
+/// Weight-stationary batching plan: how many features are processed per
+/// weight-resident pass, and how many weight passes a scan needs.
+///
+/// The scratchpad must hold a weight tile, a double-buffered feature batch
+/// and outputs. If the whole model fits alongside a reasonable batch, one
+/// pass suffices and weights are loaded exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WsPlan {
+    /// Features processed per weight pass (per accelerator).
+    pub batch_per_pass: u64,
+    /// Whether the entire model's weights fit in the scratchpad at once.
+    pub weights_resident: bool,
+    /// Bytes of weights that must be streamed in per pass (0 when
+    /// resident after the first load).
+    pub weight_bytes_per_pass: u64,
+}
+
+/// Computes the WS batching plan for a model on an array.
+///
+/// Weight tiles stream through a small double-buffered tile region
+/// (64 KB); the rest of the scratchpad buffers the feature batch that each
+/// weight pass serves. A model whose full weights fit in half the
+/// remaining space is held resident, so only the first pass pays the
+/// broadcast ("adding a large scratchpad increases design and area
+/// complexity", §4.5, so the chip-level scratchpad stays at 512 KB).
+pub fn ws_plan(total_weight_bytes: u64, feature_bytes: u64, array: &ArrayConfig) -> WsPlan {
+    let spad = array.scratchpad_bytes as u64;
+    let tile_buffer = (64 * 1024).min(spad / 4);
+    let avail = spad - tile_buffer;
+    if total_weight_bytes <= avail / 2 {
+        let batch = ((avail - total_weight_bytes) / feature_bytes.max(1)).max(1);
+        WsPlan {
+            batch_per_pass: batch,
+            weights_resident: true,
+            weight_bytes_per_pass: 0,
+        }
+    } else {
+        WsPlan {
+            batch_per_pass: (avail / feature_bytes.max(1)).max(1),
+            weights_resident: false,
+            weight_bytes_per_pass: total_weight_bytes,
+        }
+    }
+}
+
+/// Weight-stationary per-feature cycle cost with explicit weight tiling:
+/// every dense layer's weights pass tile-by-tile through the `rows×cols`
+/// array; each tile costs a `rows + 1` load/drain plus the input stream,
+/// which sustains `cols` MACs per cycle for a single feature vector.
+/// Element-wise layers use the row-injection path. This is the chip-level
+/// accelerator's operating mode (§4.5).
+///
+/// Returns `None` when the model cannot run on the array — the paper's
+/// chip-level accelerator "can not execute ReId due to limited compute and
+/// on-chip memory resources" (Table 4): a convolution whose reduction tree
+/// exceeds the PE count has no weight-stationary mapping here.
+pub fn ws_tile_cycles_per_feature(shapes: &[LayerShape], array: &ArrayConfig) -> Option<u64> {
+    let pes = array.pes() as u64;
+    let mut cycles = 0u64;
+    for shape in shapes {
+        match *shape {
+            LayerShape::Dense { .. } => {
+                let tiles = shape.weight_params().div_ceil(pes);
+                cycles += shape.macs() / array.cols as u64 + tiles * (array.rows as u64 + 1);
+            }
+            LayerShape::Conv2d { .. } => {
+                if shape.intrinsic_parallelism() as u64 > pes {
+                    return None;
+                }
+                let tiles = shape.weight_params().div_ceil(pes);
+                cycles += shape.macs() / array.cols as u64 + tiles * (array.rows as u64 + 1);
+            }
+            LayerShape::ElementWise { len, .. } => {
+                cycles += (len as u64).div_ceil(pes) + array.fill_cycles();
+            }
+        }
+    }
+    Some(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepstore_nn::{zoo, ElementWiseOp};
+
+    fn os_array(rows: usize, cols: usize) -> ArrayConfig {
+        ArrayConfig::new(rows, cols, 800e6, Dataflow::OutputStationary, 512 * 1024)
+    }
+
+    #[test]
+    fn fc_reduction_dominates() {
+        // 512x512 FC on a 1024-PE array: one fold, ~512 cycles + fill.
+        let fc = LayerShape::Dense {
+            in_features: 512,
+            out_features: 512,
+        };
+        let arr = os_array(16, 64);
+        let c = layer_cycles(&fc, &arr);
+        assert_eq!(c, 512 + arr.fill_cycles());
+    }
+
+    #[test]
+    fn fc_folds_when_array_too_small() {
+        let fc = LayerShape::Dense {
+            in_features: 512,
+            out_features: 512,
+        };
+        let small = os_array(4, 32); // 128 PEs -> 4 folds
+        let big = os_array(16, 64); // 1024 PEs -> 1 fold
+        assert_eq!(
+            layer_cycles(&fc, &small),
+            4 * (512 + small.fill_cycles())
+        );
+        assert!(layer_cycles(&fc, &small) > 3 * layer_cycles(&fc, &big));
+    }
+
+    #[test]
+    fn fc_saturates_at_out_features() {
+        // Figure 6: no gain beyond 512 PEs for the largest FC.
+        let fc = LayerShape::Dense {
+            in_features: 512,
+            out_features: 512,
+        };
+        let at_512 = layer_cycles(&fc, &os_array(8, 64)); // 512 PEs
+        let at_2048 = layer_cycles(&fc, &os_array(32, 64)); // 2048 PEs
+        // Same fold count (1); only fill differs slightly.
+        assert_eq!(at_512 - os_array(8, 64).fill_cycles(), at_2048 - os_array(32, 64).fill_cycles());
+    }
+
+    #[test]
+    fn conv_temporal_dimension_is_outputs() {
+        let conv = LayerShape::Conv2d {
+            in_channels: 64,
+            out_channels: 64,
+            in_h: 16,
+            in_w: 11,
+            kernel: 3,
+            stride: (2, 2),
+            groups: 1,
+        };
+        // Reduction (576) folds over the 16 rows: ceil(576/16) = 36 folds;
+        // outputs = 8*6*64 = 3072.
+        let arr = os_array(16, 64);
+        assert_eq!(layer_cycles(&conv, &arr), 36 * 3072 + arr.fill_cycles());
+        // A tall array removes the folding entirely.
+        let tall = ArrayConfig::new(576, 2, 800e6, Dataflow::OutputStationary, 512 * 1024);
+        assert_eq!(layer_cycles(&conv, &tall), 3072 + tall.fill_cycles());
+    }
+
+    #[test]
+    fn element_wise_uses_row_injection() {
+        let ew = LayerShape::ElementWise {
+            len: 2048,
+            op: ElementWiseOp::Mul,
+        };
+        let arr = os_array(16, 64); // 1024 lanes
+        assert_eq!(layer_cycles(&ew, &arr), 2 + arr.fill_cycles());
+        // A 1-row array (plain systolic baseline) is rows x slower in the
+        // streaming term.
+        let plain = os_array(1, 64);
+        assert_eq!(layer_cycles(&ew, &plain), 32 + plain.fill_cycles());
+    }
+
+    #[test]
+    fn ws_pays_weight_load_per_fold() {
+        let fc = LayerShape::Dense {
+            in_features: 512,
+            out_features: 512,
+        };
+        let os = os_array(16, 64);
+        let ws = ArrayConfig::new(16, 64, 800e6, Dataflow::WeightStationary, 512 * 1024);
+        assert_eq!(layer_cycles(&fc, &ws), layer_cycles(&fc, &os) + 16);
+    }
+
+    #[test]
+    fn scn_cycles_sum_layers() {
+        let shapes = zoo::tir().layer_shapes();
+        let arr = os_array(16, 64);
+        let total = scn_cycles_per_feature(&shapes, &arr);
+        let sum: u64 = shapes.iter().map(|s| layer_cycles(s, &arr)).sum();
+        assert_eq!(total, sum);
+        // TIR per-feature time on a channel accelerator is ~1.6 us
+        // (reductions 512+512+256 plus fills at 800 MHz).
+        let secs = scn_secs_per_feature(&shapes, &arr);
+        assert!(secs > 1.2e-6 && secs < 2.5e-6, "secs = {secs}");
+    }
+
+    #[test]
+    fn ws_plan_detects_resident_weights() {
+        let arr = ArrayConfig::new(4, 32, 400e6, Dataflow::WeightStationary, 512 * 1024);
+        // TextQA: 0.157 MB weights fit half of a 512 KB scratchpad.
+        let textqa = zoo::textqa();
+        let plan = ws_plan(textqa.weight_bytes(), textqa.feature_bytes() as u64, &arr);
+        assert!(plan.weights_resident);
+        assert_eq!(plan.weight_bytes_per_pass, 0);
+        // MIR: 2 MB weights do not fit.
+        let mir = zoo::mir();
+        let plan = ws_plan(mir.weight_bytes(), mir.feature_bytes() as u64, &arr);
+        assert!(!plan.weights_resident);
+        assert_eq!(plan.weight_bytes_per_pass, mir.weight_bytes());
+        assert!(plan.batch_per_pass >= 1);
+    }
+
+    #[test]
+    fn ws_plan_batch_shrinks_with_big_features() {
+        let arr = ArrayConfig::new(4, 32, 400e6, Dataflow::WeightStationary, 512 * 1024);
+        let small = ws_plan(0, 2048, &arr).batch_per_pass;
+        let big = ws_plan(0, 45056, &arr).batch_per_pass;
+        assert!(small > big);
+        assert!(big >= 1);
+    }
+}

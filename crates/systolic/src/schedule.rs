@@ -1,0 +1,190 @@
+//! Per-layer execution schedules.
+//!
+//! §5: the modified SCALE-Sim "generate[s] the access patterns for the
+//! different levels of the memory hierarchy as well as the traces for
+//! loading dataset feature vectors from flash", which then drive the
+//! SSD-Sim half. This module produces that intermediate artifact: an
+//! ordered [`LayerExecution`] record per layer — start/end cycles, fold
+//! counts and operand traffic — and whole-SCN schedules whose totals agree
+//! exactly with the aggregate cycle and count models in
+//! [`crate::cycles`] / [`crate::counts`].
+
+use crate::counts::layer_counts;
+use crate::cycles::layer_cycles;
+use crate::{AccessCounts, ArrayConfig};
+use deepstore_nn::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// One layer's slot in the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerExecution {
+    /// Index of the layer in the SCN.
+    pub layer: usize,
+    /// The layer's shape.
+    pub shape: LayerShape,
+    /// First cycle of the layer (inclusive).
+    pub start_cycle: u64,
+    /// One past the last cycle.
+    pub end_cycle: u64,
+    /// Folds executed (array smaller than the layer's parallelism).
+    pub folds: u64,
+    /// Operand traffic attributed to this layer.
+    pub counts: AccessCounts,
+}
+
+impl LayerExecution {
+    /// Cycles spent in this layer.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// A whole-SCN schedule for one feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScnSchedule {
+    /// Per-layer slots in execution order.
+    pub layers: Vec<LayerExecution>,
+}
+
+impl ScnSchedule {
+    /// Builds the schedule of one SCN pass on `array`.
+    pub fn build(shapes: &[LayerShape], array: &ArrayConfig) -> ScnSchedule {
+        let mut cursor = 0u64;
+        let layers = shapes
+            .iter()
+            .enumerate()
+            .map(|(layer, shape)| {
+                let cycles = layer_cycles(shape, array);
+                let parallel = shape.intrinsic_parallelism() as u64;
+                let folds = match shape {
+                    LayerShape::Conv2d { .. } => parallel.div_ceil(array.rows as u64),
+                    _ => parallel.div_ceil(array.pes() as u64),
+                };
+                let exec = LayerExecution {
+                    layer,
+                    shape: *shape,
+                    start_cycle: cursor,
+                    end_cycle: cursor + cycles,
+                    folds,
+                    counts: layer_counts(shape, array),
+                };
+                cursor = exec.end_cycle;
+                exec
+            })
+            .collect();
+        ScnSchedule { layers }
+    }
+
+    /// Total cycles of the pass.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.last().map(|l| l.end_cycle).unwrap_or(0)
+    }
+
+    /// Total operand traffic of the pass.
+    pub fn total_counts(&self) -> AccessCounts {
+        self.layers.iter().map(|l| l.counts).sum()
+    }
+
+    /// The layer active at a given cycle, if any.
+    pub fn layer_at(&self, cycle: u64) -> Option<&LayerExecution> {
+        self.layers
+            .iter()
+            .find(|l| l.start_cycle <= cycle && cycle < l.end_cycle)
+    }
+
+    /// Utilization profile: for each layer, the fraction of the array's
+    /// PEs doing useful MACs on an average cycle of that layer.
+    pub fn utilization(&self, array: &ArrayConfig) -> Vec<f64> {
+        self.layers
+            .iter()
+            .map(|l| {
+                let cycles = l.cycles().max(1);
+                l.counts.macs as f64 / (cycles as f64 * array.pes() as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::scn_cycles_per_feature;
+    use crate::counts::scn_counts_per_feature;
+    use crate::Dataflow;
+    use deepstore_nn::zoo;
+
+    fn arr() -> ArrayConfig {
+        ArrayConfig::new(16, 64, 800e6, Dataflow::OutputStationary, 512 * 1024)
+    }
+
+    #[test]
+    fn schedule_totals_agree_with_aggregate_models() {
+        for model in zoo::all() {
+            let shapes = model.layer_shapes();
+            let sched = ScnSchedule::build(&shapes, &arr());
+            assert_eq!(
+                sched.total_cycles(),
+                scn_cycles_per_feature(&shapes, &arr()),
+                "{}",
+                model.name()
+            );
+            assert_eq!(
+                sched.total_counts(),
+                scn_counts_per_feature(&shapes, &arr()),
+                "{}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn layers_are_contiguous_and_ordered() {
+        let sched = ScnSchedule::build(&zoo::reid().layer_shapes(), &arr());
+        assert_eq!(sched.layers[0].start_cycle, 0);
+        for w in sched.layers.windows(2) {
+            assert_eq!(w[0].end_cycle, w[1].start_cycle);
+        }
+        assert!(sched.layers.iter().all(|l| l.cycles() > 0));
+    }
+
+    #[test]
+    fn layer_at_finds_the_active_layer() {
+        let sched = ScnSchedule::build(&zoo::tir().layer_shapes(), &arr());
+        assert_eq!(sched.layer_at(0).unwrap().layer, 0);
+        let mid = sched.layers[1].start_cycle;
+        assert_eq!(sched.layer_at(mid).unwrap().layer, 1);
+        assert!(sched.layer_at(sched.total_cycles()).is_none());
+    }
+
+    #[test]
+    fn reid_conv_folds_dominate_the_schedule() {
+        // The 3x3x64 conv folds 36x over the 16-row channel array — the
+        // reason ReId is compute-bound there (§6.2).
+        let sched = ScnSchedule::build(&zoo::reid().layer_shapes(), &arr());
+        let conv = sched
+            .layers
+            .iter()
+            .find(|l| l.shape.is_conv())
+            .expect("reid has convs");
+        assert_eq!(conv.folds, 36);
+        let longest = sched.layers.iter().max_by_key(|l| l.cycles()).unwrap();
+        assert!(longest.shape.is_conv());
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        for model in zoo::all() {
+            let sched = ScnSchedule::build(&model.layer_shapes(), &arr());
+            for u in sched.utilization(&arr()) {
+                assert!((0.0..=1.0 + 1e-9).contains(&u), "{}: {u}", model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        let sched = ScnSchedule::build(&[], &arr());
+        assert_eq!(sched.total_cycles(), 0);
+        assert!(sched.layer_at(0).is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! The five evaluated applications (§3, §6.1), each binding a Table 1
+//! model to its database size and the batch-size sweep of Figure 2.
+
+use deepstore_baseline::ScanSpec;
+use deepstore_core::accel::ScanWorkload;
+use deepstore_core::DeepStoreConfig;
+use deepstore_nn::{zoo, Model};
+use serde::{Deserialize, Serialize};
+
+/// The application names, in Table 1 order.
+pub const APP_NAMES: [&str; 5] = ["reid", "mir", "estp", "tir", "textqa"];
+
+/// The paper's standard database payload: 25 GB of feature vectors per
+/// application (§6.1: "20 feature databases, each with 25 GB").
+pub const STANDARD_DB_BYTES: u64 = 25 * (1 << 30);
+
+/// One evaluated application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct App {
+    /// Short name (Table 1).
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Feature-database payload bytes.
+    pub db_bytes: u64,
+    /// The Figure 2 batch-size sweep for this application.
+    pub batch_sweep: Vec<u64>,
+    /// The batch size used for the headline evaluation (§6.2: "2K, 50K,
+    /// 50K, 50K, and 100K batch sizes ... such that the GPU utilization is
+    /// maximized").
+    pub eval_batch: u64,
+}
+
+impl App {
+    /// Builds the standard configuration of a named application.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names; use [`App::try_new`] for fallible lookup.
+    pub fn new(name: &str) -> Self {
+        Self::try_new(name).unwrap_or_else(|| panic!("unknown application `{name}`"))
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(name: &str) -> Option<Self> {
+        let (description, batch_sweep, eval_batch): (&str, Vec<u64>, u64) = match name {
+            "reid" => (
+                "Person re-identification across an image database",
+                vec![500, 1_000, 1_500, 2_000],
+                2_000,
+            ),
+            "mir" => (
+                "Music retrieval by style and instrumentation",
+                vec![5_000, 10_000, 20_000, 50_000],
+                50_000,
+            ),
+            "estp" => (
+                "Exact street-to-shop garment matching",
+                vec![5_000, 10_000, 20_000, 50_000],
+                50_000,
+            ),
+            "tir" => (
+                "Text-based image retrieval from sentence queries",
+                vec![5_000, 10_000, 20_000, 50_000],
+                50_000,
+            ),
+            "textqa" => (
+                "Short-text question answering reranking",
+                vec![10_000, 20_000, 50_000, 100_000],
+                100_000,
+            ),
+            _ => return None,
+        };
+        Some(App {
+            name: name.to_string(),
+            description: description.to_string(),
+            db_bytes: STANDARD_DB_BYTES,
+            batch_sweep,
+            eval_batch,
+        })
+    }
+
+    /// All five applications.
+    pub fn all() -> Vec<App> {
+        APP_NAMES.iter().map(|n| App::new(n)).collect()
+    }
+
+    /// The application's similarity model (unseeded).
+    pub fn model(&self) -> Model {
+        zoo::by_name(&self.name).expect("apps map to zoo models")
+    }
+
+    /// The baseline-facing scan spec for this application's database.
+    pub fn scan_spec(&self) -> ScanSpec {
+        ScanSpec::from_model(&self.model(), self.db_bytes)
+    }
+
+    /// The in-storage scan workload for this application's database.
+    pub fn scan_workload(&self, cfg: &DeepStoreConfig) -> ScanWorkload {
+        ScanWorkload::from_model(&self.model(), self.db_bytes, cfg)
+    }
+
+    /// Paper-reported Table 4 speedups (level, speedup) for comparison in
+    /// EXPERIMENTS.md; `None` where the paper marks the level unsupported.
+    pub fn paper_speedups(&self) -> (f64, f64, Option<f64>) {
+        match self.name.as_str() {
+            "reid" => (0.09, 3.92, None),
+            "mir" => (0.32, 8.26, Some(1.01)),
+            "estp" => (0.59, 13.16, Some(1.9)),
+            "tir" => (0.44, 10.68, Some(1.47)),
+            "textqa" => (0.4, 17.74, Some(4.62)),
+            _ => unreachable!("validated in constructor"),
+        }
+    }
+
+    /// Paper-reported Table 4 energy-efficiency improvements.
+    pub fn paper_energy_eff(&self) -> (f64, f64, Option<f64>) {
+        match self.name.as_str() {
+            "reid" => (0.7, 17.1, None),
+            "mir" => (1.6, 28.0, Some(2.6)),
+            "estp" => (2.8, 38.6, Some(3.2)),
+            "tir" => (2.1, 35.6, Some(3.7)),
+            "textqa" => (2.2, 78.6, Some(13.7)),
+            _ => unreachable!("validated in constructor"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_resolve() {
+        let apps = App::all();
+        assert_eq!(apps.len(), 5);
+        for app in &apps {
+            assert_eq!(app.model().name(), app.name);
+            assert!(app.scan_spec().num_features > 0);
+            assert!(!app.batch_sweep.is_empty());
+            assert_eq!(*app.batch_sweep.last().unwrap(), app.eval_batch);
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_none() {
+        assert!(App::try_new("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn new_panics_on_unknown() {
+        let _ = App::new("nope");
+    }
+
+    #[test]
+    fn workload_matches_spec() {
+        let cfg = DeepStoreConfig::paper_default();
+        for app in App::all() {
+            let spec = app.scan_spec();
+            let w = app.scan_workload(&cfg);
+            assert_eq!(w.num_features(), spec.num_features, "{}", app.name);
+            assert_eq!(w.feature_bytes, spec.feature_bytes);
+            assert_eq!(w.macs_per_cmp(), spec.macs_per_cmp);
+        }
+    }
+
+    #[test]
+    fn paper_numbers_have_chip_gap_only_for_reid() {
+        for app in App::all() {
+            let (_, _, chip) = app.paper_speedups();
+            assert_eq!(chip.is_none(), app.name == "reid");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic feature-database generation.
+//!
+//! The paper extracts feature vectors from real datasets (CUHK03,
+//! MagnaTagTune, Street2Shop, MSCOCO/Flickr30K, TREC-QA); timing and
+//! energy depend only on the vectors' dimensionality and count, while
+//! retrieval behaviour depends on their separability. We generate
+//! deterministic vectors with a planted cluster structure: every vector
+//! belongs to a cluster centroid plus bounded noise, so nearest-neighbour
+//! and similarity queries have well-defined ground truth.
+
+use deepstore_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for clustered synthetic feature vectors.
+#[derive(Debug, Clone)]
+pub struct FeatureGen {
+    /// Feature dimensionality (f32 elements).
+    pub dim: usize,
+    /// Number of planted clusters.
+    pub clusters: usize,
+    /// Noise amplitude around each centroid (uniform in ±noise).
+    pub noise: f32,
+    /// Base seed; all output is a pure function of (seed, index).
+    pub seed: u64,
+}
+
+impl FeatureGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `clusters` is zero.
+    pub fn new(dim: usize, clusters: usize, noise: f32, seed: u64) -> Self {
+        assert!(dim > 0 && clusters > 0);
+        FeatureGen {
+            dim,
+            clusters,
+            noise,
+            seed,
+        }
+    }
+
+    /// The centroid of cluster `c` (wrapped modulo the cluster count).
+    pub fn centroid(&self, c: usize) -> Tensor {
+        let c = c % self.clusters;
+        Tensor::random(
+            vec![self.dim],
+            1.0,
+            self.seed ^ 0xC1u64.wrapping_mul(c as u64 + 1),
+        )
+    }
+
+    /// Which cluster feature `idx` belongs to (round-robin).
+    pub fn cluster_of(&self, idx: u64) -> usize {
+        (idx % self.clusters as u64) as usize
+    }
+
+    /// The effective noise radius of cluster `c`: clusters are
+    /// heterogeneous (some concepts are tight near-duplicates, some are
+    /// loose paraphrases), spread over `[0.4, 1.6] × noise`. This is what
+    /// makes threshold sweeps over the cluster structure gradual.
+    pub fn cluster_noise(&self, c: usize) -> f32 {
+        let h = (c as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed) as f64
+            / u64::MAX as f64;
+        self.noise * (0.4 + 1.2 * h as f32)
+    }
+
+    /// The `idx`-th feature vector: its cluster centroid plus noise.
+    pub fn feature(&self, idx: u64) -> Tensor {
+        let cluster = self.cluster_of(idx);
+        let centroid = self.centroid(cluster);
+        let noise = self.cluster_noise(cluster);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(idx.wrapping_mul(0x9E37)));
+        let data = centroid
+            .data()
+            .iter()
+            .map(|&v| v + rng.gen_range(-noise..=noise))
+            .collect();
+        Tensor::from_vec(vec![self.dim], data).expect("dims match")
+    }
+
+    /// Materializes the first `n` features.
+    pub fn features(&self, n: u64) -> Vec<Tensor> {
+        (0..n).map(|i| self.feature(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> FeatureGen {
+        FeatureGen::new(64, 4, 0.1, 7)
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen();
+        assert_eq!(g.feature(5), g.feature(5));
+        assert_ne!(g.feature(5), g.feature(6));
+        let g2 = FeatureGen::new(64, 4, 0.1, 8);
+        assert_ne!(g.feature(5), g2.feature(5));
+    }
+
+    #[test]
+    fn same_cluster_vectors_are_close() {
+        let g = gen();
+        // Features 0 and 4 share cluster 0; 0 and 1 do not.
+        let a = g.feature(0);
+        let b = g.feature(4);
+        let c = g.feature(1);
+        let close = a.sub(&b).unwrap().norm();
+        let far = a.sub(&c).unwrap().norm();
+        assert!(close < far, "close={close} far={far}");
+        // Noise bound: per-element distance <= 2*noise.
+        assert!(close <= 2.0 * 0.1 * (64f32).sqrt() + 1e-4);
+    }
+
+    #[test]
+    fn cluster_assignment_is_round_robin() {
+        let g = gen();
+        assert_eq!(g.cluster_of(0), 0);
+        assert_eq!(g.cluster_of(5), 1);
+        assert_eq!(g.cluster_of(7), 3);
+    }
+
+    #[test]
+    fn features_materializes_n() {
+        let fs = gen().features(10);
+        assert_eq!(fs.len(), 10);
+        assert!(fs.iter().all(|f| f.len() == 64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        let _ = FeatureGen::new(0, 1, 0.1, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload substrate for the DeepStore reproduction.
+//!
+//! * [`app`] — the five evaluated applications bound to their models,
+//!   database sizes and the paper's batch-size sweeps (§3, §6.1).
+//! * [`trace`] — query-trace generation: uniform and Zipfian sampling over
+//!   a pool of base queries (§6.5), with controlled semantic-duplicate
+//!   structure so the Query Cache experiments have the locality the paper
+//!   synthesizes by adding noise to the Flickr30K test queries.
+//! * [`gen`] — feature-database generation: deterministic, clusterable
+//!   synthetic feature vectors of the right dimensionality.
+
+pub mod app;
+pub mod gen;
+pub mod replay;
+pub mod trace;
+
+pub use app::{App, APP_NAMES};
+pub use replay::QueryTrace;
+pub use trace::{QueryStream, TraceDistribution};

@@ -1,0 +1,236 @@
+//! Query-trace generation (§6.5).
+//!
+//! The Query Cache evaluation samples 100 K queries over a 100 M-image TIR
+//! database "with two different distributions: uniform and Zipfian with
+//! alpha equal to 0.7", where the query pool contains semantic
+//! near-duplicates (the paper adds noise to Flickr30K test queries). We
+//! reproduce that structure: a pool of base queries grouped into semantic
+//! clusters; the stream samples a base query by the chosen distribution
+//! and perturbs it, so repeated or related queries score high under the
+//! QCN while unrelated queries score low.
+
+use crate::gen::FeatureGen;
+use deepstore_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sampling distribution over the base-query pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceDistribution {
+    /// Every base query equally likely.
+    Uniform,
+    /// Zipfian with the given skew `alpha` (rank-1 most popular).
+    Zipfian {
+        /// Skew parameter (the paper evaluates 0.7 and 0.8).
+        alpha: f64,
+    },
+}
+
+/// A deterministic stream of query feature vectors.
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    pool: FeatureGen,
+    /// Number of distinct base queries.
+    pub pool_size: usize,
+    distribution: TraceDistribution,
+    /// Perturbation amplitude applied per emission (the "noise ... without
+    /// affecting the ground truth").
+    pub emission_noise: f32,
+    rng: StdRng,
+    /// Cumulative distribution over pool ranks (Zipf) — empty for uniform.
+    cdf: Vec<f64>,
+    emitted: u64,
+}
+
+impl QueryStream {
+    /// Creates a stream over a pool of `pool_size` base queries of
+    /// dimension `dim`, grouped into `clusters` semantic clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` or `dim` is zero.
+    pub fn new(
+        dim: usize,
+        pool_size: usize,
+        clusters: usize,
+        distribution: TraceDistribution,
+        seed: u64,
+    ) -> Self {
+        assert!(pool_size > 0 && dim > 0);
+        let cdf = match distribution {
+            TraceDistribution::Uniform => Vec::new(),
+            TraceDistribution::Zipfian { alpha } => {
+                let mut acc = 0.0;
+                let weights: Vec<f64> =
+                    (1..=pool_size).map(|r| 1.0 / (r as f64).powf(alpha)).collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| {
+                        acc += w / total;
+                        acc
+                    })
+                    .collect()
+            }
+        };
+        QueryStream {
+            // Cluster spread 0.4: cluster-mates sit at a QCN complement of
+            // ~10-17%, so they only match at generous thresholds, while
+            // re-emissions of the same base (complement 0-8%) match across
+            // most of the Figure 13 sweep.
+            pool: FeatureGen::new(dim, clusters.max(1), 0.4, seed),
+            pool_size,
+            distribution,
+            emission_noise: 0.35,
+            rng: StdRng::seed_from_u64(seed ^ 0xF00D),
+            cdf,
+            emitted: 0,
+        }
+    }
+
+    /// The distribution in use.
+    pub fn distribution(&self) -> TraceDistribution {
+        self.distribution
+    }
+
+    /// Base query `rank` (0 = most popular under Zipf).
+    pub fn base_query(&self, rank: usize) -> Tensor {
+        self.pool.feature(rank as u64 % self.pool_size as u64)
+    }
+
+    /// Draws the next base-query rank.
+    fn next_rank(&mut self) -> usize {
+        match self.distribution {
+            TraceDistribution::Uniform => self.rng.gen_range(0..self.pool_size),
+            TraceDistribution::Zipfian { .. } => {
+                let u: f64 = self.rng.gen();
+                self.cdf.partition_point(|&c| c < u).min(self.pool_size - 1)
+            }
+        }
+    }
+
+    /// Emits the next query: a perturbed copy of a sampled base query.
+    /// The perturbation amplitude is drawn per emission from
+    /// `U(0, emission_noise)`, giving the stream a *spread* of semantic
+    /// distances — exactly what makes the Figure 13 threshold sweep
+    /// gradual rather than a step. Returns `(rank, query)` so experiments
+    /// can track ground truth.
+    pub fn next_query(&mut self) -> (usize, Tensor) {
+        let rank = self.next_rank();
+        let base = self.base_query(rank);
+        self.emitted += 1;
+        let amplitude: f32 = self.rng.gen_range(0.0..=self.emission_noise);
+        let noise_seed = self.rng.gen::<u64>();
+        let noise = Tensor::random(vec![base.len()], amplitude.max(1e-6), noise_seed);
+        (rank, base.add(&noise).expect("same dims"))
+    }
+
+    /// Queries emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = (usize, Tensor);
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_query())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn rank_counts(dist: TraceDistribution, n: usize) -> HashMap<usize, usize> {
+        let mut s = QueryStream::new(32, 100, 20, dist, 42);
+        let mut counts = HashMap::new();
+        for _ in 0..n {
+            let (r, _) = s.next_query();
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_covers_pool_evenly() {
+        let counts = rank_counts(TraceDistribution::Uniform, 20_000);
+        assert!(counts.len() > 95, "only {} ranks seen", counts.len());
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        // ~200 each; allow generous sampling noise.
+        assert!(max < 2 * min.max(1), "max={max} min={min}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let counts = rank_counts(TraceDistribution::Zipfian { alpha: 0.7 }, 20_000);
+        let head = counts.get(&0).copied().unwrap_or(0);
+        let tail = counts.get(&99).copied().unwrap_or(0);
+        assert!(head > 5 * tail.max(1), "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let c07 = rank_counts(TraceDistribution::Zipfian { alpha: 0.7 }, 20_000);
+        let c08 = rank_counts(TraceDistribution::Zipfian { alpha: 0.8 }, 20_000);
+        let top10 = |c: &HashMap<usize, usize>| -> usize {
+            (0..10).map(|r| c.get(&r).copied().unwrap_or(0)).sum()
+        };
+        assert!(top10(&c08) > top10(&c07));
+    }
+
+    #[test]
+    fn emissions_of_same_rank_are_near_duplicates() {
+        let mut s = QueryStream::new(32, 10, 2, TraceDistribution::Uniform, 7);
+        let base = s.base_query(3);
+        // Collect two emissions of rank 3.
+        let mut seen = Vec::new();
+        for _ in 0..1000 {
+            let (r, q) = s.next_query();
+            if r == 3 {
+                seen.push(q);
+                if seen.len() == 2 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2);
+        // Emissions stay much closer to their base than to other bases.
+        let other = s.base_query(4);
+        let to_other = base.sub(&other).unwrap().norm();
+        for q in &seen {
+            let d = q.sub(&base).unwrap().norm();
+            assert!(d < to_other / 2.0, "emission too far: {d} vs {to_other}");
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let q1: Vec<usize> = QueryStream::new(16, 50, 5, TraceDistribution::Uniform, 1)
+            .take(20)
+            .map(|(r, _)| r)
+            .collect();
+        let q2: Vec<usize> = QueryStream::new(16, 50, 5, TraceDistribution::Uniform, 1)
+            .take(20)
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(q1, q2);
+        let q3: Vec<usize> = QueryStream::new(16, 50, 5, TraceDistribution::Uniform, 2)
+            .take(20)
+            .map(|(r, _)| r)
+            .collect();
+        assert_ne!(q1, q3);
+    }
+
+    #[test]
+    fn emitted_counter_tracks() {
+        let mut s = QueryStream::new(8, 4, 2, TraceDistribution::Uniform, 0);
+        assert_eq!(s.emitted(), 0);
+        let _ = s.next_query();
+        let _ = s.next_query();
+        assert_eq!(s.emitted(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: stand up a simulated DeepStore SSD, load a similarity
+//! model, store a feature database and run an intelligent query entirely
+//! in-storage.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
+use deepstore::nn::{zoo, ModelGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down drive (4 channels, ~32 MB) so the example runs in
+    // milliseconds; `DeepStoreConfig::paper_default()` gives the full
+    // 1 TB / 32-channel configuration used by the benchmarks.
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+
+    // The TIR application: text-based image retrieval. `seeded` stands in
+    // for loading trained weights.
+    let model = zoo::tir().seeded(42);
+    println!(
+        "model `{}`: {} feature bytes, {:.2} MFLOPs/comparison, {:.2} MB weights",
+        model.name(),
+        model.feature_bytes(),
+        model.total_flops() as f64 / 1e6,
+        model.weight_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // Store 256 feature vectors as a database (writeDB).
+    let features: Vec<_> = (0..256).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&features)?;
+
+    // Ship the model to the device (loadModel).
+    let model_id = store.load_model(&ModelGraph::from_model(&model))?;
+
+    // Run a top-5 query on the channel-level accelerators.
+    let query = model.random_feature(10_000);
+    let qid = store.query(&query, 5, model_id, db, AcceleratorLevel::Channel)?;
+    let result = store.results(qid)?;
+
+    println!(
+        "query served {} the cache in simulated {}:",
+        if result.cache_hit { "from" } else { "without" },
+        result.elapsed
+    );
+    for (rank, hit) in result.top_k.iter().enumerate() {
+        println!(
+            "  #{rank}: feature {} (score {:.4}, ObjectID 0x{:x})",
+            hit.feature_index, hit.score, hit.object_id.0
+        );
+    }
+
+    // The same query again hits the similarity-based query cache.
+    let qid = store.query(&query, 5, model_id, db, AcceleratorLevel::Channel)?;
+    let again = store.results(qid)?;
+    println!(
+        "repeat query: cache_hit = {}, simulated {} ({}x faster)",
+        again.cache_hit,
+        again.elapsed,
+        result.elapsed.as_nanos() / again.elapsed.as_nanos().max(1)
+    );
+    Ok(())
+}

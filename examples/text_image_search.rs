@@ -1,0 +1,84 @@
+//! Text-based image retrieval (TIR) with the similarity-based Query
+//! Cache.
+//!
+//! Drives a stream of semantically related sentence queries ("a brown dog
+//! is running in the sand" vs "a brown dog plays at the beach", §4.6)
+//! through DeepStore twice — once with the cache disabled, once enabled —
+//! and reports hit rates and mean simulated latency.
+//!
+//! ```sh
+//! cargo run --release --example text_image_search
+//! ```
+
+use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig, QueryCacheConfig};
+use deepstore::flash::SimDuration;
+use deepstore::nn::{zoo, ModelGraph};
+use deepstore::workloads::{QueryStream, TraceDistribution};
+
+const QUERIES: usize = 60;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = zoo::tir().seeded_metric(21);
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let images: Vec<_> = (0..200).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&images)?;
+    let model_id = store.load_model(&ModelGraph::from_model(&model))?;
+
+    // A Zipfian query stream over 30 base sentences in 10 semantic
+    // clusters: popular queries repeat, paraphrases are near-duplicates.
+    let make_stream = || {
+        QueryStream::new(
+            model.feature_len(),
+            30,
+            10,
+            TraceDistribution::Zipfian { alpha: 0.8 },
+            2026,
+        )
+    };
+
+    // Pass 1: no cache.
+    store.disable_qc();
+    let mut stream = make_stream();
+    let mut total = SimDuration::ZERO;
+    for _ in 0..QUERIES {
+        let (_, q) = stream.next_query();
+        let qid = store.query(&q, 5, model_id, db, AcceleratorLevel::Channel)?;
+        total += store.results(qid)?.elapsed;
+    }
+    let without = SimDuration::from_nanos(total.as_nanos() / QUERIES as u64);
+
+    // Pass 2: 16-entry cache at a 12% error threshold.
+    store.set_qc(QueryCacheConfig {
+        capacity: 16,
+        threshold: 0.12,
+        qcn_accuracy: 1.0,
+    });
+    let mut stream = make_stream();
+    let mut total = SimDuration::ZERO;
+    let mut hits = 0;
+    for _ in 0..QUERIES {
+        let (_, q) = stream.next_query();
+        let qid = store.query(&q, 5, model_id, db, AcceleratorLevel::Channel)?;
+        let r = store.results(qid)?;
+        total += r.elapsed;
+        hits += r.cache_hit as usize;
+    }
+    let with = SimDuration::from_nanos(total.as_nanos() / QUERIES as u64);
+
+    println!("{QUERIES} queries, Zipf(0.8) over 30 base sentences:");
+    println!("  without Query Cache: mean {without} per query");
+    println!(
+        "  with Query Cache   : mean {with} per query, {hits}/{QUERIES} hits ({:.0}% hit rate)",
+        100.0 * hits as f64 / QUERIES as f64
+    );
+    println!(
+        "  -> {:.2}x faster on this stream",
+        without.as_nanos() as f64 / with.as_nanos() as f64
+    );
+    let stats = store.qc_stats().expect("cache enabled");
+    println!(
+        "  cache stats: {} lookups, {} hits, {} inserts, {} evictions",
+        stats.lookups, stats.hits, stats.inserts, stats.evictions
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # DeepStore
+//!
+//! A full-system Rust reproduction of **DeepStore: In-Storage Acceleration
+//! for Intelligent Queries** (MICRO-52, 2019): an SSD architecture that
+//! embeds neural-network accelerators at the SSD, flash-channel and
+//! flash-chip levels so that DNN-based similarity queries run inside the
+//! drive instead of hauling the feature database over PCIe to a GPU.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`nn`] — tensors, layers, similarity-comparison networks, the Table 1
+//!   model zoo.
+//! * [`flash`] — the SSD simulator substrate (geometry, timing, FTL,
+//!   discrete-event engine).
+//! * [`systolic`] — the systolic-array accelerator simulator (dataflows,
+//!   scratchpads, top-K sorter, cycle/energy accounting).
+//! * [`energy`] — unit-energy models and accounting.
+//! * [`baseline`] — the GPU+SSD and wimpy-core baselines.
+//! * [`core`] — DeepStore itself: in-storage accelerators, the query
+//!   engine, the similarity-based query cache, the programming API and the
+//!   design-space exploration.
+//! * [`workloads`] — application configs, feature databases and query
+//!   traces.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepstore::core::{DeepStore, DeepStoreConfig, AcceleratorLevel};
+//! use deepstore::nn::{zoo, ModelGraph};
+//!
+//! // Build a small in-storage system and load the TIR similarity model.
+//! let mut store = DeepStore::new(DeepStoreConfig::small());
+//! let model = zoo::tir().seeded(42);
+//! let features: Vec<_> = (0..64).map(|i| model.random_feature(i)).collect();
+//! let db = store.write_db(&features).unwrap();
+//! let model_id = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+//!
+//! // Run an intelligent query entirely inside the simulated SSD.
+//! let query = model.random_feature(1000);
+//! let qid = store
+//!     .query(&query, 5, model_id, db, AcceleratorLevel::Channel)
+//!     .unwrap();
+//! let results = store.results(qid).unwrap();
+//! assert_eq!(results.top_k.len(), 5);
+//! ```
+
+pub use deepstore_baseline as baseline;
+pub use deepstore_core as core;
+pub use deepstore_energy as energy;
+pub use deepstore_flash as flash;
+pub use deepstore_nn as nn;
+pub use deepstore_systolic as systolic;
+pub use deepstore_workloads as workloads;

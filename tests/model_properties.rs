@@ -1,0 +1,151 @@
+//! Property-based tests on the timing and energy models: the scan-time
+//! and energy functions must respect basic physical monotonicities for
+//! *any* workload in range, not just the five paper applications.
+
+use deepstore::core::accel::{channel_level_scan, scan, ScanWorkload};
+use deepstore::core::{AcceleratorLevel, DeepStoreConfig};
+use deepstore::flash::layout::{DbLayout, Placement};
+use deepstore::nn::{Activation, LayerShape, MergeOp, ModelBuilder};
+use proptest::prelude::*;
+
+/// A small random FC-stack model: dims bounded so scans stay cheap.
+fn arb_model() -> impl Strategy<Value = deepstore::nn::Model> {
+    (2usize..400, 2usize..400, 1usize..300).prop_map(|(feature, hidden, out)| {
+        ModelBuilder::new("prop", feature)
+            .dense(feature * 2, hidden, Activation::Relu)
+            .dense(hidden, out, Activation::Identity)
+            .build()
+    })
+}
+
+fn workload(model: &deepstore::nn::Model, db_bytes: u64, cfg: &DeepStoreConfig) -> ScanWorkload {
+    ScanWorkload::from_model(model, db_bytes, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scan time is monotone in database size at every level.
+    #[test]
+    fn scan_time_monotone_in_db_size(model in arb_model(), gib in 1u64..20) {
+        let cfg = DeepStoreConfig::paper_default();
+        let small = workload(&model, gib * (1 << 30), &cfg);
+        let large = workload(&model, (gib + 1) * (1 << 30), &cfg);
+        for level in AcceleratorLevel::ALL {
+            let (Some(ts), Some(tl)) = (scan(level, &small, &cfg), scan(level, &large, &cfg))
+            else { continue };
+            prop_assert!(tl.elapsed >= ts.elapsed, "{level}: {} < {}", tl.elapsed, ts.elapsed);
+            prop_assert!(tl.counts.macs >= ts.counts.macs);
+            prop_assert!(tl.counts.flash_pages >= ts.counts.flash_pages);
+        }
+    }
+
+    /// More channels never slow a channel-level scan down.
+    #[test]
+    fn channel_scan_monotone_in_channels(model in arb_model()) {
+        let db = 4u64 << 30;
+        let mut t_prev = None;
+        for channels in [4usize, 8, 16, 32, 64] {
+            let mut cfg = DeepStoreConfig::paper_default();
+            cfg.ssd.geometry.channels = channels;
+            let t = channel_level_scan(&workload(&model, db, &cfg), &cfg).elapsed;
+            if let Some(prev) = t_prev {
+                prop_assert!(t <= prev, "{channels} channels: {t} > {prev}");
+            }
+            t_prev = Some(t);
+        }
+    }
+
+    /// The MAC count of a scan is exactly features x per-comparison MACs,
+    /// regardless of level.
+    #[test]
+    fn scan_macs_are_exact(model in arb_model(), gib in 1u64..8) {
+        let cfg = DeepStoreConfig::paper_default();
+        let w = workload(&model, gib * (1 << 30), &cfg);
+        let expected = w.num_features() * model.total_macs();
+        for level in AcceleratorLevel::ALL {
+            if let Some(t) = scan(level, &w, &cfg) {
+                prop_assert_eq!(t.counts.macs, expected);
+            }
+        }
+    }
+
+    /// Page-aligned layouts never scan faster than packed ones (they read
+    /// at least as many pages).
+    #[test]
+    fn page_aligned_never_faster(model in arb_model(), gib in 1u64..8) {
+        let mut packed_cfg = DeepStoreConfig::paper_default();
+        packed_cfg.placement = Placement::Packed;
+        let mut aligned_cfg = DeepStoreConfig::paper_default();
+        aligned_cfg.placement = Placement::PageAligned;
+        let db = gib * (1 << 30);
+        let tp = channel_level_scan(&workload(&model, db, &packed_cfg), &packed_cfg);
+        let ta = channel_level_scan(&workload(&model, db, &aligned_cfg), &aligned_cfg);
+        prop_assert!(ta.flash >= tp.flash);
+    }
+
+    /// Layout invariants hold for arbitrary (feature size, count) pairs.
+    #[test]
+    fn layout_footprint_covers_payload(
+        feature_bytes in 4usize..200_000,
+        features in 0u64..50_000,
+    ) {
+        for placement in [Placement::Packed, Placement::PageAligned] {
+            let l = DbLayout::new(feature_bytes, features, 16 * 1024, placement);
+            prop_assert!(l.footprint_bytes() >= l.payload_bytes());
+            prop_assert!(l.read_amplification() >= 1.0 - 1e-9);
+        }
+    }
+
+    /// The energy model is additive: splitting a scan in two halves costs
+    /// the same dynamic energy as the whole.
+    #[test]
+    fn energy_is_additive_in_counts(macs in 0u64..1_000_000, bytes in 0u64..1_000_000) {
+        use deepstore::energy::{EnergyModel, SramVariant};
+        use deepstore::systolic::AccessCounts;
+        let m = EnergyModel::for_scratchpad(512 * 1024, SramVariant::ItrsHp);
+        let whole = AccessCounts { macs, sram_read_bytes: bytes, ..Default::default() };
+        let half_a = AccessCounts { macs: macs / 2, sram_read_bytes: bytes / 2, ..Default::default() };
+        let half_b = AccessCounts {
+            macs: macs - macs / 2,
+            sram_read_bytes: bytes - bytes / 2,
+            ..Default::default()
+        };
+        let sum = m.energy(&half_a).total_j() + m.energy(&half_b).total_j();
+        let direct = m.energy(&whole).total_j();
+        prop_assert!((sum - direct).abs() <= 1e-12 * direct.max(1.0));
+    }
+
+    /// A dense layer's cycle model is monotone in both dimensions.
+    #[test]
+    fn fc_cycles_monotone(inf in 1usize..4096, outf in 1usize..4096) {
+        use deepstore::systolic::cycles::layer_cycles;
+        use deepstore::systolic::{ArrayConfig, Dataflow};
+        let arr = ArrayConfig::new(16, 64, 800e6, Dataflow::OutputStationary, 1 << 19);
+        let base = LayerShape::Dense { in_features: inf, out_features: outf };
+        let wider = LayerShape::Dense { in_features: inf + 1, out_features: outf };
+        let taller = LayerShape::Dense { in_features: inf, out_features: outf + 1 };
+        prop_assert!(layer_cycles(&wider, &arr) >= layer_cycles(&base, &arr));
+        prop_assert!(layer_cycles(&taller, &arr) >= layer_cycles(&base, &arr));
+    }
+}
+
+#[test]
+fn merge_op_does_not_change_scan_plumbing() {
+    // Element-wise merges add a pseudo-layer; the scan models must accept
+    // both forms.
+    let cfg = DeepStoreConfig::paper_default();
+    for merge in [
+        MergeOp::Concat,
+        MergeOp::ElementWise(deepstore::nn::ElementWiseOp::Mul),
+    ] {
+        let mut b = ModelBuilder::new("m", 64).merge(merge);
+        b = match merge {
+            MergeOp::Concat => b.dense(128, 32, Activation::Relu),
+            _ => b.dense(64, 32, Activation::Relu),
+        };
+        let model = b.build();
+        let w = ScanWorkload::from_model(&model, 1 << 30, &cfg);
+        assert!(scan(AcceleratorLevel::Channel, &w, &cfg).is_some());
+    }
+}

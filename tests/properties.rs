@@ -1,0 +1,175 @@
+//! Property-based tests on core data structures and invariants.
+
+use deepstore::flash::layout::{DbLayout, Placement};
+use deepstore::flash::stream::{stripe_pages, ChannelStream};
+use deepstore::flash::{SimDuration, SsdConfig};
+use deepstore::nn::Tensor;
+use deepstore::systolic::topk::TopKSorter;
+use proptest::prelude::*;
+
+proptest! {
+    /// The hardware-style top-K sorter agrees with a naive sort for any
+    /// score stream.
+    #[test]
+    fn topk_matches_naive_sort(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut sorter = TopKSorter::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            sorter.offer(s, i as u64);
+        }
+        let mut naive: Vec<(f32, u64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u64))
+            .collect();
+        // Stable by insertion order on ties, descending by score.
+        naive.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        naive.truncate(k);
+        let got: Vec<(f32, u64)> = sorter.ranked().iter().map(|e| (e.score, e.feature_id)).collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Merging per-shard top-K sorters yields the global top-K.
+    #[test]
+    fn topk_merge_equals_global(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..150),
+        k in 1usize..10,
+        shards in 1usize..5,
+    ) {
+        let mut parts: Vec<TopKSorter> = (0..shards).map(|_| TopKSorter::new(k)).collect();
+        let mut global = TopKSorter::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            parts[i % shards].offer(s, i as u64);
+            global.offer(s, i as u64);
+        }
+        let mut merged = TopKSorter::new(k);
+        for p in &parts {
+            merged.merge(p);
+        }
+        let scores_of = |s: &TopKSorter| s.ranked().iter().map(|e| e.score).collect::<Vec<_>>();
+        prop_assert_eq!(scores_of(&merged), scores_of(&global));
+    }
+
+    /// Striping conserves pages and balances within one page.
+    #[test]
+    fn striping_conserves_and_balances(total in 0u64..1_000_000, channels in 1usize..128) {
+        let per = stripe_pages(total, channels);
+        prop_assert_eq!(per.len(), channels);
+        prop_assert_eq!(per.iter().sum::<u64>(), total);
+        let max = per.iter().max().copied().unwrap_or(0);
+        let min = per.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    /// The event-driven stream is monotone in page count and never beats
+    /// the bus bandwidth.
+    #[test]
+    fn stream_time_is_monotone_and_bus_bounded(pages in 1u64..5_000) {
+        let cfg = SsdConfig::paper_default();
+        let s = ChannelStream::new(&cfg);
+        let t = s.stream_pages(pages);
+        let t_more = s.stream_pages(pages + 1);
+        prop_assert!(t_more >= t);
+        // Cannot move data faster than the channel bus.
+        let bus_floor = SimDuration::for_transfer(
+            pages * cfg.geometry.page_bytes as u64,
+            cfg.timing.channel_bus_bytes_per_sec,
+        );
+        prop_assert!(t >= bus_floor);
+    }
+
+    /// Layout accounting: packed never uses more pages than page-aligned,
+    /// and both cover the payload.
+    #[test]
+    fn layout_page_accounting(
+        feature_bytes in 64usize..100_000,
+        features in 0u64..10_000,
+    ) {
+        let page = 16 * 1024;
+        let packed = DbLayout::new(feature_bytes, features, page, Placement::Packed);
+        let aligned = DbLayout::new(feature_bytes, features, page, Placement::PageAligned);
+        prop_assert!(packed.total_pages() <= aligned.total_pages());
+        prop_assert!(packed.footprint_bytes() >= packed.payload_bytes());
+        prop_assert!(aligned.read_amplification() >= 1.0 - 1e-9);
+    }
+
+    /// Tensor element-wise algebra: add/sub roundtrip and dot symmetry.
+    #[test]
+    fn tensor_algebra(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        b_seed in 0u64..1000,
+    ) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::random(vec![a.len()], 1.0, b_seed);
+        let sum = ta.add(&tb).unwrap();
+        let back = sum.sub(&tb).unwrap();
+        for (x, y) in back.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let d1 = ta.dot(&tb).unwrap();
+        let d2 = tb.dot(&ta).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-3);
+    }
+
+    /// SimDuration arithmetic is consistent with nanosecond math.
+    #[test]
+    fn duration_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!((da - db).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(da.max(db).as_nanos(), a.max(b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flash roundtrip: any set of feature vectors written through the
+    /// engine reads back bit-identical (packed placement, multi-page
+    /// features included).
+    #[test]
+    fn engine_roundtrips_any_features(
+        dim in 1usize..2000,
+        n in 1u64..12,
+        seed in 0u64..100,
+    ) {
+        use deepstore::core::engine::Engine;
+        use deepstore::core::DeepStoreConfig;
+        let mut e = Engine::new(DeepStoreConfig::small());
+        let features: Vec<Tensor> =
+            (0..n).map(|i| Tensor::random(vec![dim], 1.0, seed + i)).collect();
+        let db = e.write_db(&features).unwrap();
+        e.seal_db(db).unwrap();
+        for (i, f) in features.iter().enumerate() {
+            prop_assert_eq!(&e.read_feature(db, i as u64).unwrap(), f);
+        }
+    }
+
+    /// The query cache never exceeds capacity and hit results are always
+    /// copies of inserted results.
+    #[test]
+    fn cache_capacity_invariant(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(0u64..8, 1..60),
+    ) {
+        use deepstore::core::{QueryCache, QueryCacheConfig};
+        let mut qc = QueryCache::new(QueryCacheConfig {
+            capacity,
+            threshold: 0.05,
+            qcn_accuracy: 1.0,
+        });
+        for &q in &ops {
+            let qfv = Tensor::random(vec![16], 1.0, q);
+            if qc.lookup(&qfv).is_none() {
+                qc.insert(qfv, vec![]);
+            }
+            prop_assert!(qc.len() <= capacity);
+        }
+        let stats = qc.stats();
+        prop_assert_eq!(stats.lookups, ops.len() as u64);
+        prop_assert!(stats.hits <= stats.lookups);
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the wire protocol and the runtime scheduler.
+
+use deepstore::core::proto::{
+    decode_command, decode_response, encode_command, Command, Device, HostClient, ProtoError,
+    Response,
+};
+use deepstore::core::runtime::Runtime;
+use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig, DbId, QueryCacheConfig};
+use deepstore::flash::SimDuration;
+use deepstore::nn::{zoo, ModelGraph, Tensor};
+use proptest::prelude::*;
+
+#[test]
+fn full_session_over_the_wire_matches_direct_api() {
+    let model = zoo::tir().seeded_metric(12);
+    let features: Vec<Tensor> = (0..48).map(|i| model.random_feature(i)).collect();
+    let probe = model.random_feature(7); // duplicate of feature 7
+
+    // Direct API.
+    let mut direct = DeepStore::new(DeepStoreConfig::small());
+    direct.disable_qc();
+    let db = direct.write_db(&features).unwrap();
+    let mid = direct.load_model(&ModelGraph::from_model(&model)).unwrap();
+    let qid = direct.query(&probe, 5, mid, db, AcceleratorLevel::Channel).unwrap();
+    let direct_result = direct.results(qid).unwrap();
+
+    // Wire protocol.
+    let mut device = Device::new(DeepStoreConfig::small());
+    device.store_mut().disable_qc();
+    let mut host = HostClient::new(&mut device);
+    let wdb = host.write_db(&features).unwrap();
+    let wmid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+    let wqid = host.query(&probe, 5, wmid, wdb, AcceleratorLevel::Channel).unwrap();
+    let wire_result = host.get_results(wqid).unwrap();
+
+    let direct_ids: Vec<u64> = direct_result.top_k.iter().map(|h| h.feature_index).collect();
+    let wire_ids: Vec<u64> = wire_result.top_k.iter().map(|h| h.feature_index).collect();
+    assert_eq!(direct_ids, wire_ids);
+    assert_eq!(direct_result.elapsed, wire_result.elapsed);
+}
+
+#[test]
+fn device_survives_command_reordering_and_bad_handles() {
+    let mut device = Device::new(DeepStoreConfig::small());
+    let mut host = HostClient::new(&mut device);
+    // getResults before any query.
+    assert!(matches!(
+        host.get_results(deepstore::core::QueryId(1)),
+        Err(ProtoError::Device(_))
+    ));
+    // query before loadModel.
+    let model = zoo::textqa().seeded(1);
+    let db = host.write_db(&[model.random_feature(0)]).unwrap();
+    assert!(matches!(
+        host.query(
+            &model.random_feature(1),
+            1,
+            deepstore::core::ModelId(9),
+            db,
+            AcceleratorLevel::Ssd
+        ),
+        Err(ProtoError::Device(_))
+    ));
+    // append to a foreign id.
+    assert!(host.append_db(DbId(1234), &[model.random_feature(2)]).is_err());
+}
+
+#[test]
+fn runtime_trace_replay_produces_consistent_stats() {
+    let model = zoo::textqa().seeded(5);
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    store.set_qc(QueryCacheConfig {
+        capacity: 8,
+        threshold: 0.10,
+        qcn_accuracy: 1.0,
+    });
+    let features: Vec<Tensor> = (0..32).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&features).unwrap();
+    let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+
+    let mut rt = Runtime::new(store);
+    // A bursty trace: 12 queries, 4 distinct QFVs (expect cache hits).
+    for i in 0..12u64 {
+        rt.submit_at(
+            SimDuration::from_micros(i * 5),
+            model.random_feature(i % 4),
+            3,
+            mid,
+            db,
+            AcceleratorLevel::Channel,
+        );
+    }
+    rt.run_to_completion().unwrap();
+    let stats = rt.stats().unwrap();
+    assert_eq!(stats.completed, 12);
+    assert!(stats.cache_hits >= 8, "hits = {}", stats.cache_hits);
+    // Every record is internally consistent.
+    for r in rt.records() {
+        assert!(r.start >= r.arrival);
+        assert!(r.completion > r.start);
+        assert_eq!(r.latency(), r.queueing() + r.service());
+    }
+    // Records are serially ordered on the fabric.
+    for w in rt.records().windows(2) {
+        assert!(w[1].start >= w[0].completion);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary bytes never crash the device; it always answers with a
+    /// well-formed response frame.
+    #[test]
+    fn device_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut device = Device::new(DeepStoreConfig::small());
+        let resp = device.handle(&bytes);
+        let parsed = decode_response(&resp).unwrap();
+        prop_assert!(matches!(parsed, Response::Error(_)));
+    }
+
+    /// Command frames round-trip for arbitrary read ranges.
+    #[test]
+    fn read_db_commands_roundtrip(db in 0u64..1000, start in 0u64..1000, num in 0u64..1000) {
+        let cmd = Command::ReadDb { db: DbId(db), start, num };
+        let decoded = decode_command(&encode_command(&cmd)).unwrap();
+        prop_assert_eq!(decoded, cmd);
+    }
+}
