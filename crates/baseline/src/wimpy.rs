@@ -40,7 +40,9 @@ impl WimpyCores {
     /// internal flash streaming.
     pub fn query_time(&self, spec: &ScanSpec) -> SimDuration {
         let compute = SimDuration::from_secs_f64(spec.total_flops() as f64 / self.effective_flops);
-        let pages = spec.total_bytes().div_ceil(self.ssd.geometry.page_bytes as u64);
+        let pages = spec
+            .total_bytes()
+            .div_ceil(self.ssd.geometry.page_bytes as u64);
         let per_channel = stripe_pages(pages, self.ssd.geometry.channels);
         let stream = deepstore_flash::stream::all_channels_stream(&self.ssd, &per_channel);
         compute.max(stream)

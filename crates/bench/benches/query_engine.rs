@@ -1,7 +1,7 @@
 //! Criterion micro-bench: end-to-end functional queries through the
 //! DeepStore API on a small in-memory flash array.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use deepstore_core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
 use deepstore_nn::{zoo, ModelGraph};
 
@@ -30,5 +30,38 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Wall-clock effect of the scan-parallelism knob on a larger database
+/// (results are identical at every setting; only host time changes, and
+/// only on multicore hosts).
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scan");
+    group.sample_size(10);
+    let model = zoo::textqa().seeded(3);
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    store.disable_qc();
+    let features: Vec<_> = (0..512).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&features).unwrap();
+    let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+    let mut seed = 20_000u64;
+    for workers in [1usize, 2, 4, 8] {
+        store.set_parallelism(workers);
+        group.bench_with_input(
+            BenchmarkId::new("scan512/textqa", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    seed += 1;
+                    let q = model.random_feature(seed);
+                    let qid = store
+                        .query(black_box(&q), 10, mid, db, AcceleratorLevel::Channel)
+                        .unwrap();
+                    store.results(qid).unwrap().top_k.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_parallel_scan);
 criterion_main!(benches);

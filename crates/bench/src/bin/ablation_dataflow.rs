@@ -9,9 +9,7 @@
 use deepstore_bench::report::{emit, num, Table};
 use deepstore_core::config::{AcceleratorConfig, AcceleratorLevel};
 use deepstore_nn::zoo;
-use deepstore_systolic::cycles::{
-    scn_cycles_per_feature, ws_plan, ws_tile_cycles_per_feature,
-};
+use deepstore_systolic::cycles::{scn_cycles_per_feature, ws_plan, ws_tile_cycles_per_feature};
 use deepstore_systolic::Dataflow;
 
 fn main() {
@@ -38,7 +36,9 @@ fn main() {
                 model.name().to_string(),
                 level.to_string(),
                 os_cycles.to_string(),
-                ws_cycles.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                ws_cycles
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 match chosen.dataflow {
                     Dataflow::OutputStationary => "OS".to_string(),
                     Dataflow::WeightStationary => "WS".to_string(),

@@ -13,13 +13,7 @@ use deepstore_flash::layout::Placement;
 use deepstore_workloads::App;
 
 fn main() {
-    let mut table = Table::new(&[
-        "app",
-        "read_amp",
-        "packed_s",
-        "aligned_s",
-        "slowdown",
-    ]);
+    let mut table = Table::new(&["app", "read_amp", "packed_s", "aligned_s", "slowdown"]);
     for app in App::all() {
         let mut packed_cfg = DeepStoreConfig::paper_default();
         packed_cfg.placement = Placement::Packed;
@@ -34,7 +28,10 @@ fn main() {
             num(aligned_w.layout.read_amplification(), 2),
             num(packed.elapsed.as_secs_f64(), 3),
             num(aligned.elapsed.as_secs_f64(), 3),
-            num(aligned.elapsed.as_secs_f64() / packed.elapsed.as_secs_f64(), 2),
+            num(
+                aligned.elapsed.as_secs_f64() / packed.elapsed.as_secs_f64(),
+                2,
+            ),
         ]);
     }
     emit(

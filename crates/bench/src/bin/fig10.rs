@@ -17,7 +17,9 @@ use deepstore_workloads::App;
 fn main() {
     let app = App::new("mir");
     let spec = app.scan_spec();
-    let baseline_s = GpuSsdSystem::paper_default(&app.name).query(&spec).total_secs;
+    let baseline_s = GpuSsdSystem::paper_default(&app.name)
+        .query(&spec)
+        .total_secs;
 
     // (a) Channel sweep.
     let mut table_a = Table::new(&["channels", "traditional", "ssd", "channel", "chip"]);

@@ -1,8 +1,8 @@
 //! Figure 11 / Table 4 (energy half): energy efficiency (perf/W) of the
 //! three DeepStore levels normalized to the Volta GPU.
 
-use deepstore_bench::report::{emit, num, Table};
 use deepstore_bench::evaluate_app;
+use deepstore_bench::report::{emit, num, Table};
 use deepstore_core::config::AcceleratorLevel;
 use deepstore_workloads::App;
 

@@ -2,13 +2,20 @@
 //! / flash) for the SSD-level (S), channel-level (C) and chip-level (CP)
 //! accelerators on each application.
 
-use deepstore_bench::report::{emit, num, Table};
 use deepstore_bench::evaluate_app;
+use deepstore_bench::report::{emit, num, Table};
 use deepstore_core::config::AcceleratorLevel;
 use deepstore_workloads::App;
 
 fn main() {
-    let mut table = Table::new(&["app", "level", "compute_pct", "memory_pct", "flash_pct", "total_j"]);
+    let mut table = Table::new(&[
+        "app",
+        "level",
+        "compute_pct",
+        "memory_pct",
+        "flash_pct",
+        "total_j",
+    ]);
     for app in App::all() {
         let e = evaluate_app(&app);
         for level in AcceleratorLevel::ALL {

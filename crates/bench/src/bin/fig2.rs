@@ -12,12 +12,23 @@ use deepstore_workloads::App;
 
 fn main() {
     let mut table = Table::new(&[
-        "app", "gpu", "batch", "ssd_read_s", "memcpy_s", "compute_s", "total_s", "io_pct",
-        "memcpy_pct", "compute_pct",
+        "app",
+        "gpu",
+        "batch",
+        "ssd_read_s",
+        "memcpy_s",
+        "compute_s",
+        "total_s",
+        "io_pct",
+        "memcpy_pct",
+        "compute_pct",
     ]);
     for app in App::all() {
         let spec = app.scan_spec();
-        for (gpu_name, gpu) in [("pascal", GpuSpec::titan_xp()), ("volta", GpuSpec::titan_v())] {
+        for (gpu_name, gpu) in [
+            ("pascal", GpuSpec::titan_xp()),
+            ("volta", GpuSpec::titan_v()),
+        ] {
             for &batch in &app.batch_sweep {
                 let sys = GpuSsdSystem::paper_default(&app.name).with_gpu(gpu.clone());
                 let b = sys.query_batched(&spec, batch);

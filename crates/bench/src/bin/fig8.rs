@@ -2,8 +2,8 @@
 //! SSD-, channel- and chip-level DeepStore accelerators, normalized to
 //! the GPU+SSD baseline, for all five applications.
 
-use deepstore_bench::report::{emit, num, Table};
 use deepstore_bench::evaluate_app;
+use deepstore_bench::report::{emit, num, Table};
 use deepstore_core::config::AcceleratorLevel;
 use deepstore_workloads::App;
 

@@ -17,9 +17,7 @@ use deepstore_workloads::App;
 const RATIOS: [(u64, u64); 6] = [(1, 8), (1, 4), (1, 2), (1, 1), (2, 1), (4, 1)];
 
 fn main() {
-    let mut table = Table::new(&[
-        "app", "system", "1:8", "1:4", "1:2", "1:1", "2:1", "4:1",
-    ]);
+    let mut table = Table::new(&["app", "system", "1:8", "1:4", "1:2", "1:1", "2:1", "4:1"]);
     for app in App::all() {
         let spec = app.scan_spec();
 

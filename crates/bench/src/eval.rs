@@ -54,10 +54,7 @@ pub struct AppEvaluation {
 impl AppEvaluation {
     /// The evaluation for a given level, if supported.
     pub fn level(&self, level: AcceleratorLevel) -> Option<&LevelEvaluation> {
-        self.levels
-            .iter()
-            .flatten()
-            .find(|l| l.level == level)
+        self.levels.iter().flatten().find(|l| l.level == level)
     }
 }
 
@@ -197,7 +194,10 @@ mod tests {
     #[test]
     fn textqa_has_best_channel_speedup_reid_worst() {
         let speedup = |n: &str| eval(n).level(AcceleratorLevel::Channel).unwrap().speedup;
-        let all: Vec<f64> = deepstore_workloads::APP_NAMES.iter().map(|n| speedup(n)).collect();
+        let all: Vec<f64> = deepstore_workloads::APP_NAMES
+            .iter()
+            .map(|n| speedup(n))
+            .collect();
         let textqa = speedup("textqa");
         let reid = speedup("reid");
         assert!(all.iter().all(|&s| s <= textqa + 1e-9));

@@ -27,15 +27,17 @@ impl Table {
 
     /// Appends a row (stringifying each cell).
     pub fn row<S: Display>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         let all = std::iter::once(&self.header).chain(self.rows.iter());
         for row in all {
@@ -72,7 +74,14 @@ impl Table {
                 cell.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

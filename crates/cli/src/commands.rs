@@ -19,11 +19,15 @@ commands:
   zoo                                     Table 1 model summary
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
-                                          functional query on a small drive
+             [--parallelism P]            functional query on a small drive
   trace      [--queries N] [--qps F] [--seed S] --out <file>
                                           generate a Poisson query trace
-  replay     --trace <file> [--features N]
+  replay     --trace <file> [--features N] [--parallelism P]
                                           replay a trace through the runtime
+
+`--parallelism` sets the scan worker-thread count (0 = one per host
+core). It changes host wall-clock time only; results and simulated
+latencies are identical at every setting.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -60,7 +64,10 @@ fn parse_level(name: &str) -> Result<AcceleratorLevel, ArgError> {
 
 fn cmd_zoo(args: &[String]) -> CmdResult {
     Flags::parse(args)?.expect_only(&[])?;
-    println!("{:<8} {:>10} {:>6} {:>4} {:>4} {:>9} {:>10}", "app", "feature_b", "conv", "fc", "ew", "mflops", "weights_mb");
+    println!(
+        "{:<8} {:>10} {:>6} {:>4} {:>4} {:>9} {:>10}",
+        "app", "feature_b", "conv", "fc", "ew", "mflops", "weights_mb"
+    );
     for m in zoo::all() {
         println!(
             "{:<8} {:>10} {:>6} {:>4} {:>4} {:>9.3} {:>10.3}",
@@ -92,7 +99,10 @@ fn cmd_scan_time(args: &[String]) -> CmdResult {
     let spec = deepstore_baseline::ScanSpec::from_model(&model, db_bytes);
     let gpu = GpuSsdSystem::paper_default(app_name).query(&spec);
 
-    println!("{app_name}: scanning {} features ({db_gib} GiB)", spec.num_features);
+    println!(
+        "{app_name}: scanning {} features ({db_gib} GiB)",
+        spec.num_features
+    );
     println!("  gpu+ssd baseline: {:8.3} s", gpu.total_secs);
     for level in AcceleratorLevel::ALL {
         match scan(level, &workload, &cfg) {
@@ -112,17 +122,18 @@ fn cmd_scan_time(args: &[String]) -> CmdResult {
 
 fn cmd_query(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    flags.expect_only(&["app", "features", "k", "level", "seed"])?;
+    flags.expect_only(&["app", "features", "k", "level", "seed", "parallelism"])?;
     let app_name = flags.required("app")?;
     let features: u64 = flags.num_or("features", 128)?;
     let k: usize = flags.num_or("k", 5)?;
     let level = parse_level(flags.str_or("level", "channel"))?;
     let seed: u64 = flags.num_or("seed", 42)?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
 
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
         .seeded_metric(seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
@@ -159,20 +170,18 @@ fn cmd_trace(args: &[String]) -> CmdResult {
     );
     let trace = QueryTrace::generate(&mut stream, queries, qps, seed);
     std::fs::write(out, trace.to_bytes())?;
-    println!(
-        "wrote {queries} queries over {} to {out}",
-        trace.duration()
-    );
+    println!("wrote {queries} queries over {} to {out}", trace.duration());
     Ok(())
 }
 
 fn cmd_replay(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    flags.expect_only(&["trace", "features", "k", "level"])?;
+    flags.expect_only(&["trace", "features", "k", "level", "parallelism"])?;
     let path = flags.required("trace")?;
     let features: u64 = flags.num_or("features", 128)?;
     let k: usize = flags.num_or("k", 5)?;
     let level = parse_level(flags.str_or("level", "channel"))?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
 
     let trace = QueryTrace::from_bytes(&std::fs::read(path)?).map_err(ArgError)?;
     let dim = trace
@@ -187,7 +196,7 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         .ok_or_else(|| ArgError(format!("no zoo model with feature length {dim}")))?
         .seeded(7);
 
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
@@ -199,7 +208,9 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     let s = rt.stats()?;
     println!(
         "replayed {} queries ({} offered qps) against model `{}`:",
-        s.completed, trace.offered_qps, model.name()
+        s.completed,
+        trace.offered_qps,
+        model.name()
     );
     println!("  cache hits : {}/{}", s.cache_hits, s.completed);
     println!("  throughput : {:.2} qps (simulated)", s.throughput_qps);
@@ -228,10 +239,44 @@ mod tests {
     fn query_runs_at_each_supported_level() {
         for level in ["ssd", "channel", "chip"] {
             run(&argv(&[
-                "query", "--app", "textqa", "--features", "32", "--k", "3", "--level", level,
+                "query",
+                "--app",
+                "textqa",
+                "--features",
+                "32",
+                "--k",
+                "3",
+                "--level",
+                level,
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn query_accepts_parallelism_knob() {
+        for workers in ["0", "1", "4"] {
+            run(&argv(&[
+                "query",
+                "--app",
+                "textqa",
+                "--features",
+                "32",
+                "--k",
+                "3",
+                "--parallelism",
+                workers,
+            ]))
+            .unwrap();
+        }
+        assert!(run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--parallelism",
+            "lots",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -239,7 +284,13 @@ mod tests {
         let path = std::env::temp_dir().join("deepstore_cli_test_trace.json");
         let path_s = path.to_str().unwrap();
         run(&argv(&[
-            "trace", "--queries", "12", "--qps", "50", "--out", path_s,
+            "trace",
+            "--queries",
+            "12",
+            "--qps",
+            "50",
+            "--out",
+            path_s,
         ]))
         .unwrap();
         run(&argv(&["replay", "--trace", path_s, "--features", "32"])).unwrap();

@@ -28,8 +28,8 @@ use deepstore_flash::layout::DbLayout;
 use deepstore_flash::stream::{stripe_pages, ChannelStream};
 use deepstore_flash::SimDuration;
 use deepstore_nn::{LayerShape, Model};
-use deepstore_systolic::cycles::{scn_cycles_per_feature, ws_plan, ws_tile_cycles_per_feature};
 use deepstore_systolic::counts::scn_counts_per_feature;
+use deepstore_systolic::cycles::{scn_cycles_per_feature, ws_plan, ws_tile_cycles_per_feature};
 use deepstore_systolic::AccessCounts;
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +127,8 @@ pub fn ssd_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> ScanTim
     let n = workload.num_features();
     let cycles_per_feature =
         scn_cycles_per_feature(&workload.shapes, &acc.array) + cfg.controller_overhead_cycles;
-    let compute = SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * n as f64);
+    let compute =
+        SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * n as f64);
 
     // Flash streams from all channels; the single accelerator ingests via
     // the controller DRAM path.
@@ -145,18 +146,23 @@ pub fn ssd_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> ScanTim
     // (§4.5: "fetching weights in DRAM and computing ... can be fully
     // pipelined"), so it costs bandwidth/energy but only one load of
     // latency.
-    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let plan = ws_plan(
+        workload.weight_bytes,
+        workload.feature_bytes as u64,
+        &acc.array,
+    );
     let weight_passes = if plan.weights_resident {
         1
     } else {
         n.div_ceil(plan.batch_per_pass).max(1)
     };
-    let weights = SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
+    let weights =
+        SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
 
     let mut counts = per_feature_counts(&workload.shapes, &acc).scaled(n);
     counts.flash_pages += pages;
-    counts.dram_bytes += workload.weight_bytes * weight_passes
-        + pages * cfg.ssd.geometry.page_bytes as u64; // DFVs staged via DRAM
+    counts.dram_bytes +=
+        workload.weight_bytes * weight_passes + pages * cfg.ssd.geometry.page_bytes as u64; // DFVs staged via DRAM
 
     ScanTiming {
         elapsed: compute.max(flash) + weights,
@@ -190,13 +196,18 @@ pub fn channel_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> Sca
 
     // Weights: DRAM -> L2 once, then multicast to the channel accelerators
     // over the internal bus, re-streamed once per feature batch.
-    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let plan = ws_plan(
+        workload.weight_bytes,
+        workload.feature_bytes as u64,
+        &acc.array,
+    );
     let passes = if plan.weights_resident {
         1
     } else {
         shard.div_ceil(plan.batch_per_pass).max(1)
     };
-    let weights = SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
+    let weights =
+        SimDuration::for_transfer(workload.weight_bytes, cfg.ssd.timing.dram_bytes_per_sec);
 
     let mut counts = per_feature_counts(&workload.shapes, &acc).scaled(n);
     counts.flash_pages += pages;
@@ -226,8 +237,8 @@ pub fn chip_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> Option
     let chips = cfg.ssd.geometry.total_chips();
     let n = workload.num_features();
     let shard = n.div_ceil(chips as u64);
-    let cycles_per_feature = ws_tile_cycles_per_feature(&workload.shapes, &acc.array)?
-        + cfg.controller_overhead_cycles;
+    let cycles_per_feature =
+        ws_tile_cycles_per_feature(&workload.shapes, &acc.array)? + cfg.controller_overhead_cycles;
     let compute =
         SimDuration::from_secs_f64(acc.array.cycles_to_secs(cycles_per_feature) * shard as f64);
 
@@ -244,7 +255,11 @@ pub fn chip_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> Option
     // Weight-tile broadcast over the channel bus, shared by the channel's
     // chips in lockstep (§4.5). Non-resident models re-broadcast the whole
     // weight set once per feature batch.
-    let plan = ws_plan(workload.weight_bytes, workload.feature_bytes as u64, &acc.array);
+    let plan = ws_plan(
+        workload.weight_bytes,
+        workload.feature_bytes as u64,
+        &acc.array,
+    );
     let passes = if plan.weights_resident {
         1
     } else {
@@ -367,9 +382,13 @@ mod tests {
     fn scan_times_match_calibration_targets() {
         // Derived in DESIGN.md §3: channel-level times of ~1.04 s for
         // flash-bound apps and ~3.3 s for compute-bound ReId.
-        let ch_mir = channel_level_scan(&workload("mir"), &cfg()).elapsed.as_secs_f64();
+        let ch_mir = channel_level_scan(&workload("mir"), &cfg())
+            .elapsed
+            .as_secs_f64();
         assert!((0.9..1.3).contains(&ch_mir), "mir channel = {ch_mir}");
-        let ch_reid = channel_level_scan(&workload("reid"), &cfg()).elapsed.as_secs_f64();
+        let ch_reid = channel_level_scan(&workload("reid"), &cfg())
+            .elapsed
+            .as_secs_f64();
         assert!((2.5..4.5).contains(&ch_reid), "reid channel = {ch_reid}");
     }
 

@@ -98,6 +98,13 @@ impl DeepStore {
         self.engine.config()
     }
 
+    /// Sets the scan worker count (`0` = one worker per available host
+    /// core). Purely a host wall-clock knob: query results and simulated
+    /// latencies are bit-identical at every setting.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.engine.set_parallelism(workers);
+    }
+
     /// `writeDB`: creates a feature database, returning its id. The
     /// database is sealed (all buffered pages flushed) before returning.
     ///
@@ -327,9 +334,13 @@ mod tests {
     fn repeated_query_hits_cache_and_is_faster() {
         let (mut store, model, db, mid) = setup("textqa", 64);
         let q = model.random_feature(7);
-        let q1 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let q1 = store
+            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         let r1 = store.results(q1).unwrap();
-        let q2 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let q2 = store
+            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         let r2 = store.results(q2).unwrap();
         assert!(!r1.cache_hit);
         assert!(r2.cache_hit);
@@ -344,9 +355,13 @@ mod tests {
     fn write_db_invalidates_cache() {
         let (mut store, model, db, mid) = setup("textqa", 32);
         let q = model.random_feature(7);
-        let _ = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let _ = store
+            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         store.append_db(db, &[model.random_feature(999)]).unwrap();
-        let q2 = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let q2 = store
+            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         assert!(!store.results(q2).unwrap().cache_hit);
     }
 
@@ -373,7 +388,9 @@ mod tests {
         let err = store.query(&q, 2, mid, db, AcceleratorLevel::Chip);
         assert!(err.is_err());
         // Channel level works.
-        assert!(store.query(&q, 2, mid, db, AcceleratorLevel::Channel).is_ok());
+        assert!(store
+            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .is_ok());
     }
 
     #[test]
@@ -394,12 +411,18 @@ mod tests {
             qcn_accuracy: 1.0,
         });
         let q = model.random_feature(3);
-        let _ = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
-        let q2 = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
+        let _ = store
+            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
+        let q2 = store
+            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         assert!(store.results(q2).unwrap().cache_hit);
         store.disable_qc();
         assert!(store.qc_stats().is_none());
-        let q3 = store.query(&q, 2, mid, db, AcceleratorLevel::Channel).unwrap();
+        let q3 = store
+            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         assert!(!store.results(q3).unwrap().cache_hit);
     }
 
@@ -427,7 +450,9 @@ mod tests {
         let (mut store, model, db, mid) = setup("textqa", 48);
         store.disable_qc();
         let q = model.random_feature(123);
-        let qid = store.query(&q, 4, mid, db, AcceleratorLevel::Channel).unwrap();
+        let qid = store
+            .query(&q, 4, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         let r = store.results(qid).unwrap();
         for hit in &r.top_k {
             let f = store.read_db(db, hit.feature_index, 1).unwrap();

@@ -108,12 +108,7 @@ impl DeepStoreCluster {
         }
         let mut per_drive = Vec::with_capacity(n);
         for (d, drive) in self.drives.iter_mut().enumerate() {
-            let shard: Vec<Tensor> = features
-                .iter()
-                .skip(d)
-                .step_by(n)
-                .cloned()
-                .collect();
+            let shard: Vec<Tensor> = features.iter().skip(d).step_by(n).cloned().collect();
             per_drive.push(drive.write_db(&shard)?);
         }
         let id = ClusterDbId(self.dbs.len() as u64);
@@ -199,7 +194,14 @@ mod tests {
     use super::*;
     use deepstore_nn::zoo;
 
-    fn cluster(n: usize) -> (DeepStoreCluster, deepstore_nn::Model, ClusterDbId, ClusterModelId) {
+    fn cluster(
+        n: usize,
+    ) -> (
+        DeepStoreCluster,
+        deepstore_nn::Model,
+        ClusterDbId,
+        ClusterModelId,
+    ) {
         let model = zoo::textqa().seeded_metric(4);
         let mut c = DeepStoreCluster::new(n, DeepStoreConfig::small());
         let features: Vec<Tensor> = (0..60).map(|i| model.random_feature(i)).collect();

@@ -147,6 +147,14 @@ pub struct DeepStoreConfig {
     /// interface) during a query, watts (§4.5: ~20 W at peak; the share
     /// attributable to query processing).
     pub controller_power_w: f64,
+    /// Worker threads for the functional query scan (§4.7.1's map step):
+    /// per-channel shards are scored on up to this many workers, each with
+    /// its own top-K sorter, and the per-shard results are merged with a
+    /// deterministic total order — so results are bit-identical at any
+    /// setting. `0` means one worker per available host core. This knob
+    /// accelerates host wall-clock time only; the *simulated* query
+    /// latency comes from the accelerator timing model and is unaffected.
+    pub parallelism: usize,
 }
 
 impl DeepStoreConfig {
@@ -158,6 +166,7 @@ impl DeepStoreConfig {
             qc_capacity: 1000,
             controller_overhead_cycles: 150,
             controller_power_w: 5.0,
+            parallelism: 1,
         }
     }
 
@@ -169,7 +178,16 @@ impl DeepStoreConfig {
             qc_capacity: 16,
             controller_overhead_cycles: 150,
             controller_power_w: 5.0,
+            parallelism: 1,
         }
+    }
+
+    /// Returns the configuration with the scan-parallelism knob set
+    /// (`0` = one worker per available host core).
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
     }
 }
 

@@ -22,8 +22,7 @@ pub fn estimate_power_w(array: &ArrayConfig, sram: SramVariant) -> f64 {
     const PE_PJ_PER_CYCLE: f64 = 1.6; // 4 pJ/MAC x ~0.4 utilization
     let dynamic = array.pes() as f64 * array.freq_hz * PE_PJ_PER_CYCLE * 1e-12;
     // Scratchpad: assume ~8 bytes/cycle of sustained access.
-    let sram_access =
-        8.0 * array.freq_hz * sram_pj_per_byte(array.scratchpad_bytes, sram) * 1e-12;
+    let sram_access = 8.0 * array.freq_hz * sram_pj_per_byte(array.scratchpad_bytes, sram) * 1e-12;
     // Leakage scales with SRAM capacity (dominant leaker).
     let leak_per_mb = match sram {
         SramVariant::ItrsHp => 0.04,
@@ -147,13 +146,7 @@ mod tests {
     fn channel_budget_rejects_doubling() {
         // 2048 PEs exceed both the 1.71 W power budget and the 7.4 mm2
         // area allowance of a channel-level accelerator.
-        let double = ArrayConfig::new(
-            32,
-            64,
-            800e6,
-            Dataflow::OutputStationary,
-            512 * 1024,
-        );
+        let double = ArrayConfig::new(32, 64, 800e6, Dataflow::OutputStationary, 512 * 1024);
         assert!(!fits_budget(AcceleratorLevel::Channel, &double));
     }
 

@@ -97,6 +97,13 @@ impl Engine {
         &self.cfg
     }
 
+    /// Sets the scan worker count (`0` = one worker per available host
+    /// core). Purely a host wall-clock knob; results and simulated
+    /// timing are unchanged.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.cfg.parallelism = workers;
+    }
+
     /// Metadata for a database.
     ///
     /// # Errors
@@ -161,8 +168,12 @@ impl Engine {
                     let buf = self.write_buffers.entry(db).or_default();
                     buf.extend_from_slice(&bytes);
                     while self.write_buffers[&db].len() >= page_bytes {
-                        let page: Vec<u8> =
-                            self.write_buffers.get_mut(&db).unwrap().drain(..page_bytes).collect();
+                        let page: Vec<u8> = self
+                            .write_buffers
+                            .get_mut(&db)
+                            .unwrap()
+                            .drain(..page_bytes)
+                            .collect();
                         self.flush_page(db, &page)?;
                     }
                 }
@@ -187,7 +198,7 @@ impl Engine {
     pub fn seal_db(&mut self, db: DbId) -> Result<()> {
         self.db_meta(db)?;
         if let Some(buf) = self.write_buffers.get_mut(&db) {
-            let rest: Vec<u8> = buf.drain(..).collect();
+            let rest: Vec<u8> = std::mem::take(buf);
             if !rest.is_empty() {
                 self.flush_page(db, &rest)?;
             }
@@ -203,7 +214,7 @@ impl Engine {
         // when the previous one fills.
         let meta = self.dbs.get_mut(&db).expect("caller verified db");
         let pages_per_block = self.cfg.ssd.geometry.pages_per_block;
-        let need_block = meta.pages.len() % pages_per_block == 0;
+        let need_block = meta.pages.len().is_multiple_of(pages_per_block);
         let addr = if need_block {
             let (_, phys) = self.ftl.allocate(&mut self.array)?;
             phys.page(0)
@@ -215,7 +226,11 @@ impl Engine {
             }
         };
         self.array.program(addr, data)?;
-        self.dbs.get_mut(&db).expect("caller verified db").pages.push(addr);
+        self.dbs
+            .get_mut(&db)
+            .expect("caller verified db")
+            .pages
+            .push(addr);
         Ok(())
     }
 
@@ -227,15 +242,21 @@ impl Engine {
     /// Returns [`FlashError::UnknownDb`] / [`FlashError::AddressOutOfRange`]
     /// for bad ids or indices, or [`FlashError::ReadUnwritten`] when a
     /// partial page has not been sealed yet.
-    pub fn read_feature(&mut self, db: DbId, idx: u64) -> Result<Tensor> {
-        let meta = self.db_meta(db)?.clone();
+    pub fn read_feature(&self, db: DbId, idx: u64) -> Result<Tensor> {
+        let meta = self.db_meta(db)?;
         if idx >= meta.num_features {
             return Err(FlashError::AddressOutOfRange(format!(
                 "feature {idx} of {} in db {}",
                 meta.num_features, meta.db_id.0
             )));
         }
-        let bytes = self.read_feature_bytes(&meta, idx)?;
+        self.read_feature_with(meta, idx)
+    }
+
+    /// Reads feature `idx` given already-resolved metadata (the scan's
+    /// per-shard hot path; avoids a metadata lookup per feature).
+    fn read_feature_with(&self, meta: &DbMeta, idx: u64) -> Result<Tensor> {
+        let bytes = self.read_feature_bytes(meta, idx)?;
         let floats: Vec<f32> = bytes
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -244,7 +265,7 @@ impl Engine {
             .map_err(|e| FlashError::AddressOutOfRange(e.to_string()))
     }
 
-    fn read_feature_bytes(&mut self, meta: &DbMeta, idx: u64) -> Result<Vec<u8>> {
+    fn read_feature_bytes(&self, meta: &DbMeta, idx: u64) -> Result<Vec<u8>> {
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
         let (start_page, mut offset) = self.feature_location(meta, idx);
         let mut out = Vec::with_capacity(meta.feature_bytes);
@@ -268,7 +289,10 @@ impl Engine {
         match self.cfg.placement {
             Placement::Packed => {
                 let byte = idx * meta.feature_bytes as u64;
-                ((byte / page_bytes as u64) as usize, (byte % page_bytes as u64) as usize)
+                (
+                    (byte / page_bytes as u64) as usize,
+                    (byte % page_bytes as u64) as usize,
+                )
             }
             Placement::PageAligned => {
                 let ppf = meta.feature_bytes.div_ceil(page_bytes);
@@ -295,6 +319,13 @@ impl Engine {
     /// query with `model`, keeping a per-channel top-K (map) and merging
     /// them (reduce). Returns the global top-K with feature indices.
     ///
+    /// The map step runs on up to [`DeepStoreConfig::parallelism`] worker
+    /// threads, each scoring whole channel shards against its own sorter.
+    /// Results are bit-identical at every parallelism setting: shards are
+    /// fixed by physical placement (not by worker count), each shard's
+    /// top-K is a function of its own features alone, and the reduce
+    /// merge uses the sorter's total order (score desc, feature id asc).
+    ///
     /// # Errors
     ///
     /// Propagates flash errors and
@@ -309,33 +340,115 @@ impl Engine {
     ) -> Result<Vec<ScoredFeature>> {
         let meta = self.db_meta(db)?.clone();
         let channels = self.cfg.ssd.geometry.channels;
-        let mut sorters: Vec<TopKSorter> = (0..channels).map(|_| TopKSorter::new(k)).collect();
+
+        // Shard plan: each feature belongs to the channel its first page
+        // lives on. Unsealed features whose pages are not allocated yet
+        // fall into shard 0, where the read reports the proper error.
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); channels];
         for idx in 0..meta.num_features {
-            let feature = match self.read_feature(db, idx) {
-                Ok(f) => f,
-                Err(FlashError::UncorrectableEcc(_)) => {
-                    // Degrade gracefully: skip the unreadable feature.
-                    self.unreadable_skipped += 1;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            let score = model
-                .similarity(query, &feature)
-                .map_err(|_| FlashError::SizeMismatch {
-                    expected: model.feature_bytes(),
-                    found: meta.feature_bytes,
-                })?;
             let (page_idx, _) = self.feature_location(&meta, idx);
-            let channel = meta.pages[page_idx].channel;
-            sorters[channel].offer(score, idx);
+            let channel = meta.pages.get(page_idx).map_or(0, |p| p.channel);
+            shards[channel].push(idx);
         }
+
+        let workers = effective_workers(self.cfg.parallelism, channels);
+        let per_shard = self.scan_shards(&meta, model, query, k, &shards, workers);
+
+        // Reduce: merge in channel order (the total order in `offer`
+        // makes any order equivalent, but canonical is free), surfacing
+        // the lowest-channel error deterministically.
         let mut merged = TopKSorter::new(k);
-        for s in &sorters {
-            merged.merge(s);
+        let mut skipped = 0;
+        for shard_result in per_shard {
+            let (sorter, shard_skipped) = shard_result?;
+            merged.merge(&sorter);
+            skipped += shard_skipped;
         }
+        self.unreadable_skipped += skipped;
         Ok(merged.ranked())
     }
+
+    /// Runs the map step over the shard plan, returning one
+    /// `(sorter, skipped_count)` result per channel, in channel order.
+    fn scan_shards(
+        &self,
+        meta: &DbMeta,
+        model: &Model,
+        query: &Tensor,
+        k: usize,
+        shards: &[Vec<u64>],
+        workers: usize,
+    ) -> Vec<Result<(TopKSorter, u64)>> {
+        let scan_one = |shard: &[u64]| -> Result<(TopKSorter, u64)> {
+            let mut sorter = TopKSorter::new(k);
+            let mut skipped = 0u64;
+            for &idx in shard {
+                let feature = match self.read_feature_with(meta, idx) {
+                    Ok(f) => f,
+                    Err(FlashError::UncorrectableEcc(_)) => {
+                        // Degrade gracefully: skip the unreadable feature.
+                        skipped += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                let score =
+                    model
+                        .similarity(query, &feature)
+                        .map_err(|_| FlashError::SizeMismatch {
+                            expected: model.feature_bytes(),
+                            found: meta.feature_bytes,
+                        })?;
+                sorter.offer(score, idx);
+            }
+            Ok((sorter, skipped))
+        };
+
+        if workers <= 1 {
+            return shards.iter().map(|s| scan_one(s)).collect();
+        }
+
+        // Channel shards are distributed round-robin over the workers;
+        // every worker owns disjoint channels, so slots are written once.
+        let mut slots: Vec<Option<Result<(TopKSorter, u64)>>> =
+            std::iter::repeat_with(|| None).take(shards.len()).collect();
+        std::thread::scope(|scope| {
+            let scan_one = &scan_one;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        shards
+                            .iter()
+                            .enumerate()
+                            .filter(|(c, _)| c % workers == w)
+                            .map(|(c, shard)| (c, scan_one(shard)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (c, r) in handle.join().expect("scan worker panicked") {
+                    slots[c] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every channel scanned"))
+            .collect()
+    }
+}
+
+/// Resolves the configured parallelism to a concrete worker count:
+/// `0` means one worker per available host core, and there is never a
+/// point in more workers than channel shards.
+fn effective_workers(requested: usize, shards: usize) -> usize {
+    let workers = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    workers.min(shards.max(1))
 }
 
 #[cfg(test)]
@@ -403,7 +516,7 @@ mod tests {
 
     #[test]
     fn unknown_db_is_error() {
-        let mut e = small_engine();
+        let e = small_engine();
         assert!(matches!(
             e.read_feature(DbId(42), 0),
             Err(FlashError::UnknownDb(42))
@@ -519,9 +632,6 @@ mod tests {
         let mut channels: Vec<usize> = meta.pages.iter().map(|p| p.channel).collect();
         channels.sort_unstable();
         channels.dedup();
-        assert!(
-            channels.len() > 1,
-            "db occupies only channels {channels:?}"
-        );
+        assert!(channels.len() > 1, "db occupies only channels {channels:?}");
     }
 }

@@ -45,7 +45,7 @@ pub mod runtime;
 
 pub use accel::{scan, ScanTiming, ScanWorkload};
 pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryResult};
-pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use cluster::DeepStoreCluster;
+pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
 pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};

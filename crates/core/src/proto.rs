@@ -279,9 +279,10 @@ impl Device {
             Command::WriteDb { features } => {
                 self.store.write_db(&features).map(Response::DbCreated)
             }
-            Command::AppendDb { db, features } => {
-                self.store.append_db(db, &features).map(|()| Response::Appended)
-            }
+            Command::AppendDb { db, features } => self
+                .store
+                .append_db(db, &features)
+                .map(|()| Response::Appended),
             Command::ReadDb { db, start, num } => {
                 self.store.read_db(db, start, num).map(Response::Features)
             }
@@ -459,9 +460,7 @@ mod tests {
             Command::SetQc {
                 config: QueryCacheConfig::paper_default(),
             },
-            Command::GetResults {
-                query: QueryId(7),
-            },
+            Command::GetResults { query: QueryId(7) },
         ];
         for cmd in cmds {
             let bytes = encode_command(&cmd);

@@ -16,10 +16,10 @@
 
 use crate::config::AcceleratorConfig;
 use deepstore_flash::SimDuration;
+use deepstore_nn::LayerShape;
 use deepstore_nn::Tensor;
 use deepstore_systolic::cycles::scn_cycles_per_feature;
 use deepstore_systolic::topk::ScoredFeature;
-use deepstore_nn::LayerShape;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 

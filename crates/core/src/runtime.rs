@@ -179,9 +179,7 @@ impl Runtime {
     pub fn run_to_completion(&mut self) -> Result<()> {
         while let Some(p) = self.queue.pop_front() {
             let start = p.arrival.max(self.fabric_free);
-            let qid = self
-                .store
-                .query(&p.qfv, p.k, p.model, p.db, p.level)?;
+            let qid = self.store.query(&p.qfv, p.k, p.model, p.db, p.level)?;
             let result = self.store.results(qid)?;
             let completion = start + result.elapsed;
             self.fabric_free = completion;
@@ -207,14 +205,18 @@ impl Runtime {
                 found: 0,
             });
         }
-        let mut latencies: Vec<SimDuration> =
-            self.records.iter().map(|r| r.latency()).collect();
+        let mut latencies: Vec<SimDuration> = self.records.iter().map(|r| r.latency()).collect();
         latencies.sort_unstable();
         let pct = |p: f64| {
             let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
             latencies[idx]
         };
-        let first = self.records.iter().map(|r| r.arrival).min().expect("non-empty");
+        let first = self
+            .records
+            .iter()
+            .map(|r| r.arrival)
+            .min()
+            .expect("non-empty");
         let last = self
             .records
             .iter()
@@ -228,9 +230,7 @@ impl Runtime {
             cache_hits: self.records.iter().filter(|r| r.cache_hit).count() as u64,
             makespan,
             throughput_qps: self.records.len() as f64 / makespan.as_secs_f64().max(1e-12),
-            mean_latency: SimDuration::from_nanos(
-                total.as_nanos() / latencies.len() as u64,
-            ),
+            mean_latency: SimDuration::from_nanos(total.as_nanos() / latencies.len() as u64),
             p50_latency: pct(0.50),
             p95_latency: pct(0.95),
             p99_latency: pct(0.99),

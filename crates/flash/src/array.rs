@@ -9,6 +9,7 @@ use crate::fault::FaultPlan;
 use crate::geometry::{PageAddr, SsdGeometry};
 use crate::{FlashError, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// State of a single page. Pages start (and return to, after erase) the
 /// `Erased` state implicitly by being absent from the state map.
@@ -21,7 +22,11 @@ enum PageState {
 ///
 /// Pages are stored sparsely, so a terabyte-scale geometry costs nothing
 /// until data is written.
-#[derive(Debug, Clone)]
+///
+/// Reads take `&self`: independent flash channels serve page reads
+/// concurrently, so the parallel query scan shares one array across its
+/// shard workers. The read counter is atomic for exactly that reason.
+#[derive(Debug)]
 pub struct FlashArray {
     geometry: SsdGeometry,
     /// Page payloads, keyed by dense page index.
@@ -33,9 +38,24 @@ pub struct FlashArray {
     /// Injected read faults.
     faults: FaultPlan,
     /// Statistics.
-    reads: u64,
+    reads: AtomicU64,
     programs: u64,
     erases: u64,
+}
+
+impl Clone for FlashArray {
+    fn clone(&self) -> Self {
+        FlashArray {
+            geometry: self.geometry,
+            data: self.data.clone(),
+            states: self.states.clone(),
+            erase_counts: self.erase_counts.clone(),
+            faults: self.faults.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            programs: self.programs,
+            erases: self.erases,
+        }
+    }
 }
 
 impl FlashArray {
@@ -47,7 +67,7 @@ impl FlashArray {
             states: HashMap::new(),
             erase_counts: HashMap::new(),
             faults: FaultPlan::none(),
-            reads: 0,
+            reads: AtomicU64::new(0),
             programs: 0,
             erases: 0,
         }
@@ -92,14 +112,15 @@ impl FlashArray {
         self.faults = faults;
     }
 
-    /// Reads a programmed page.
+    /// Reads a programmed page. Takes `&self` so concurrent shard workers
+    /// can read different channels of one array simultaneously.
     ///
     /// # Errors
     ///
     /// * [`FlashError::AddressOutOfRange`] for an invalid address.
     /// * [`FlashError::ReadUnwritten`] if the page was never programmed.
     /// * [`FlashError::UncorrectableEcc`] if a fault plan marks the page.
-    pub fn read(&mut self, addr: PageAddr) -> Result<&[u8]> {
+    pub fn read(&self, addr: PageAddr) -> Result<&[u8]> {
         self.geometry.check(addr)?;
         if self.faults.fails(&self.geometry, addr) {
             return Err(FlashError::UncorrectableEcc(addr));
@@ -108,7 +129,7 @@ impl FlashArray {
         if self.states.get(&idx) != Some(&PageState::Programmed) {
             return Err(FlashError::ReadUnwritten(addr));
         }
-        self.reads += 1;
+        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(self.data.get(&idx).expect("programmed page has data"))
     }
 
@@ -155,7 +176,11 @@ impl FlashArray {
 
     /// (reads, programs, erases) issued so far.
     pub fn op_counts(&self) -> (u64, u64, u64) {
-        (self.reads, self.programs, self.erases)
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.programs,
+            self.erases,
+        )
     }
 }
 
@@ -180,7 +205,7 @@ mod tests {
 
     #[test]
     fn read_unwritten_fails() {
-        let mut a = array();
+        let a = array();
         assert!(matches!(
             a.read(PageAddr::zero()),
             Err(FlashError::ReadUnwritten(_))
@@ -206,11 +231,21 @@ mod tests {
         let mut a = array();
         let g = *a.geometry();
         for page in 0..g.pages_per_block {
-            a.program(PageAddr { page, ..PageAddr::zero() }, &[1]).unwrap();
+            a.program(
+                PageAddr {
+                    page,
+                    ..PageAddr::zero()
+                },
+                &[1],
+            )
+            .unwrap();
         }
         a.erase_block(PageAddr::zero()).unwrap();
         for page in 0..g.pages_per_block {
-            assert!(!a.is_programmed(PageAddr { page, ..PageAddr::zero() }));
+            assert!(!a.is_programmed(PageAddr {
+                page,
+                ..PageAddr::zero()
+            }));
         }
     }
 

@@ -97,8 +97,7 @@ impl SsdGeometry {
     /// Linearizes a page address (used as a dense index by the functional
     /// array). Inverse of [`SsdGeometry::page_from_index`].
     pub fn page_index(&self, addr: PageAddr) -> u64 {
-        let planes = ((addr.channel * self.chips_per_channel + addr.chip)
-            * self.planes_per_chip
+        let planes = ((addr.channel * self.chips_per_channel + addr.chip) * self.planes_per_chip
             + addr.plane) as u64;
         planes * self.pages_per_plane() as u64
             + (addr.block * self.pages_per_block + addr.page) as u64

@@ -93,8 +93,7 @@ impl HostReadModel {
         let bytes = pages * self.cfg.geometry.page_bytes as u64;
         let external = SimDuration::for_transfer(
             bytes,
-            self.cfg.timing.external_bytes_per_sec * self.num_ssds as f64
-                / self.software_overhead,
+            self.cfg.timing.external_bytes_per_sec * self.num_ssds as f64 / self.software_overhead,
         );
         internal.max(external)
     }
@@ -129,9 +128,7 @@ mod tests {
     #[test]
     fn software_overhead_slows_reads() {
         let ideal = model().read_time(1 << 30);
-        let real = model()
-            .with_software_overhead(1.5)
-            .read_time(1 << 30);
+        let real = model().with_software_overhead(1.5).read_time(1 << 30);
         let ratio = real.as_secs_f64() / ideal.as_secs_f64();
         assert!((ratio - 1.5).abs() < 0.01);
     }

@@ -67,9 +67,7 @@ impl DbLayout {
     /// average page cost per feature (packed).
     pub fn pages_per_feature(&self) -> f64 {
         match self.placement {
-            Placement::PageAligned => {
-                self.feature_bytes.div_ceil(self.page_bytes) as f64
-            }
+            Placement::PageAligned => self.feature_bytes.div_ceil(self.page_bytes) as f64,
             Placement::Packed => self.feature_bytes as f64 / self.page_bytes as f64,
         }
     }
@@ -81,8 +79,7 @@ impl DbLayout {
                 self.num_features * self.feature_bytes.div_ceil(self.page_bytes) as u64
             }
             Placement::Packed => {
-                (self.num_features * self.feature_bytes as u64)
-                    .div_ceil(self.page_bytes as u64)
+                (self.num_features * self.feature_bytes as u64).div_ceil(self.page_bytes as u64)
             }
         }
     }

@@ -132,9 +132,8 @@ impl ChannelStream {
         // With P planes the array reads overlap P-wide, so the sustainable
         // rate is one page per max(transfer, (read + transfer)/P).
         let per_plane_cycle = self.array_read + self.page_transfer;
-        let array_limited = SimDuration::from_nanos(
-            per_plane_cycle.as_nanos() / self.planes.max(1) as u64,
-        );
+        let array_limited =
+            SimDuration::from_nanos(per_plane_cycle.as_nanos() / self.planes.max(1) as u64);
         self.page_transfer.max(array_limited)
     }
 
@@ -210,9 +209,7 @@ pub fn all_channels_stream(cfg: &SsdConfig, pages_per_channel: &[u64]) -> SimDur
 pub fn stripe_pages(total_pages: u64, channels: usize) -> Vec<u64> {
     let base = total_pages / channels as u64;
     let extra = (total_pages % channels as u64) as usize;
-    (0..channels)
-        .map(|c| base + u64::from(c < extra))
-        .collect()
+    (0..channels).map(|c| base + u64::from(c < extra)).collect()
 }
 
 #[cfg(test)]

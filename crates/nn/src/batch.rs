@@ -163,8 +163,7 @@ impl Model {
             // Activation, row-wise.
             for i in 0..batch.rows {
                 let start = i * batch.dim;
-                let row =
-                    Tensor::from_slice(&batch.data[start..start + batch.dim]);
+                let row = Tensor::from_slice(&batch.data[start..start + batch.dim]);
                 let activated = layer.activation.apply(row);
                 batch.data[start..start + batch.dim].copy_from_slice(activated.data());
             }
@@ -205,7 +204,9 @@ mod tests {
     fn batched_dense_matches_per_row_dense() {
         let w = Tensor::random(vec![3, 4], 1.0, 1);
         let b = Tensor::random(vec![3], 1.0, 2);
-        let rows: Vec<Tensor> = (0..5).map(|i| Tensor::random(vec![4], 1.0, 10 + i)).collect();
+        let rows: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::random(vec![4], 1.0, 10 + i))
+            .collect();
         let batch = Batch::from_rows(&rows).unwrap().dense(&w, &b).unwrap();
         for (i, r) in rows.iter().enumerate() {
             let single = r.dense(&w, &b).unwrap();

@@ -255,11 +255,7 @@ impl Layer {
                 out_features,
             } => {
                 let scale = 1.0 / (in_features as f32).sqrt();
-                self.weights = Some(Tensor::random(
-                    vec![out_features, in_features],
-                    scale,
-                    seed,
-                ));
+                self.weights = Some(Tensor::random(vec![out_features, in_features], scale, seed));
                 self.bias = Some(Tensor::zeros(vec![out_features]));
             }
             LayerShape::Conv2d {
@@ -312,9 +308,7 @@ impl Layer {
                 ..
             } => {
                 let (w, b) = self.weights_or_err()?;
-                let x = input
-                    .clone()
-                    .reshape(vec![in_channels, in_h, in_w])?;
+                let x = input.clone().reshape(vec![in_channels, in_h, in_w])?;
                 x.conv2d(w, b, stride, groups)?
             }
             LayerShape::ElementWise { len, .. } => {

@@ -95,7 +95,9 @@ mod tests {
             found: "[3, 2]".into(),
         };
         assert!(e.to_string().contains("shape mismatch"));
-        let e = NnError::UninitializedWeights { layer: "fc1".into() };
+        let e = NnError::UninitializedWeights {
+            layer: "fc1".into(),
+        };
         assert!(e.to_string().contains("fc1"));
         let e = NnError::InvalidGraph("bad".into());
         assert!(e.to_string().contains("bad"));

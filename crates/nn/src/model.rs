@@ -114,7 +114,10 @@ impl Model {
     /// initialized from `seed`.
     pub fn seeded(mut self, seed: u64) -> Model {
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            layer.seed_weights(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64));
+            layer.seed_weights(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            );
         }
         self
     }
@@ -162,9 +165,9 @@ impl Model {
 
     /// True once every weighted layer has materialized weights.
     pub fn is_seeded(&self) -> bool {
-        self.layers.iter().all(|l| {
-            matches!(l.shape, LayerShape::ElementWise { .. }) || l.weights.is_some()
-        })
+        self.layers
+            .iter()
+            .all(|l| matches!(l.shape, LayerShape::ElementWise { .. }) || l.weights.is_some())
     }
 
     /// Generates a deterministic pseudo-random feature vector of the right
@@ -449,13 +452,19 @@ mod tests {
         for i in 2..12 {
             let other = m.random_feature(i);
             let s = m.similarity(&q, &other).unwrap();
-            assert!(self_score >= s, "random item outranked duplicate: {s} > {self_score}");
+            assert!(
+                self_score >= s,
+                "random item outranked duplicate: {s} > {self_score}"
+            );
         }
     }
 
     #[test]
     fn metric_seeding_ranks_duplicates_first_for_mul_merge() {
-        for m in [crate::zoo::tir().seeded_metric(6), crate::zoo::textqa().seeded_metric(6)] {
+        for m in [
+            crate::zoo::tir().seeded_metric(6),
+            crate::zoo::textqa().seeded_metric(6),
+        ] {
             let q = m.random_feature(1);
             let self_score = m.similarity(&q, &q).unwrap();
             for i in 2..12 {

@@ -136,12 +136,7 @@ impl Tensor {
     /// Returns [`NnError::ShapeMismatch`] if the lengths differ.
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
         self.check_same_len(other)?;
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Element-wise addition.
@@ -272,7 +267,10 @@ impl Tensor {
         );
         if groups == 0 || c % groups != 0 || co % groups != 0 || cg != c / groups {
             return Err(NnError::ShapeMismatch {
-                expected: format!("kernel group channels {} (C={c} / groups={groups})", c / groups.max(1)),
+                expected: format!(
+                    "kernel group channels {} (C={c} / groups={groups})",
+                    c / groups.max(1)
+                ),
                 found: format!("Cg={cg}"),
             });
         }
@@ -309,8 +307,7 @@ impl Tensor {
                                     continue;
                                 }
                                 let xv = self.data[ic * h * w + iy as usize * w + ix as usize];
-                                let kv = kernel.data
-                                    [((ocn * cg + icg) * kh + ky) * kw + kx];
+                                let kv = kernel.data[((ocn * cg + icg) * kh + ky) * kw + kx];
                                 acc += xv * kv;
                             }
                         }

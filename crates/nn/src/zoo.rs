@@ -211,7 +211,12 @@ mod tests {
             // (0.8 KB = 800 B); allow a 3% rounding band.
             let kb = m.feature_bytes() as f64 / 1024.0;
             let dev = (kb - row.feature_kb).abs() / row.feature_kb;
-            assert!(dev < 0.03, "{}: {kb} KB vs paper {} KB", row.name, row.feature_kb);
+            assert!(
+                dev < 0.03,
+                "{}: {kb} KB vs paper {} KB",
+                row.name,
+                row.feature_kb
+            );
         }
     }
 

@@ -203,10 +203,7 @@ mod tests {
         };
         let small = os_array(4, 32); // 128 PEs -> 4 folds
         let big = os_array(16, 64); // 1024 PEs -> 1 fold
-        assert_eq!(
-            layer_cycles(&fc, &small),
-            4 * (512 + small.fill_cycles())
-        );
+        assert_eq!(layer_cycles(&fc, &small), 4 * (512 + small.fill_cycles()));
         assert!(layer_cycles(&fc, &small) > 3 * layer_cycles(&fc, &big));
     }
 
@@ -219,8 +216,11 @@ mod tests {
         };
         let at_512 = layer_cycles(&fc, &os_array(8, 64)); // 512 PEs
         let at_2048 = layer_cycles(&fc, &os_array(32, 64)); // 2048 PEs
-        // Same fold count (1); only fill differs slightly.
-        assert_eq!(at_512 - os_array(8, 64).fill_cycles(), at_2048 - os_array(32, 64).fill_cycles());
+                                                            // Same fold count (1); only fill differs slightly.
+        assert_eq!(
+            at_512 - os_array(8, 64).fill_cycles(),
+            at_2048 - os_array(32, 64).fill_cycles()
+        );
     }
 
     #[test]

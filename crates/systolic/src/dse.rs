@@ -18,7 +18,7 @@ pub fn aspect_ratios(pes: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut r = 1;
     while r * r <= pes {
-        if pes % r == 0 {
+        if pes.is_multiple_of(r) {
             out.push((r, pes / r));
             if r != pes / r {
                 out.push((pes / r, r));

@@ -108,8 +108,8 @@ impl ScnSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cycles::scn_cycles_per_feature;
     use crate::counts::scn_counts_per_feature;
+    use crate::cycles::scn_cycles_per_feature;
     use crate::Dataflow;
     use deepstore_nn::zoo;
 

@@ -42,11 +42,10 @@ pub struct TopKSorter {
 impl TopKSorter {
     /// Creates a sorter retaining the `k` highest-scoring entries.
     ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0`.
+    /// `k == 0` is a valid degenerate capacity: every offer is rejected
+    /// and [`TopKSorter::ranked`] stays empty. (The wire protocol lets a
+    /// host submit `k = 0`; the device must degrade, not abort.)
     pub fn new(k: usize) -> Self {
-        assert!(k > 0, "k must be positive");
         TopKSorter {
             k,
             tags: Vec::with_capacity(k),
@@ -73,13 +72,22 @@ impl TopKSorter {
 
     /// Offers a scored feature; keeps it only if it ranks in the top K.
     /// Returns `true` if the entry was retained.
+    ///
+    /// Entries are ordered by descending score with ties broken by
+    /// ascending feature id. That total order makes the retained set (and
+    /// its ranking) a function of the offered *set* alone, independent of
+    /// arrival order — which is what lets the parallel sharded scan merge
+    /// per-channel sorters into a result bit-identical to a serial scan.
     pub fn offer(&mut self, score: f32, feature_id: u64) -> bool {
         self.inserts += 1;
         // Binary search on the (descending) tag array.
-        let pos = self.tags.partition_point(|&t| self.table[t].score >= score);
+        let pos = self.tags.partition_point(|&t| {
+            let e = self.table[t];
+            e.score > score || (e.score == score && e.feature_id < feature_id)
+        });
         self.cycles += (self.tags.len().max(1) as f64).log2().ceil() as u64 + 1;
         if pos >= self.k {
-            return false; // score too low for the table
+            return false; // score too low for the table (or k == 0)
         }
         let entry = ScoredFeature { score, feature_id };
         if self.tags.len() < self.k {
@@ -178,8 +186,11 @@ mod tests {
         for (i, &sc) in scores.iter().enumerate() {
             s.offer(sc, i as u64);
         }
-        let mut naive: Vec<(f32, u64)> =
-            scores.iter().enumerate().map(|(i, &sc)| (sc, i as u64)).collect();
+        let mut naive: Vec<(f32, u64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &sc)| (sc, i as u64))
+            .collect();
         naive.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         naive.truncate(10);
         let got: Vec<(f32, u64)> = s.ranked().iter().map(|e| (e.score, e.feature_id)).collect();
@@ -187,13 +198,33 @@ mod tests {
     }
 
     #[test]
-    fn ties_keep_earlier_entries_first() {
+    fn ties_rank_by_ascending_feature_id() {
+        // Equal scores order by feature id — regardless of arrival order,
+        // so a merged parallel scan ranks ties exactly like a serial one.
         let mut s = TopKSorter::new(3);
         s.offer(0.5, 0);
         s.offer(0.5, 1);
         s.offer(0.5, 2);
         let ids: Vec<u64> = s.ranked().iter().map(|e| e.feature_id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+
+        let mut rev = TopKSorter::new(3);
+        rev.offer(0.5, 2);
+        rev.offer(0.5, 0);
+        rev.offer(0.5, 1);
+        assert_eq!(rev.ranked(), s.ranked());
+    }
+
+    #[test]
+    fn tied_score_with_lower_id_evicts_higher_id() {
+        let mut s = TopKSorter::new(2);
+        s.offer(0.5, 7);
+        s.offer(0.5, 9);
+        assert!(s.offer(0.5, 3), "lower id outranks tied higher ids");
+        let ids: Vec<u64> = s.ranked().iter().map(|e| e.feature_id).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // A tied id above every retained one is rejected.
+        assert!(!s.offer(0.5, 8));
     }
 
     #[test]
@@ -229,10 +260,84 @@ mod tests {
         assert!(expected_cycles_per_offer(10, 1.0) > e);
     }
 
+    // `k == 0` used to panic in the constructor; it is now a valid
+    // degenerate capacity so a hostile wire command `query { k: 0 }`
+    // cannot abort the device.
     #[test]
-    #[should_panic(expected = "k must be positive")]
-    fn zero_k_panics() {
-        let _ = TopKSorter::new(0);
+    fn zero_k_accepts_nothing() {
+        let mut s = TopKSorter::new(0);
+        assert!(!s.offer(0.9, 1));
+        assert!(s.ranked().is_empty());
+        assert!(s.is_empty());
+        assert_eq!(s.threshold(), None);
+        assert_eq!(s.inserts(), 1);
+    }
+
+    #[test]
+    fn k_larger_than_stream_keeps_everything() {
+        let mut s = TopKSorter::new(100);
+        for (i, score) in [0.3, 0.1, 0.9].iter().enumerate() {
+            assert!(s.offer(*score, i as u64));
+        }
+        let ids: Vec<u64> = s.ranked().iter().map(|e| e.feature_id).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+        assert_eq!(s.threshold(), None, "table never fills");
+    }
+
+    #[test]
+    fn merging_empty_sorters_is_identity() {
+        let mut a = TopKSorter::new(3);
+        a.offer(0.4, 1);
+        let before = a.ranked();
+        a.merge(&TopKSorter::new(3));
+        assert_eq!(a.ranked(), before);
+        // And merging *into* an empty sorter copies the other side.
+        let mut empty = TopKSorter::new(3);
+        empty.merge(&a);
+        assert_eq!(empty.ranked(), before);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        // The reduce step must be deterministic whatever order shards
+        // finish in: merge three shard sorters in every permutation and
+        // demand identical rankings, including tied scores.
+        let shard_data: [&[(f32, u64)]; 3] = [
+            &[(0.9, 0), (0.5, 3), (0.5, 6)],
+            &[(0.5, 1), (0.2, 4)],
+            &[(0.9, 2), (0.5, 5), (0.1, 8)],
+        ];
+        let shards: Vec<TopKSorter> = shard_data
+            .iter()
+            .map(|entries| {
+                let mut s = TopKSorter::new(4);
+                for &(score, id) in *entries {
+                    s.offer(score, id);
+                }
+                s
+            })
+            .collect();
+        let permutations = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let mut results = permutations.iter().map(|perm| {
+            let mut merged = TopKSorter::new(4);
+            for &i in perm {
+                merged.merge(&shards[i]);
+            }
+            merged.ranked()
+        });
+        let first = results.next().unwrap();
+        let ids: Vec<u64> = first.iter().map(|e| e.feature_id).collect();
+        assert_eq!(ids, vec![0, 2, 1, 3], "score desc, ties by id asc");
+        for r in results {
+            assert_eq!(r, first);
+        }
     }
 
     #[test]

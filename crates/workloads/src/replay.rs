@@ -49,12 +49,7 @@ impl QueryTrace {
     /// # Panics
     ///
     /// Panics if `offered_qps` is not positive.
-    pub fn generate(
-        stream: &mut QueryStream,
-        n: usize,
-        offered_qps: f64,
-        seed: u64,
-    ) -> QueryTrace {
+    pub fn generate(stream: &mut QueryStream, n: usize, offered_qps: f64, seed: u64) -> QueryTrace {
         assert!(offered_qps > 0.0, "offered load must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA11C_E5ED);
         let mut clock = SimDuration::ZERO;

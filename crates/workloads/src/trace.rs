@@ -62,8 +62,9 @@ impl QueryStream {
             TraceDistribution::Uniform => Vec::new(),
             TraceDistribution::Zipfian { alpha } => {
                 let mut acc = 0.0;
-                let weights: Vec<f64> =
-                    (1..=pool_size).map(|r| 1.0 / (r as f64).powf(alpha)).collect();
+                let weights: Vec<f64> = (1..=pool_size)
+                    .map(|r| 1.0 / (r as f64).powf(alpha))
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 weights
                     .iter()

@@ -41,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("writeDB     -> {db:?}");
     let mid = host.load_model(&ModelGraph::from_model(&model))?;
     println!("loadModel   -> {mid:?}");
-    let qid = host.query(&model.random_feature(17), 3, mid, db, AcceleratorLevel::Channel)?;
+    let qid = host.query(
+        &model.random_feature(17),
+        3,
+        mid,
+        db,
+        AcceleratorLevel::Channel,
+    )?;
     println!("query       -> {qid:?}");
     let results = host.get_results(qid)?;
     println!(

@@ -1,0 +1,371 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a minimal, JSON-backed serialization framework with the same *spelling*
+//! as serde — `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` work unchanged — but a much
+//! smaller contract:
+//!
+//! * [`Serialize`] writes a value directly as JSON text.
+//! * [`Deserialize`] reads a value back from a parsed [`Value`] tree.
+//! * The derive macros (re-exported from `serde_derive`) handle the
+//!   shapes this workspace uses: structs with named fields, tuple
+//!   structs, and enums with unit/newtype/tuple/struct variants, using
+//!   serde's externally-tagged enum representation.
+//!
+//! The companion `serde_json` shim supplies `to_vec`/`to_string`/
+//! `from_slice`/`from_str` on top of these traits.
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{parse_value, write_escaped_str, Value};
+
+/// Serialization error (the shim's serializer is infallible, but the
+/// public API mirrors serde's fallible signatures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Writes `self` as JSON into `out`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Reconstructs `Self` from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts a JSON value into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing any shape or type mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Missing-field placeholder handed to field deserializers (lets
+/// `Option<T>` fields tolerate absent keys, as real serde does).
+pub const NULL: Value = Value::Null;
+
+/// Looks up a field in an object body, yielding [`NULL`] when absent.
+#[must_use]
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    other => Err(DeError::new(format!(
+                        "expected unsigned integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range"))),
+                    other => Err(DeError::new(format!(
+                        "expected integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{}` prints the shortest decimal that round-trips.
+                    out.push_str(&self.to_string());
+                } else {
+                    // Real serde_json refuses non-finite floats; encode as
+                    // null so serialization stays infallible.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::new(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl Serialize for &str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident / $idx:tt),+; $len:literal))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                $(
+                    if $idx > 0 {
+                        out.push(',');
+                    }
+                    self.$idx.write_json(out);
+                )+
+                out.push(']');
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected {}-element array, got {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A/0, B/1; 2)
+    (A/0, B/1, C/2; 3)
+    (A/0, B/1, C/2, D/3; 4)
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn write_json(&self, out: &mut String) {
+        // Sorted for a canonical encoding (HashSet iteration order is
+        // nondeterministic).
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ser<T: Serialize>(x: &T) -> String {
+        let mut out = String::new();
+        x.write_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(ser(&42u64), "42");
+        assert_eq!(ser(&-3i32), "-3");
+        assert_eq!(ser(&true), "true");
+        assert_eq!(ser(&1.5f32), "1.5");
+        assert_eq!(ser(&"hi\"\\".to_string()), "\"hi\\\"\\\\\"");
+        assert_eq!(ser(&Some(1u8)), "1");
+        assert_eq!(ser(&Option::<u8>::None), "null");
+        assert_eq!(ser(&vec![1u8, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn f32_shortest_repr_roundtrips() {
+        for bits in [0x3F80_0001u32, 0x0000_0001, 0x7F7F_FFFF, 0x3EAA_AAAB] {
+            let x = f32::from_bits(bits);
+            let text = ser(&x);
+            let v = parse_value(text.as_bytes()).unwrap();
+            let back = f32::from_value(&v).unwrap();
+            assert_eq!(back.to_bits(), bits, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_full_range_roundtrips() {
+        for n in [0u64, u64::MAX, 1 << 53, (1 << 53) + 1] {
+            let v = parse_value(ser(&n).as_bytes()).unwrap();
+            assert_eq!(u64::from_value(&v).unwrap(), n);
+        }
+    }
+}

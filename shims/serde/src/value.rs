@@ -1,0 +1,393 @@
+//! The parsed-JSON value tree and a dependency-free JSON parser.
+
+use crate::DeError;
+
+/// A parsed JSON value.
+///
+/// Integers keep full 64-bit precision (`serde_json` has the same split
+/// between `u64`/`i64`/`f64` internally); objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    U64(u64),
+    /// A negative integer literal.
+    I64(i64),
+    /// Any other number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// The object body, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn write_escaped_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] for malformed input or trailing garbage; never
+/// panics on arbitrary bytes.
+pub fn parse_value(bytes: &[u8]) -> Result<Value, DeError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| DeError::new(format!("not UTF-8: {e}")))?;
+    let mut p = Parser {
+        chars: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(DeError::new("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    chars: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, DeError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| DeError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), DeError> {
+        let got = self.bump()?;
+        if got == c {
+            Ok(())
+        } else {
+            Err(DeError::new(format!(
+                "expected `{}`, got `{}` at byte {}",
+                c as char,
+                got as char,
+                self.pos - 1
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), DeError> {
+        if self.chars[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(DeError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DeError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(DeError::new("JSON nesting too deep"));
+        }
+        match self
+            .peek()
+            .ok_or_else(|| DeError::new("unexpected end of input"))?
+        {
+            b'n' => self.literal("null").map(|()| Value::Null),
+            b't' => self.literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.literal("false").map(|()| Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => {
+                self.depth += 1;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            b'{' => {
+                self.depth += 1;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(DeError::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Ok(Value::Arr(items)),
+                c => {
+                    return Err(DeError::new(format!(
+                        "expected `,` or `]`, got `{}`",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, DeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Ok(Value::Obj(fields)),
+                c => {
+                    return Err(DeError::new(format!(
+                        "expected `,` or `}}`, got `{}`",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.chars[start..self.pos])
+                    .map_err(|e| DeError::new(format!("bad UTF-8 in string: {e}")))?;
+                out.push_str(chunk);
+            }
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let cp = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require a trailing \uXXXX.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(DeError::new("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined)
+                                .ok_or_else(|| DeError::new("invalid surrogate pair"))?
+                        } else {
+                            char::from_u32(cp).ok_or_else(|| DeError::new("invalid \\u escape"))?
+                        };
+                        out.push(c);
+                    }
+                    c => return Err(DeError::new(format!("invalid escape `\\{}`", c as char))),
+                },
+                c => {
+                    return Err(DeError::new(format!(
+                        "unescaped control character {c:#04x} in string"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| DeError::new("invalid hex digit in \\u escape"))?;
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.chars[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| DeError::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_documents() {
+        let v = parse_value(br#"{"a": [1, -2, 3.5], "b": "x\ny", "c": null, "d": true}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(
+            obj[0].1,
+            Value::Arr(vec![Value::U64(1), Value::I64(-2), Value::F64(3.5)])
+        );
+        assert_eq!(obj[1].1, Value::Str("x\ny".into()));
+        assert_eq!(obj[2].1, Value::Null);
+        assert_eq!(obj[3].1, Value::Bool(true));
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for bad in [
+            &b"not json"[..],
+            b"{",
+            b"[1,",
+            b"\"unterminated",
+            b"{\"a\" 1}",
+            b"1 2",
+            b"\xff\xfe",
+            b"",
+            b"nul",
+            b"--3",
+            b"[\"\\q\"]",
+        ] {
+            assert!(parse_value(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut doc = Vec::new();
+        doc.extend(std::iter::repeat_n(b'[', 100_000));
+        assert!(parse_value(&doc).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse_value(br#""\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{e9}\u{1F600}");
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Dependency-free (`syn`/`quote`-free) derive macros for the shim
+//! `serde` traits. The macros hand-parse the item's token stream —
+//! enough for the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (a single field serializes as the bare value, like
+//!   serde's newtype structs; more fields serialize as an array),
+//! * enums with unit, newtype, tuple and struct variants in serde's
+//!   externally-tagged representation.
+//!
+//! Generics are not supported (no derived type in the workspace needs
+//! them); attempting to derive on a generic item panics with a clear
+//! message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item being derived.
+enum Item {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);` with the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { variants }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::TupleStruct { name, arity } => serialize_tuple_struct(name, *arity),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::TupleStruct { name, arity } => deserialize_tuple_struct(name, *arity),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => panic!("serde shim derive: unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and
+/// `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got `{other}`"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Commas inside
+        // `<...>` (e.g. `HashMap<K, V>`) are not separators; commas inside
+        // parens/brackets sit in their own token groups already.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `(T, U, ...)` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token_since_comma {
+                    count += 1;
+                }
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip any discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    impl_serialize(name, &body)
+}
+
+fn serialize_tuple_struct(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        "::serde::Serialize::write_json(&self.0, out);".to_string()
+    } else {
+        let mut b = String::from("out.push('[');\n");
+        for i in 0..arity {
+            if i > 0 {
+                b.push_str("out.push(',');\n");
+            }
+            b.push_str(&format!(
+                "::serde::Serialize::write_json(&self.{i}, out);\n"
+            ));
+        }
+        b.push_str("out.push(']');");
+        b
+    };
+    impl_serialize(name, &body)
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(__f0) => {{\n\
+                     out.push_str(\"{{\\\"{vn}\\\":\");\n\
+                     ::serde::Serialize::write_json(__f0, out);\n\
+                     out.push('}}');\n}}\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let mut write = format!("out.push_str(\"{{\\\"{vn}\\\":[\");\n");
+                for (i, b) in binders.iter().enumerate() {
+                    if i > 0 {
+                        write.push_str("out.push(',');\n");
+                    }
+                    write.push_str(&format!("::serde::Serialize::write_json({b}, out);\n"));
+                }
+                write.push_str("out.push_str(\"]}\");\n");
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\n{write}}}\n",
+                    binders.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut write = format!("out.push_str(\"{{\\\"{vn}\\\":{{\");\n");
+                for (i, f) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write.push_str("out.push(',');\n");
+                    }
+                    write.push_str(&format!(
+                        "out.push_str(\"\\\"{f}\\\":\");\n\
+                         ::serde::Serialize::write_json({f}, out);\n"
+                    ));
+                }
+                write.push_str("out.push_str(\"}}\");\n");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n{write}}}\n",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+    impl_serialize(name, &format!("match self {{\n{arms}}}"))
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut build = String::new();
+    for f in fields {
+        build.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")).map_err(\
+             |e| ::serde::DeError::new(format!(\"{name}.{f}: {{e}}\")))?,\n"
+        ));
+    }
+    let body = format!(
+        "let __obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+         format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+         ::core::result::Result::Ok({name} {{\n{build}}})"
+    );
+    impl_deserialize(name, &body)
+}
+
+fn deserialize_tuple_struct(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v).map_err(\
+             |e| ::serde::DeError::new(format!(\"{name}: {{e}}\")))?))"
+        )
+    } else {
+        let mut build = String::new();
+        for i in 0..arity {
+            build.push_str(&format!(
+                "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+            ));
+        }
+        format!(
+            "match v {{\n\
+             ::serde::Value::Arr(__items) if __items.len() == {arity} => \
+             ::core::result::Result::Ok({name}(\n{build})),\n\
+             other => ::core::result::Result::Err(::serde::DeError::new(\
+             format!(\"expected {arity}-element array for {name}, got {{}}\", other.kind()))),\n\
+             }}"
+        )
+    };
+    impl_deserialize(name, &body)
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            VariantShape::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload).map_err(\
+                     |e| ::serde::DeError::new(format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let mut build = String::new();
+                for i in 0..*arity {
+                    build.push_str(&format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => match __payload {{\n\
+                     ::serde::Value::Arr(__items) if __items.len() == {arity} => \
+                     ::core::result::Result::Ok({name}::{vn}(\n{build})),\n\
+                     other => ::core::result::Result::Err(::serde::DeError::new(\
+                     format!(\"expected {arity}-element array for {name}::{vn}, got {{}}\", \
+                     other.kind()))),\n}},\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut build = String::new();
+                for f in fields {
+                    build.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__vobj, \"{f}\"))\
+                         .map_err(|e| ::serde::DeError::new(\
+                         format!(\"{name}::{vn}.{f}: {{e}}\")))?,\n"
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __vobj = __payload.as_object().ok_or_else(|| ::serde::DeError::new(\
+                     format!(\"expected object for {name}::{vn}, got {{}}\", __payload.kind())))?;\n\
+                     ::core::result::Result::Ok({name}::{vn} {{\n{build}}})\n}},\n"
+                ));
+            }
+        }
+    }
+    let body = format!(
+        "match v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         other => ::core::result::Result::Err(::serde::DeError::new(\
+         format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+         let (__tag, __payload) = &__fields[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         other => ::core::result::Result::Err(::serde::DeError::new(\
+         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+         }}\n}},\n\
+         other => ::core::result::Result::Err(::serde::DeError::new(\
+         format!(\"expected string or single-key object for {name}, got {{}}\", other.kind()))),\n\
+         }}"
+    );
+    impl_deserialize(name, &body)
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,87 @@
+//! Offline shim for `serde_json`.
+//!
+//! Provides the four entry points this workspace uses — [`to_vec`],
+//! [`to_string`], [`from_slice`], [`from_str`] — on top of the shim
+//! `serde` traits. Serialization is infallible (the `Result` return
+//! mirrors the real crate's signatures); deserialization parses a full
+//! [`serde::Value`] tree and converts it.
+
+use serde::{Deserialize, Serialize};
+
+/// Error type mirroring `serde_json::Error` for the shim's API surface.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as a JSON string.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON bytes.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors `serde_json`.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON or shape mismatches; never
+/// panics on arbitrary input.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let value = serde::parse_value(bytes)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON or shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    from_slice(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_vectors() {
+        let xs = vec![1u32, 2, 3];
+        let bytes = to_vec(&xs).unwrap();
+        assert_eq!(bytes, b"[1,2,3]");
+        let back: Vec<u32> = from_slice(&bytes).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_slice::<Vec<u32>>(b"{{{").is_err());
+        assert!(from_str::<bool>("42").is_err());
+    }
+}

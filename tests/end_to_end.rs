@@ -6,7 +6,16 @@ use deepstore::nn::{zoo, ModelGraph, Tensor};
 use deepstore::workloads::gen::FeatureGen;
 use deepstore::workloads::{QueryStream, TraceDistribution};
 
-fn store_with(app: &str, n: u64, seed: u64) -> (DeepStore, deepstore::nn::Model, deepstore::core::DbId, deepstore::core::ModelId) {
+fn store_with(
+    app: &str,
+    n: u64,
+    seed: u64,
+) -> (
+    DeepStore,
+    deepstore::nn::Model,
+    deepstore::core::DbId,
+    deepstore::core::ModelId,
+) {
     let model = zoo::by_name(app).unwrap().seeded_metric(seed);
     let mut store = DeepStore::new(DeepStoreConfig::small());
     let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
@@ -45,7 +54,9 @@ fn planted_duplicate_is_rank_one_with_metric_weights() {
     features[29] = query.clone();
     let db = store.write_db(&features).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
-    let qid = store.query(&query, 1, mid, db, AcceleratorLevel::Channel).unwrap();
+    let qid = store
+        .query(&query, 1, mid, db, AcceleratorLevel::Channel)
+        .unwrap();
     let r = store.results(qid).unwrap();
     assert_eq!(r.top_k[0].feature_index, 29);
 }
@@ -62,13 +73,11 @@ fn clustered_gallery_retrieval_is_accurate() {
     let db = store.write_db(&gallery).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
     let probe = gen.feature(8 * 1000 + 5); // identity 5, unseen sighting
-    let qid = store.query(&probe, 4, mid, db, AcceleratorLevel::Channel).unwrap();
+    let qid = store
+        .query(&probe, 4, mid, db, AcceleratorLevel::Channel)
+        .unwrap();
     let r = store.results(qid).unwrap();
-    let correct = r
-        .top_k
-        .iter()
-        .filter(|h| h.feature_index % 8 == 5)
-        .count();
+    let correct = r.top_k.iter().filter(|h| h.feature_index % 8 == 5).count();
     assert!(correct >= 3, "only {correct}/4 matches: {:?}", r.top_k);
 }
 
@@ -91,7 +100,9 @@ fn query_cache_accelerates_semantic_repeats() {
     let mut misses = 0;
     for _ in 0..40 {
         let (_, q) = stream.next_query();
-        let qid = store.query(&q, 3, mid, db, AcceleratorLevel::Channel).unwrap();
+        let qid = store
+            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
         let r = store.results(qid).unwrap();
         if r.cache_hit {
             hits += 1;
@@ -136,8 +147,10 @@ fn append_db_extends_search_space() {
     let (mut store, model, db, mid) = store_with("mir", 16, 6);
     store.disable_qc();
     let target = model.random_feature(777);
-    store.append_db(db, &[target.clone()]).unwrap();
-    let qid = store.query(&target, 1, mid, db, AcceleratorLevel::Channel).unwrap();
+    store.append_db(db, std::slice::from_ref(&target)).unwrap();
+    let qid = store
+        .query(&target, 1, mid, db, AcceleratorLevel::Channel)
+        .unwrap();
     let r = store.results(qid).unwrap();
     // MIR is concat-merge (no metric guarantee), but the appended feature
     // must at least be scanned: the db reports 17 features and the top-1

@@ -31,14 +31,19 @@ fn claim_peak_speedup_up_to_17x() {
     for name in APP_NAMES {
         let app = App::new(name);
         let cfg = DeepStoreConfig::paper_default();
-        let gpu = GpuSsdSystem::paper_default(name).query(&app.scan_spec()).total_secs;
+        let gpu = GpuSsdSystem::paper_default(name)
+            .query(&app.scan_spec())
+            .total_secs;
         let t = scan(AcceleratorLevel::Channel, &app.scan_workload(&cfg), &cfg)
             .unwrap()
             .elapsed
             .as_secs_f64();
         best = best.max(gpu / t);
     }
-    assert!((14.0..=22.0).contains(&best), "peak channel speedup = {best:.1}");
+    assert!(
+        (14.0..=22.0).contains(&best),
+        "peak channel speedup = {best:.1}"
+    );
 }
 
 /// §6.2: "channel-level accelerators perform 3.9–17.7x better than the
@@ -48,7 +53,9 @@ fn claim_channel_speedup_band() {
     for name in APP_NAMES {
         let app = App::new(name);
         let cfg = DeepStoreConfig::paper_default();
-        let gpu = GpuSsdSystem::paper_default(name).query(&app.scan_spec()).total_secs;
+        let gpu = GpuSsdSystem::paper_default(name)
+            .query(&app.scan_spec())
+            .total_secs;
         let t = scan(AcceleratorLevel::Channel, &app.scan_workload(&cfg), &cfg)
             .unwrap()
             .elapsed
@@ -66,7 +73,9 @@ fn claim_channel_speedup_band() {
 fn claim_wimpy_cores_are_slower() {
     for name in APP_NAMES {
         let app = App::new(name);
-        let gpu = GpuSsdSystem::paper_default(name).query(&app.scan_spec()).total_secs;
+        let gpu = GpuSsdSystem::paper_default(name)
+            .query(&app.scan_spec())
+            .total_secs;
         let wimpy = WimpyCores::arm_a57_octa()
             .query_time(&app.scan_spec())
             .as_secs_f64();
@@ -84,10 +93,10 @@ fn claim_level_ordering() {
     for name in APP_NAMES {
         let app = App::new(name);
         let w = app.scan_workload(&cfg);
-        let gpu = GpuSsdSystem::paper_default(name).query(&app.scan_spec()).total_secs;
-        let t = |level| {
-            scan(level, &w, &cfg).map(|s| s.elapsed.as_secs_f64())
-        };
+        let gpu = GpuSsdSystem::paper_default(name)
+            .query(&app.scan_spec())
+            .total_secs;
+        let t = |level| scan(level, &w, &cfg).map(|s| s.elapsed.as_secs_f64());
         let ssd = t(AcceleratorLevel::Ssd).unwrap();
         let ch = t(AcceleratorLevel::Channel).unwrap();
         assert!(ch < ssd, "{name}");
@@ -114,8 +123,7 @@ fn claim_latency_insensitivity() {
             ) else {
                 continue;
             };
-            let loss =
-                degraded.elapsed.as_secs_f64() / base.elapsed.as_secs_f64() - 1.0;
+            let loss = degraded.elapsed.as_secs_f64() / base.elapsed.as_secs_f64() - 1.0;
             assert!(loss < 0.15, "{name}/{level}: {:.1}% loss", loss * 100.0);
         }
     }

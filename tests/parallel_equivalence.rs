@@ -1,0 +1,136 @@
+//! Equivalence harness for the channel-sharded parallel scan.
+//!
+//! The scan's contract is that `parallelism` is purely a host wall-clock
+//! knob: for any database, query and `k`, the ranked results — ids,
+//! scores and order — are bit-identical at every worker count, and so
+//! are the simulated latencies the runtime derives from them. These
+//! tests drive that contract with randomized inputs (property tests over
+//! models, database sizes, `k` and worker counts), with injected read
+//! faults, and through the `Runtime`'s latency statistics.
+
+use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
+use deepstore_core::engine::{DbId, Engine};
+use deepstore_core::runtime::Runtime;
+use deepstore_core::{DeepStore, ModelId};
+use deepstore_flash::fault::FaultPlan;
+use deepstore_flash::SimDuration;
+use deepstore_nn::{zoo, Model, ModelGraph, Tensor};
+use proptest::prelude::*;
+
+/// Worker counts exercised against the serial baseline. `0` means "one
+/// worker per host core", so it also covers whatever this machine has.
+const WORKER_COUNTS: [usize; 4] = [2, 4, 8, 0];
+
+const APPS: [&str; 3] = ["textqa", "tir", "mir"];
+
+/// Builds a sealed engine with `n` random features from `app`'s model.
+fn engine_with(app: &str, model_seed: u64, n: u64, parallelism: usize) -> (Engine, Model, DbId) {
+    let model = zoo::by_name(app)
+        .expect("known app")
+        .seeded_metric(model_seed);
+    let mut engine = Engine::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
+    let db = engine.write_db(&features).unwrap();
+    engine.seal_db(db).unwrap();
+    (engine, model, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random model, database size, query and `k`: every parallel worker
+    /// count returns bit-identical ranked results to the serial scan.
+    #[test]
+    fn parallel_scan_matches_serial(
+        (app_idx, model_seed, n, k, q_seed) in (
+            0usize..3,
+            0u64..1_000_000,
+            1u64..48,
+            0usize..10,
+            0u64..1_000_000,
+        )
+    ) {
+        let (mut engine, model, db) = engine_with(APPS[app_idx], model_seed, n, 1);
+        let probe = model.random_feature(q_seed ^ 0x5EED);
+        let baseline = engine.scan_top_k(db, &model, &probe, k).unwrap();
+        prop_assert_eq!(baseline.len(), k.min(n as usize));
+
+        for workers in WORKER_COUNTS {
+            engine.set_parallelism(workers);
+            let parallel = engine.scan_top_k(db, &model, &probe, k).unwrap();
+            prop_assert_eq!(&baseline, &parallel);
+        }
+    }
+
+    /// Fault tolerance is part of the contract too: with uncorrectable
+    /// reads injected, every worker count skips the same features and
+    /// ranks the same survivors.
+    #[test]
+    fn parallel_scan_matches_serial_under_faults(
+        (model_seed, n, fault_seed) in (0u64..1_000_000, 8u64..48, 0u64..1_000_000)
+    ) {
+        let scan_at = |workers: usize| {
+            let (mut engine, model, db) = engine_with("textqa", model_seed, n, workers);
+            let geometry = engine.config().ssd.geometry;
+            engine.inject_faults(FaultPlan::random(&geometry, 0.10, fault_seed));
+            let probe = model.random_feature(model_seed ^ 0xFA017);
+            let top = engine.scan_top_k(db, &model, &probe, 6).unwrap();
+            (top, engine.unreadable_skipped())
+        };
+
+        let (baseline, baseline_skipped) = scan_at(1);
+        for workers in WORKER_COUNTS {
+            let (parallel, skipped) = scan_at(workers);
+            prop_assert_eq!(&baseline, &parallel);
+            prop_assert_eq!(baseline_skipped, skipped);
+        }
+    }
+}
+
+/// Builds a runtime over a sealed 64-feature textqa store.
+fn runtime_with(parallelism: usize) -> (Runtime, Model, DbId, ModelId) {
+    let model = zoo::textqa().seeded(3);
+    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    store.disable_qc();
+    let features: Vec<Tensor> = (0..64).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&features).unwrap();
+    let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+    (Runtime::new(store), model, db, mid)
+}
+
+/// Runtime regression: the per-query records (arrival, start,
+/// completion) and aggregate latency percentiles come from the simulated
+/// timing model, so they must be identical at every parallelism setting.
+#[test]
+fn runtime_latencies_identical_across_parallelism() {
+    let run_at = |parallelism: usize| {
+        let (mut rt, model, db, mid) = runtime_with(parallelism);
+        for i in 0..20u64 {
+            rt.submit_at(
+                SimDuration::from_nanos(i * 50_000),
+                model.random_feature(1_000 + i),
+                5,
+                mid,
+                db,
+                AcceleratorLevel::Channel,
+            );
+        }
+        rt.run_to_completion().unwrap();
+        let stats = rt.stats().unwrap();
+        (rt.records().to_vec(), stats)
+    };
+
+    let (baseline_records, baseline_stats) = run_at(1);
+    for workers in WORKER_COUNTS {
+        let (records, stats) = run_at(workers);
+        assert_eq!(
+            baseline_records, records,
+            "records diverged at parallelism {workers}"
+        );
+        assert_eq!(baseline_stats.p50_latency, stats.p50_latency);
+        assert_eq!(baseline_stats.p95_latency, stats.p95_latency);
+        assert_eq!(baseline_stats.p99_latency, stats.p99_latency);
+        assert_eq!(baseline_stats.mean_latency, stats.mean_latency);
+        assert_eq!(baseline_stats.makespan, stats.makespan);
+    }
+}

@@ -5,7 +5,7 @@ use deepstore::core::proto::{
     Response,
 };
 use deepstore::core::runtime::Runtime;
-use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig, DbId, QueryCacheConfig};
+use deepstore::core::{AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, QueryCacheConfig};
 use deepstore::flash::SimDuration;
 use deepstore::nn::{zoo, ModelGraph, Tensor};
 use proptest::prelude::*;
@@ -21,7 +21,9 @@ fn full_session_over_the_wire_matches_direct_api() {
     direct.disable_qc();
     let db = direct.write_db(&features).unwrap();
     let mid = direct.load_model(&ModelGraph::from_model(&model)).unwrap();
-    let qid = direct.query(&probe, 5, mid, db, AcceleratorLevel::Channel).unwrap();
+    let qid = direct
+        .query(&probe, 5, mid, db, AcceleratorLevel::Channel)
+        .unwrap();
     let direct_result = direct.results(qid).unwrap();
 
     // Wire protocol.
@@ -30,10 +32,16 @@ fn full_session_over_the_wire_matches_direct_api() {
     let mut host = HostClient::new(&mut device);
     let wdb = host.write_db(&features).unwrap();
     let wmid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
-    let wqid = host.query(&probe, 5, wmid, wdb, AcceleratorLevel::Channel).unwrap();
+    let wqid = host
+        .query(&probe, 5, wmid, wdb, AcceleratorLevel::Channel)
+        .unwrap();
     let wire_result = host.get_results(wqid).unwrap();
 
-    let direct_ids: Vec<u64> = direct_result.top_k.iter().map(|h| h.feature_index).collect();
+    let direct_ids: Vec<u64> = direct_result
+        .top_k
+        .iter()
+        .map(|h| h.feature_index)
+        .collect();
     let wire_ids: Vec<u64> = wire_result.top_k.iter().map(|h| h.feature_index).collect();
     assert_eq!(direct_ids, wire_ids);
     assert_eq!(direct_result.elapsed, wire_result.elapsed);
@@ -62,7 +70,9 @@ fn device_survives_command_reordering_and_bad_handles() {
         Err(ProtoError::Device(_))
     ));
     // append to a foreign id.
-    assert!(host.append_db(DbId(1234), &[model.random_feature(2)]).is_err());
+    assert!(host
+        .append_db(DbId(1234), &[model.random_feature(2)])
+        .is_err());
 }
 
 #[test]
