@@ -1,0 +1,54 @@
+//! Criterion micro-bench: the allocation-free scan hot path against the
+//! seed's allocating per-feature reference.
+//!
+//! The engine's `scan_top_k` now walks each shard page-sequentially,
+//! decodes features into a reusable f32 scratch, and scores them with
+//! `Model::similarity_scratch` (zero steady-state allocations). The
+//! baseline below reproduces the *original* scan structure faithfully:
+//! one `read_feature` per feature (fresh `Vec<u8>` + `Tensor`), a fresh
+//! merge tensor, a fresh activation tensor per layer, and a plain
+//! sequential dot product — exactly what the hot path looked like before
+//! the scratch-buffer rewrite. Both are measured end to end on the same
+//! sealed database so the features/sec ratio is the PR's speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepstore_bench::reference::{naive_scan, textqa_engine};
+
+const N_FEATURES: u64 = 512;
+const K: usize = 8;
+
+fn bench_scan_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_hot_path");
+    group.sample_size(15);
+
+    // Baseline: the pre-rewrite scan — per-feature read + allocating
+    // inference, ranked by the same sorter.
+    let (engine, model, db) = textqa_engine(N_FEATURES, 1);
+    let probe = model.random_feature(99_991);
+    group.bench_function(format!("alloc_reference/textqa{N_FEATURES}"), |b| {
+        b.iter(|| naive_scan(&engine, &model, db, black_box(&probe), N_FEATURES, K).len())
+    });
+
+    // The new path, across worker counts (0 = one per host core). The
+    // results are bit-identical at every setting; only wall time moves.
+    for workers in [1usize, 2, 4, 0] {
+        let (engine, model, db) = textqa_engine(N_FEATURES, workers);
+        let probe = model.random_feature(99_991);
+        group.bench_with_input(
+            BenchmarkId::new(format!("scratch_scan/textqa{N_FEATURES}"), workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .scan_top_k(db, &model, black_box(&probe), K)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_hot_path);
+criterion_main!(benches);

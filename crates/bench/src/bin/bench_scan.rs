@@ -1,0 +1,137 @@
+//! `BENCH_scan.json` emitter: features/sec and allocations/feature for
+//! the scan hot path, against the seed-faithful allocating baseline.
+//!
+//! A global counting allocator wraps `System`; allocations per scored
+//! feature are measured differentially (a 512-feature scan minus a
+//! 256-feature scan, divided by the 256 extra features) so fixed
+//! per-scan overhead (shard plan, sorter, per-shard scratch warm-up)
+//! cancels out. Throughput is wall-clock over repeated whole-database
+//! scans. Writes `results/BENCH_scan.json` and prints the numbers.
+
+use deepstore_bench::reference::{naive_scan, textqa_engine};
+use deepstore_bench::report::results_dir;
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const N: u64 = 512;
+const K: usize = 8;
+const ITERS: u32 = 40;
+
+#[derive(Serialize)]
+struct ScanBench {
+    workload: String,
+    features: u64,
+    iterations: u32,
+    features_per_sec_scratch: f64,
+    features_per_sec_alloc_reference: f64,
+    speedup: f64,
+    allocs_per_feature_scratch: f64,
+    allocs_per_feature_alloc_reference: f64,
+}
+
+fn main() {
+    let (engine, model, db) = textqa_engine(N, 1);
+    let (small_engine, _, small_db) = textqa_engine(N / 2, 1);
+    let probe = model.random_feature(99_991);
+
+    // Warm both paths (lazy one-time init, first-touch growth).
+    engine.scan_top_k(db, &model, &probe, K).unwrap();
+    small_engine
+        .scan_top_k(small_db, &model, &probe, K)
+        .unwrap();
+    naive_scan(&engine, &model, db, &probe, N, K);
+
+    // Allocations per scored feature, differentially.
+    let count = |f: &dyn Fn() -> usize| {
+        let before = allocations();
+        let hits = f();
+        assert_eq!(hits, K);
+        allocations() - before
+    };
+    let scratch_large = count(&|| engine.scan_top_k(db, &model, &probe, K).unwrap().len());
+    let scratch_small = count(&|| {
+        small_engine
+            .scan_top_k(small_db, &model, &probe, K)
+            .unwrap()
+            .len()
+    });
+    let naive_large = count(&|| naive_scan(&engine, &model, db, &probe, N, K).len());
+    let naive_small =
+        count(&|| naive_scan(&small_engine, &model, small_db, &probe, N / 2, K).len());
+    let per_feature =
+        |large: u64, small: u64| (large.saturating_sub(small)) as f64 / (N - N / 2) as f64;
+
+    // Throughput: whole-database scans, wall clock.
+    let timed = |f: &dyn Fn() -> usize| {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        (N * u64::from(ITERS)) as f64 / start.elapsed().as_secs_f64()
+    };
+    let scratch_fps = timed(&|| engine.scan_top_k(db, &model, &probe, K).unwrap().len());
+    let naive_fps = timed(&|| naive_scan(&engine, &model, db, &probe, N, K).len());
+
+    let report = ScanBench {
+        workload: "textqa".into(),
+        features: N,
+        iterations: ITERS,
+        features_per_sec_scratch: scratch_fps,
+        features_per_sec_alloc_reference: naive_fps,
+        speedup: scratch_fps / naive_fps,
+        allocs_per_feature_scratch: per_feature(scratch_large, scratch_small),
+        allocs_per_feature_alloc_reference: per_feature(naive_large, naive_small),
+    };
+
+    println!("== scan hot path ({} textqa features) ==", N);
+    println!(
+        "  scratch scan   : {:>12.0} features/s  ({:.3} allocs/feature)",
+        report.features_per_sec_scratch, report.allocs_per_feature_scratch
+    );
+    println!(
+        "  alloc reference: {:>12.0} features/s  ({:.3} allocs/feature)",
+        report.features_per_sec_alloc_reference, report.allocs_per_feature_alloc_reference
+    );
+    println!("  speedup        : {:>12.2}x", report.speedup);
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_scan.json");
+    std::fs::write(&path, json).expect("write BENCH_scan.json");
+    println!("[written {}]", path.display());
+}

@@ -1,0 +1,126 @@
+//! Seed-faithful allocating reference for the scan hot path.
+//!
+//! The engine's scan was rewritten to be allocation-free (scratch-buffer
+//! inference, page-sequential decode). This module preserves the
+//! *original* per-feature structure as a measurable baseline: one
+//! `read_feature` per feature (fresh `Vec<u8>` + `Tensor`), a fresh merge
+//! vector, a fresh output vector per layer, and a plain sequential dot
+//! product. The `scan_hot_path` criterion bench and the `bench_scan`
+//! binary both compare against it.
+
+use deepstore_core::config::DeepStoreConfig;
+use deepstore_core::engine::{DbId, Engine};
+use deepstore_nn::{zoo, ElementWiseOp, LayerShape, MergeOp, Model, Tensor};
+use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
+
+/// Builds a sealed engine over `n` seeded textqa features.
+pub fn textqa_engine(n: u64, workers: usize) -> (Engine, Model, DbId) {
+    let model = zoo::textqa().seeded(3);
+    let mut engine = Engine::new(DeepStoreConfig::small().with_parallelism(workers));
+    let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
+    let db = engine.write_db(&features).unwrap();
+    engine.seal_db(db).unwrap();
+    (engine, model, db)
+}
+
+/// The pre-rewrite similarity: allocate on merge, allocate per layer,
+/// reduce with a sequential (non-unrolled) dot product.
+///
+/// Dense/element-wise models only — the comparison workload (textqa) has
+/// no convolutions.
+pub fn naive_similarity(model: &Model, query: &Tensor, item: &Tensor) -> f32 {
+    let q = query.data();
+    let d = item.data();
+    let mut x: Vec<f32> = match model.merge() {
+        MergeOp::Concat => q.iter().chain(d.iter()).copied().collect(),
+        MergeOp::ElementWise(op) => q
+            .iter()
+            .zip(d.iter())
+            .map(|(a, b)| match op {
+                ElementWiseOp::Add => a + b,
+                ElementWiseOp::Sub => a - b,
+                ElementWiseOp::Mul => a * b,
+            })
+            .collect(),
+    };
+    for layer in model.layers() {
+        let LayerShape::Dense { out_features, .. } = layer.shape else {
+            unreachable!("reference path is dense-only");
+        };
+        let w = layer.weights.as_ref().unwrap().data();
+        let b = layer.bias.as_ref().unwrap().data();
+        let inp = x.len();
+        let mut out = Vec::with_capacity(out_features);
+        for o in 0..out_features {
+            let row = &w[o * inp..(o + 1) * inp];
+            let mut acc = 0.0f32;
+            for (wi, xi) in row.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            out.push(acc + b[o]);
+        }
+        let mut t = Tensor::from_vec(vec![out_features], out).unwrap();
+        t = layer.activation.apply(t);
+        x = t.into_data();
+    }
+    match x.len() {
+        0 => 0.0,
+        1 | 2 => x[0],
+        _ => x.iter().sum::<f32>() / x.len() as f32,
+    }
+}
+
+/// One full reference scan: per-feature reads through the allocating
+/// path, ranked by the same sorter the engine uses.
+pub fn naive_scan(
+    engine: &Engine,
+    model: &Model,
+    db: DbId,
+    probe: &Tensor,
+    n: u64,
+    k: usize,
+) -> Vec<ScoredFeature> {
+    let mut sorter = TopKSorter::new(k);
+    for idx in 0..n {
+        let f = engine.read_feature(db, idx).unwrap();
+        sorter.offer(naive_similarity(model, probe, &f), idx);
+    }
+    sorter.ranked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The naive reference must itself agree with `Model::similarity` to
+    /// within reassociation error (the unrolled kernel sums in a
+    /// different order, so exact bits are not expected *here* — the
+    /// bit-identity contract is between the engine's two paths, not
+    /// between either of them and this baseline).
+    #[test]
+    fn naive_reference_tracks_model_similarity() {
+        let model = zoo::textqa().seeded(3);
+        let q = model.random_feature(1);
+        for i in 0..8 {
+            let d = model.random_feature(100 + i);
+            let naive = naive_similarity(&model, &q, &d);
+            let real = model.similarity(&q, &d).unwrap();
+            assert!(
+                (naive - real).abs() <= 1e-4 * real.abs().max(1.0),
+                "naive {naive} vs kernel {real}"
+            );
+        }
+    }
+
+    /// And the reference scan ranks the same features as the engine scan.
+    #[test]
+    fn naive_scan_agrees_with_engine_scan() {
+        let (engine, model, db) = textqa_engine(64, 1);
+        let probe = model.random_feature(77);
+        let reference = naive_scan(&engine, &model, db, &probe, 64, 5);
+        let fast = engine.scan_top_k(db, &model, &probe, 5).unwrap();
+        let ref_ids: Vec<u64> = reference.iter().map(|h| h.feature_id).collect();
+        let fast_ids: Vec<u64> = fast.iter().map(|h| h.feature_id).collect();
+        assert_eq!(ref_ids, fast_ids);
+    }
+}

@@ -150,6 +150,10 @@ fn cmd_query(args: &[String]) -> CmdResult {
             hit.feature_index, hit.score, hit.object_id.0
         );
     }
+    let skipped = store.unreadable_skipped();
+    if skipped > 0 {
+        println!("  ({skipped} features skipped: uncorrectable reads)");
+    }
     Ok(())
 }
 
@@ -218,6 +222,10 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         "  latency    : mean {}  p50 {}  p95 {}  p99 {}",
         s.mean_latency, s.p50_latency, s.p95_latency, s.p99_latency
     );
+    let skipped = rt.store().unreadable_skipped();
+    if skipped > 0 {
+        println!("  skipped    : {skipped} unreadable features");
+    }
     Ok(())
 }
 

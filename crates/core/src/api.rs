@@ -182,6 +182,12 @@ impl DeepStore {
         self.qc.as_ref().map(|q| q.stats())
     }
 
+    /// Features skipped by scans so far because their flash pages failed
+    /// ECC (intelligent queries degrade gracefully instead of failing).
+    pub fn unreadable_skipped(&self) -> u64 {
+        self.engine.unreadable_skipped()
+    }
+
     /// `query`: submits a query feature vector against a database using a
     /// loaded model, retrieving `k` results via the accelerators at
     /// `level`. Returns the query id for [`DeepStore::results`].
@@ -201,13 +207,15 @@ impl DeepStore {
         db: DbId,
         level: AcceleratorLevel,
     ) -> Result<QueryId> {
+        // `scan_top_k` runs on `&Engine`, so the model, metadata and
+        // config can all be borrowed — no per-query clones of the weight
+        // tensors or the page table.
         let model_ref = self
             .models
             .get(&model)
-            .ok_or(FlashError::UnknownDb(model.0))?
-            .clone();
-        let meta = self.engine.db_meta(db)?.clone();
-        let cfg = self.engine.config().clone();
+            .ok_or(FlashError::UnknownDb(model.0))?;
+        let meta = self.engine.db_meta(db)?;
+        let cfg = self.engine.config();
 
         // Timing for the full scan at the requested level.
         let layout = DbLayout::new(
@@ -222,7 +230,7 @@ impl DeepStore {
             feature_bytes: meta.feature_bytes,
             layout,
         };
-        let scan_timing = timing_scan(level, &workload, &cfg).ok_or_else(|| {
+        let scan_timing = timing_scan(level, &workload, cfg).ok_or_else(|| {
             FlashError::AddressOutOfRange(format!(
                 "model `{}` has no {level}-level mapping",
                 model_ref.name()
@@ -251,7 +259,7 @@ impl DeepStore {
             Some(r) => r,
             None => {
                 elapsed += scan_timing.elapsed;
-                let r = self.engine.scan_top_k(db, &model_ref, qfv, k)?;
+                let r = self.engine.scan_top_k(db, model_ref, qfv, k)?;
                 if let Some(qc) = &mut self.qc {
                     qc.insert(qfv.clone(), r.clone());
                 }

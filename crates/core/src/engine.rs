@@ -18,10 +18,11 @@ use deepstore_flash::ftl::BlockFtl;
 use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
 use deepstore_flash::{FlashError, Result};
-use deepstore_nn::{Model, Tensor};
+use deepstore_nn::{InferenceScratch, Model, Tensor};
 use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies a feature database (returned by `writeDB`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -61,7 +62,8 @@ pub struct Engine {
     /// "DeepStore buffers writes to ensure the alignment criteria").
     write_buffers: HashMap<DbId, Vec<u8>>,
     /// Features skipped during scans because their pages failed ECC.
-    unreadable_skipped: u64,
+    /// Atomic so scans can run on `&self` (queries are read-only).
+    unreadable_skipped: AtomicU64,
 }
 
 impl Engine {
@@ -75,7 +77,7 @@ impl Engine {
             dbs: HashMap::new(),
             next_db: 1,
             write_buffers: HashMap::new(),
-            unreadable_skipped: 0,
+            unreadable_skipped: AtomicU64::new(0),
         }
     }
 
@@ -89,7 +91,7 @@ impl Engine {
     /// Intelligent queries tolerate approximation, so a scan skips
     /// unreadable features (slightly reducing recall) instead of failing.
     pub fn unreadable_skipped(&self) -> u64 {
-        self.unreadable_skipped
+        self.unreadable_skipped.load(Ordering::Relaxed)
     }
 
     /// The engine's configuration.
@@ -152,40 +154,61 @@ impl Engine {
     pub fn append_db(&mut self, db: DbId, features: &[Tensor]) -> Result<()> {
         let feature_bytes = self.db_meta(db)?.feature_bytes;
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
-        for f in features {
-            if f.len() * 4 != feature_bytes {
-                return Err(FlashError::SizeMismatch {
-                    expected: feature_bytes,
-                    found: f.len() * 4,
-                });
-            }
-            let mut bytes = Vec::with_capacity(feature_bytes);
-            for v in f.data() {
-                bytes.extend_from_slice(&v.to_le_bytes());
-            }
-            match self.cfg.placement {
-                Placement::Packed => {
-                    let buf = self.write_buffers.entry(db).or_default();
-                    buf.extend_from_slice(&bytes);
-                    while self.write_buffers[&db].len() >= page_bytes {
-                        let page: Vec<u8> = self
-                            .write_buffers
-                            .get_mut(&db)
-                            .unwrap()
-                            .drain(..page_bytes)
-                            .collect();
-                        self.flush_page(db, &page)?;
+        match self.cfg.placement {
+            Placement::Packed => {
+                // Take the write buffer out of the map once (one lookup
+                // per append, not per feature) and flush full pages by
+                // advancing a cursor; draining the flushed prefix once at
+                // the end replaces the per-page front-drain that shifted
+                // the whole tail each time (O(n·page) in the old code).
+                let mut buf = self.write_buffers.remove(&db).unwrap_or_default();
+                let mut cursor = 0usize;
+                let mut append = || -> Result<()> {
+                    for f in features {
+                        if f.len() * 4 != feature_bytes {
+                            return Err(FlashError::SizeMismatch {
+                                expected: feature_bytes,
+                                found: f.len() * 4,
+                            });
+                        }
+                        for v in f.data() {
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                        while buf.len() - cursor >= page_bytes {
+                            let start = cursor;
+                            cursor += page_bytes;
+                            self.flush_page(db, &buf[start..cursor])?;
+                        }
+                        self.dbs.get_mut(&db).expect("checked above").num_features += 1;
                     }
-                }
-                Placement::PageAligned => {
+                    Ok(())
+                };
+                let result = append();
+                buf.drain(..cursor);
+                self.write_buffers.insert(db, buf);
+                result
+            }
+            Placement::PageAligned => {
+                let mut bytes = Vec::with_capacity(feature_bytes);
+                for f in features {
+                    if f.len() * 4 != feature_bytes {
+                        return Err(FlashError::SizeMismatch {
+                            expected: feature_bytes,
+                            found: f.len() * 4,
+                        });
+                    }
+                    bytes.clear();
+                    for v in f.data() {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
                     for chunk in bytes.chunks(page_bytes) {
                         self.flush_page(db, chunk)?;
                     }
+                    self.dbs.get_mut(&db).expect("checked above").num_features += 1;
                 }
+                Ok(())
             }
-            self.dbs.get_mut(&db).expect("checked above").num_features += 1;
         }
-        Ok(())
     }
 
     /// Seals a database: flushes any partial write buffer so every feature
@@ -283,6 +306,76 @@ impl Engine {
         Ok(out)
     }
 
+    /// Decodes feature `idx` straight out of borrowed flash pages into a
+    /// reusable `f32` buffer — the scan's page-sequential fast path. No
+    /// intermediate `Vec<u8>` and no `Tensor` are materialized: each page
+    /// is read once via [`FlashArray::read`]'s borrowed slice, kept in
+    /// `cached_page` so consecutive features resident in the same page
+    /// reuse it, and an f32 whose four bytes straddle a page boundary is
+    /// assembled through a small carry buffer.
+    ///
+    /// A page that fails ECC is not cached (the next feature touching it
+    /// re-reads and re-fails, matching the per-feature read semantics of
+    /// [`Engine::read_feature`]).
+    fn decode_feature_into<'a>(
+        &'a self,
+        meta: &DbMeta,
+        idx: u64,
+        cached_page: &mut Option<(usize, &'a [u8])>,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let page_bytes = self.cfg.ssd.geometry.page_bytes;
+        let (mut page_idx, mut offset) = self.feature_location(meta, idx);
+        out.clear();
+        out.reserve(meta.feature_bytes / 4);
+        let mut carry = [0u8; 4];
+        let mut carry_len = 0usize;
+        let mut remaining = meta.feature_bytes;
+        while remaining > 0 {
+            let page: &[u8] = match cached_page {
+                Some((cached_idx, data)) if *cached_idx == page_idx => data,
+                _ => {
+                    let addr = *meta.pages.get(page_idx).ok_or_else(|| {
+                        FlashError::AddressOutOfRange(format!(
+                            "page {page_idx} of db {}",
+                            meta.db_id.0
+                        ))
+                    })?;
+                    let data = self.array.read(addr)?;
+                    *cached_page = Some((page_idx, data));
+                    data
+                }
+            };
+            let take = remaining.min(page_bytes - offset);
+            let mut chunk = &page[offset..offset + take];
+            if carry_len > 0 {
+                // Finish the f32 whose bytes straddled the previous page.
+                let need = (4 - carry_len).min(chunk.len());
+                carry[carry_len..carry_len + need].copy_from_slice(&chunk[..need]);
+                carry_len += need;
+                chunk = &chunk[need..];
+                if carry_len == 4 {
+                    out.push(f32::from_le_bytes(carry));
+                    carry_len = 0;
+                }
+            }
+            if carry_len == 0 {
+                let mut quads = chunk.chunks_exact(4);
+                for q in &mut quads {
+                    out.push(f32::from_le_bytes([q[0], q[1], q[2], q[3]]));
+                }
+                let tail = quads.remainder();
+                carry[..tail.len()].copy_from_slice(tail);
+                carry_len = tail.len();
+            }
+            remaining -= take;
+            offset = 0;
+            page_idx += 1;
+        }
+        debug_assert_eq!(carry_len, 0, "feature sizes are f32-aligned");
+        Ok(())
+    }
+
     /// (page index within the db, byte offset) where feature `idx` starts.
     fn feature_location(&self, meta: &DbMeta, idx: u64) -> (usize, usize) {
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
@@ -332,27 +425,29 @@ impl Engine {
     /// [`deepstore_nn::NnError`]-derived mismatches as
     /// [`FlashError::SizeMismatch`].
     pub fn scan_top_k(
-        &mut self,
+        &self,
         db: DbId,
         model: &Model,
         query: &Tensor,
         k: usize,
     ) -> Result<Vec<ScoredFeature>> {
-        let meta = self.db_meta(db)?.clone();
+        let meta = self.db_meta(db)?;
         let channels = self.cfg.ssd.geometry.channels;
 
         // Shard plan: each feature belongs to the channel its first page
         // lives on. Unsealed features whose pages are not allocated yet
         // fall into shard 0, where the read reports the proper error.
+        // Within a shard the indices stay ascending, so the page-sequential
+        // decoder touches each flash page exactly once.
         let mut shards: Vec<Vec<u64>> = vec![Vec::new(); channels];
         for idx in 0..meta.num_features {
-            let (page_idx, _) = self.feature_location(&meta, idx);
+            let (page_idx, _) = self.feature_location(meta, idx);
             let channel = meta.pages.get(page_idx).map_or(0, |p| p.channel);
             shards[channel].push(idx);
         }
 
         let workers = effective_workers(self.cfg.parallelism, channels);
-        let per_shard = self.scan_shards(&meta, model, query, k, &shards, workers);
+        let per_shard = self.scan_shards(meta, model, query, k, &shards, workers);
 
         // Reduce: merge in channel order (the total order in `offer`
         // makes any order equivalent, but canonical is free), surfacing
@@ -364,12 +459,20 @@ impl Engine {
             merged.merge(&sorter);
             skipped += shard_skipped;
         }
-        self.unreadable_skipped += skipped;
+        self.unreadable_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
         Ok(merged.ranked())
     }
 
     /// Runs the map step over the shard plan, returning one
     /// `(sorter, skipped_count)` result per channel, in channel order.
+    ///
+    /// This is the hot path: each worker owns one [`InferenceScratch`]
+    /// and one feature buffer, decodes features page-sequentially out of
+    /// borrowed flash pages (each page is read once per shard, with a
+    /// carry buffer for values straddling page boundaries), and scores
+    /// them with the allocation-free scratch path. After the first
+    /// feature of a shard, the loop performs zero heap allocations.
     fn scan_shards(
         &self,
         meta: &DbMeta,
@@ -382,23 +485,25 @@ impl Engine {
         let scan_one = |shard: &[u64]| -> Result<(TopKSorter, u64)> {
             let mut sorter = TopKSorter::new(k);
             let mut skipped = 0u64;
+            let mut scratch = InferenceScratch::for_model(model);
+            let mut feature: Vec<f32> = Vec::with_capacity(meta.feature_bytes / 4);
+            let mut cached_page: Option<(usize, &[u8])> = None;
             for &idx in shard {
-                let feature = match self.read_feature_with(meta, idx) {
-                    Ok(f) => f,
+                match self.decode_feature_into(meta, idx, &mut cached_page, &mut feature) {
+                    Ok(()) => {}
                     Err(FlashError::UncorrectableEcc(_)) => {
                         // Degrade gracefully: skip the unreadable feature.
                         skipped += 1;
                         continue;
                     }
                     Err(e) => return Err(e),
-                };
-                let score =
-                    model
-                        .similarity(query, &feature)
-                        .map_err(|_| FlashError::SizeMismatch {
-                            expected: model.feature_bytes(),
-                            found: meta.feature_bytes,
-                        })?;
+                }
+                let score = model
+                    .similarity_scratch(query, &feature, &mut scratch)
+                    .map_err(|_| FlashError::SizeMismatch {
+                        expected: model.feature_bytes(),
+                        found: meta.feature_bytes,
+                    })?;
                 sorter.offer(score, idx);
             }
             Ok((sorter, skipped))
@@ -619,6 +724,72 @@ mod tests {
             Err(FlashError::UncorrectableEcc(_))
         ));
         assert!(e.read_feature(db, 25).is_ok());
+    }
+
+    #[test]
+    fn page_sequential_scan_matches_per_feature_reads() {
+        // 700 packed textqa features (800 B each) span several blocks:
+        // feature 20 straddles the first page boundary and feature 327
+        // straddles the first block boundary (16 pages x 16 KB / 800 B).
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(12);
+        let n = 700u64;
+        let fs = features(&model, n);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+
+        let meta = e.db_meta(db).unwrap();
+        let fb = meta.feature_bytes;
+        let pb = e.config().ssd.geometry.page_bytes;
+        let ppb = e.config().ssd.geometry.pages_per_block;
+        // Page straddle: feature 20 starts in page 0 and ends in page 1.
+        assert!((20 * fb) % pb + fb > pb, "test premise: page straddle");
+        // Block straddle: the feature crossing the first block boundary
+        // spans two pages on *different channels* (blocks are striped).
+        let block_straddler = (pb * ppb / fb) as u64;
+        let (p, off) = e.feature_location(meta, block_straddler);
+        assert!(off + fb > pb, "test premise: block straddle");
+        assert_ne!(meta.pages[p].channel, meta.pages[p + 1].channel);
+
+        // The page-sequential scan scores every feature bit-identically
+        // to the per-feature read + reference similarity path. `&e`
+        // proves the scan runs on a shared reference.
+        let q = model.random_feature(4242);
+        let shared: &Engine = &e;
+        let top = shared.scan_top_k(db, &model, &q, n as usize).unwrap();
+        assert_eq!(top.len(), n as usize);
+        for hit in &top {
+            let f = e.read_feature(db, hit.feature_id).unwrap();
+            let reference = model.similarity(&q, &f).unwrap();
+            assert_eq!(
+                hit.score.to_bits(),
+                reference.to_bits(),
+                "feature {}",
+                hit.feature_id
+            );
+        }
+    }
+
+    #[test]
+    fn carry_buffer_reassembles_f32_across_odd_page_boundaries() {
+        // A 30-byte page is not a multiple of 4, so packed f32s straddle
+        // page boundaries mid-value and the decoder's carry buffer must
+        // reassemble them (feature 3 occupies bytes 24..32; its second
+        // f32 splits 2+2 across pages 0 and 1).
+        let mut cfg = DeepStoreConfig::small();
+        cfg.ssd.geometry.page_bytes = 30;
+        let mut e = Engine::new(cfg);
+        let fs: Vec<Tensor> = (0..12).map(|i| Tensor::random(vec![2], 1.0, i)).collect();
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let meta = e.db_meta(db).unwrap();
+        let mut cached = None;
+        let mut out = Vec::new();
+        for (i, f) in fs.iter().enumerate() {
+            e.decode_feature_into(meta, i as u64, &mut cached, &mut out)
+                .unwrap();
+            assert_eq!(out, f.data(), "feature {i}");
+        }
     }
 
     #[test]

@@ -114,6 +114,11 @@ impl Runtime {
         &mut self.store
     }
 
+    /// Read-only view of the wrapped device (stats, config).
+    pub fn store(&self) -> &DeepStore {
+        &self.store
+    }
+
     /// Queued (not yet executed) queries.
     pub fn queued(&self) -> usize {
         self.queue.len()

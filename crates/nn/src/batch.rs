@@ -86,18 +86,13 @@ impl Batch {
                 found: format!("{:?}", b.shape()),
             });
         }
-        let mut data = vec![0.0f32; self.rows * out];
+        let mut data = Vec::with_capacity(self.rows * out);
+        let mut row_out = Vec::with_capacity(out);
         for r in 0..self.rows {
-            let x = self.row(r);
-            let y = &mut data[r * out..(r + 1) * out];
-            for (o, yo) in y.iter_mut().enumerate() {
-                let wrow = &w.data()[o * self.dim..(o + 1) * self.dim];
-                let mut acc = 0.0f32;
-                for (wi, xi) in wrow.iter().zip(x) {
-                    acc += wi * xi;
-                }
-                *yo = acc + b.data()[o];
-            }
+            // Shares the unrolled kernel with Tensor::dense so batched and
+            // per-row results stay bit-identical.
+            crate::kernels::dense_into(w.data(), b.data(), self.row(r), &mut row_out);
+            data.extend_from_slice(&row_out);
         }
         Ok(Batch {
             rows: self.rows,

@@ -1,0 +1,204 @@
+//! The compute kernels shared by every inference path.
+//!
+//! Both the allocating reference path ([`crate::Tensor::dense`],
+//! [`crate::Tensor::conv2d`], [`crate::Layer::forward`]) and the
+//! allocation-free scratch path ([`crate::Layer::forward_into`],
+//! [`crate::Model::similarity_scratch`]) call the functions in this
+//! module, so the two paths execute the *same f32 operations in the same
+//! order* and their results are bit-identical by construction. That
+//! shared-kernel discipline is what lets the in-storage scan use the
+//! scratch path while tests compare it bit-for-bit against the reference
+//! path (see DESIGN.md, "Summation order and bit-identity").
+//!
+//! The kernels are written for scalar ILP rather than allocation
+//! convenience:
+//!
+//! * the dense (matrix-vector) kernel unrolls each row's reduction over
+//!   four independent accumulators, breaking the loop-carried FP add
+//!   dependency that serializes a naive `acc += w*x` loop;
+//! * the conv2d kernel precomputes the valid `ky`/`kx` kernel ranges per
+//!   output coordinate, hoisting the zero-padding bounds checks out of
+//!   the inner loops, with a branch-free slice-zip fast path for interior
+//!   pixels.
+
+/// Dot product over four independent accumulators.
+///
+/// Lanes `0,4,8,…` feed `s0`, lanes `1,5,9,…` feed `s1`, and so on; the
+/// partial sums are combined as `(s0 + s1) + (s2 + s3)` and any tail
+/// lanes (length not a multiple of 4) are then added sequentially. This
+/// order is fixed: every caller — reference or scratch path — inherits
+/// it, which is what keeps the two paths bit-identical.
+#[inline]
+pub(crate) fn dot_unrolled(w: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut wq = w.chunks_exact(4);
+    let mut xq = x.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (wc, xc) in (&mut wq).zip(&mut xq) {
+        s0 += wc[0] * xc[0];
+        s1 += wc[1] * xc[1];
+        s2 += wc[2] * xc[2];
+        s3 += wc[3] * xc[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for (wi, xi) in wq.remainder().iter().zip(xq.remainder()) {
+        acc += wi * xi;
+    }
+    acc
+}
+
+/// Dense matrix-vector product `y = W x + b` into a caller-owned buffer.
+///
+/// `w` is row-major `[out, in]`; `out` is cleared and refilled, so a
+/// buffer with `b.len()` capacity makes the call allocation-free. Shape
+/// checking is the caller's job (the `Tensor` / `Layer` wrappers do it).
+pub(crate) fn dense_into(w: &[f32], b: &[f32], x: &[f32], out: &mut Vec<f32>) {
+    let inp = x.len();
+    out.clear();
+    out.reserve(b.len());
+    for (o, &bias) in b.iter().enumerate() {
+        let row = &w[o * inp..(o + 1) * inp];
+        out.push(dot_unrolled(row, x) + bias);
+    }
+}
+
+/// Shape of a conv2d operand set; bundles the dimensions the kernel
+/// needs so call sites stay readable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConvDims {
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels.
+    pub co: usize,
+    /// Input channels per group (`c / groups`).
+    pub cg: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (rows, cols).
+    pub stride: (usize, usize),
+    /// Channel groups.
+    pub groups: usize,
+}
+
+impl ConvDims {
+    /// Output height under "same" padding.
+    pub fn oh(&self) -> usize {
+        self.h.div_ceil(self.stride.0)
+    }
+
+    /// Output width under "same" padding.
+    pub fn ow(&self) -> usize {
+        self.w.div_ceil(self.stride.1)
+    }
+}
+
+/// 2-D "same"-padded convolution into a caller-owned buffer.
+///
+/// The valid kernel ranges `[ky_lo, ky_hi)` / `[kx_lo, kx_hi)` are
+/// computed once per output row/column, so the inner reduction never
+/// tests padding bounds; interior pixels (full `kx` range) take a
+/// slice-zip fast path. The *order* of multiply-adds is exactly the
+/// order the naive quadruple loop with `continue`-on-padding produced:
+/// skipped taps contributed nothing, so eliding them leaves the
+/// accumulation sequence unchanged and results bit-identical.
+pub(crate) fn conv2d_into(
+    x: &[f32],
+    kernel: &[f32],
+    bias: &[f32],
+    d: ConvDims,
+    out: &mut Vec<f32>,
+) {
+    debug_assert_eq!(x.len(), d.c * d.h * d.w);
+    let (sh, sw) = d.stride;
+    let (oh, ow) = (d.oh(), d.ow());
+    let ph = d.kh / 2;
+    let pw = d.kw / 2;
+    let co_per_group = d.co / d.groups;
+    out.clear();
+    out.reserve(d.co * oh * ow);
+    debug_assert_eq!(bias.len(), d.co);
+    for (ocn, &b0) in bias.iter().enumerate() {
+        let g = ocn / co_per_group;
+        let in_base = g * d.cg;
+        for oy in 0..oh {
+            let ybase = oy * sh;
+            // iy = ybase + ky - ph must land in [0, h).
+            let ky_lo = ph.saturating_sub(ybase);
+            let ky_hi = d.kh.min(d.h + ph - ybase);
+            for ox in 0..ow {
+                let xbase = ox * sw;
+                let kx_lo = pw.saturating_sub(xbase);
+                let kx_hi = d.kw.min(d.w + pw - xbase);
+                let mut acc = b0;
+                for icg in 0..d.cg {
+                    let ic = in_base + icg;
+                    let x_plane = &x[ic * d.h * d.w..(ic + 1) * d.h * d.w];
+                    let k_base = ((ocn * d.cg + icg) * d.kh) * d.kw;
+                    for ky in ky_lo..ky_hi {
+                        let iy = ybase + ky - ph;
+                        let xrow = &x_plane[iy * d.w..(iy + 1) * d.w];
+                        let krow = &kernel[k_base + ky * d.kw..k_base + (ky + 1) * d.kw];
+                        if kx_lo == 0 && kx_hi == d.kw && xbase >= pw {
+                            // Interior fast path: the whole kernel row
+                            // overlaps the input row.
+                            let xs = &xrow[xbase - pw..xbase - pw + d.kw];
+                            for (xv, kv) in xs.iter().zip(krow) {
+                                acc += xv * kv;
+                            }
+                        } else {
+                            for (kx, kv) in krow.iter().enumerate().take(kx_hi).skip(kx_lo) {
+                                let ix = xbase + kx - pw;
+                                acc += xrow[ix] * kv;
+                            }
+                        }
+                    }
+                }
+                out.push(acc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_unrolled_matches_reference_order() {
+        // 10 lanes: 2 full quads + 2 tail lanes.
+        let w: Vec<f32> = (0..10).map(|i| (i as f32) * 0.5 + 1.0).collect();
+        let x: Vec<f32> = (0..10).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let got = dot_unrolled(&w, &x);
+        // Reproduce the documented order explicitly.
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0, 0.0, 0.0);
+        for q in 0..2 {
+            s0 += w[4 * q] * x[4 * q];
+            s1 += w[4 * q + 1] * x[4 * q + 1];
+            s2 += w[4 * q + 2] * x[4 * q + 2];
+            s3 += w[4 * q + 3] * x[4 * q + 3];
+        }
+        let mut want = (s0 + s1) + (s2 + s3);
+        want += w[8] * x[8];
+        want += w[9] * x[9];
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn dense_into_reuses_capacity() {
+        let w = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [0.5f32, -0.5];
+        let x = [1.0f32, 1.0, 1.0];
+        let mut out = Vec::with_capacity(2);
+        let ptr = out.as_ptr();
+        dense_into(&w, &b, &x, &mut out);
+        assert_eq!(out, vec![6.5, 14.5]);
+        dense_into(&w, &b, &x, &mut out);
+        assert_eq!(ptr, out.as_ptr(), "no reallocation on reuse");
+    }
+}

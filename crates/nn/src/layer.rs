@@ -49,12 +49,34 @@ pub enum Activation {
 
 impl Activation {
     /// Applies the activation to a tensor.
-    pub fn apply(self, t: Tensor) -> Tensor {
+    pub fn apply(self, mut t: Tensor) -> Tensor {
+        self.apply_slice(t.data_mut());
+        t
+    }
+
+    /// Applies the activation lane-wise, in place. Both the allocating
+    /// and the scratch inference paths use this, so their results agree
+    /// bit for bit.
+    pub fn apply_slice(self, xs: &mut [f32]) {
         match self {
-            Activation::Identity => t,
-            Activation::Relu => t.relu(),
-            Activation::Sigmoid => t.sigmoid(),
-            Activation::Tanh => t.tanh(),
+            Activation::Identity => {}
+            Activation::Relu => {
+                for x in xs {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for x in xs {
+                    *x = 1.0 / (1.0 + (-*x).exp());
+                }
+            }
+            Activation::Tanh => {
+                for x in xs {
+                    *x = x.tanh();
+                }
+            }
         }
     }
 }
@@ -289,39 +311,86 @@ impl Layer {
     /// operand stream and simply pass it through (the merge arithmetic is
     /// done by [`MergeOp`] handling in [`crate::Model::similarity`]).
     ///
+    /// This is the allocating wrapper over [`Layer::forward_into`]; the
+    /// two share kernels and are bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::UninitializedWeights`] if a weighted layer has no
     /// weights, or [`NnError::ShapeMismatch`] if the input does not fit.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        let out = match self.shape {
-            LayerShape::Dense { .. } => {
-                let (w, b) = self.weights_or_err()?;
-                input.dense(w, b)?
-            }
+        let mut out = Vec::with_capacity(self.shape.output_len());
+        self.forward_into(input.data(), &mut out)?;
+        let shape = match self.shape {
             LayerShape::Conv2d {
-                in_channels,
+                out_channels,
                 in_h,
                 in_w,
                 stride,
-                groups,
                 ..
+            } => vec![
+                out_channels,
+                in_h.div_ceil(stride.0),
+                in_w.div_ceil(stride.1),
+            ],
+            _ => vec![out.len()],
+        };
+        Tensor::from_vec(shape, out)
+    }
+
+    /// Runs the layer forward from a flat input slice into a caller-owned
+    /// output buffer — the scan hot path. `out` is cleared and refilled;
+    /// with sufficient capacity (see
+    /// [`InferenceScratch`](crate::InferenceScratch)) the call performs
+    /// no heap allocation. The convolutional arm consumes the flat slice
+    /// directly (no reshape, no clone).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::forward`].
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) -> Result<()> {
+        let expected = self.shape.input_len();
+        if input.len() != expected {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{expected}]"),
+                found: format!("[{}]", input.len()),
+            });
+        }
+        match self.shape {
+            LayerShape::Dense { .. } => {
+                let (w, b) = self.weights_or_err()?;
+                crate::kernels::dense_into(w.data(), b.data(), input, out);
+            }
+            LayerShape::Conv2d {
+                in_channels,
+                out_channels,
+                in_h,
+                in_w,
+                kernel,
+                stride,
+                groups,
             } => {
                 let (w, b) = self.weights_or_err()?;
-                let x = input.clone().reshape(vec![in_channels, in_h, in_w])?;
-                x.conv2d(w, b, stride, groups)?
+                let dims = crate::kernels::ConvDims {
+                    c: in_channels,
+                    h: in_h,
+                    w: in_w,
+                    co: out_channels,
+                    cg: in_channels / groups,
+                    kh: kernel,
+                    kw: kernel,
+                    stride,
+                    groups,
+                };
+                crate::kernels::conv2d_into(input, w.data(), b.data(), dims, out);
             }
-            LayerShape::ElementWise { len, .. } => {
-                if input.len() != len {
-                    return Err(NnError::ShapeMismatch {
-                        expected: format!("[{len}]"),
-                        found: format!("{:?}", input.shape()),
-                    });
-                }
-                input.clone()
+            LayerShape::ElementWise { .. } => {
+                out.clear();
+                out.extend_from_slice(input);
             }
-        };
-        Ok(self.activation.apply(out))
+        }
+        self.activation.apply_slice(out);
+        Ok(())
     }
 
     fn weights_or_err(&self) -> Result<(&Tensor, &Tensor)> {

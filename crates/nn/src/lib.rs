@@ -32,9 +32,11 @@
 
 pub mod batch;
 pub mod graph;
+pub(crate) mod kernels;
 pub mod layer;
 pub mod metrics;
 pub mod model;
+pub mod scratch;
 pub mod tensor;
 pub mod zoo;
 
@@ -42,6 +44,7 @@ pub use batch::Batch;
 pub use graph::ModelGraph;
 pub use layer::{Activation, ElementWiseOp, Layer, LayerShape, MergeOp};
 pub use model::{Model, ModelBuilder};
+pub use scratch::InferenceScratch;
 pub use tensor::Tensor;
 
 use std::fmt;

@@ -7,6 +7,7 @@
 //! query cache (§4.6), which compares two *query* feature vectors.
 
 use crate::layer::{Activation, Layer, LayerShape, MergeOp};
+use crate::scratch::InferenceScratch;
 use crate::{NnError, Result, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -194,6 +195,83 @@ impl Model {
             0 => 0.0,
             1 | 2 => out.data()[0],
             _ => out.mean(),
+        })
+    }
+
+    /// Computes the similarity score without allocating: the merge and
+    /// every layer activation land in the caller's [`InferenceScratch`]
+    /// buffers, ping-ponging between the two activation arenas. The item
+    /// arrives as a raw `&[f32]` slice because the scan hot path decodes
+    /// features straight out of flash pages and never materializes a
+    /// [`Tensor`] for them.
+    ///
+    /// Shares every compute kernel with [`Model::similarity`] (see
+    /// `crate::kernels`), so the two paths return bit-identical scores.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::similarity`].
+    pub fn similarity_scratch(
+        &self,
+        query: &Tensor,
+        item: &[f32],
+        scratch: &mut InferenceScratch,
+    ) -> Result<f32> {
+        if query.len() != self.feature_len || item.len() != self.feature_len {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("two feature vectors of length {}", self.feature_len),
+                found: format!("lengths {} and {}", query.len(), item.len()),
+            });
+        }
+        let q = query.data();
+        scratch.merge.clear();
+        match self.merge {
+            MergeOp::Concat => {
+                scratch.merge.extend_from_slice(q);
+                scratch.merge.extend_from_slice(item);
+            }
+            MergeOp::ElementWise(op) => match op {
+                crate::ElementWiseOp::Add => {
+                    scratch.merge.extend(q.iter().zip(item).map(|(a, b)| a + b));
+                }
+                crate::ElementWiseOp::Sub => {
+                    scratch.merge.extend(q.iter().zip(item).map(|(a, b)| a - b));
+                }
+                crate::ElementWiseOp::Mul => {
+                    scratch.merge.extend(q.iter().zip(item).map(|(a, b)| a * b));
+                }
+            },
+        }
+        // Ping-pong through the layer stack: read from one arena, write
+        // into the other. Disjoint-field borrows keep this allocation- and
+        // copy-free.
+        let mut in_ping = false;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let InferenceScratch { ping, pong, merge } = scratch;
+            if i == 0 {
+                layer.forward_into(merge, ping)?;
+                in_ping = true;
+            } else if in_ping {
+                layer.forward_into(ping, pong)?;
+                in_ping = false;
+            } else {
+                layer.forward_into(pong, ping)?;
+                in_ping = true;
+            }
+        }
+        let out: &[f32] = if self.layers.is_empty() {
+            &scratch.merge
+        } else if in_ping {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        };
+        // Same reduction as `similarity` (Tensor::mean sums in the same
+        // order), so the scalar is bit-identical too.
+        Ok(match out.len() {
+            0 => 0.0,
+            1 | 2 => out[0],
+            _ => out.iter().sum::<f32>() / out.len() as f32,
         })
     }
 
@@ -430,6 +508,39 @@ mod tests {
         for (i, item) in items.iter().enumerate() {
             assert_eq!(batch[i], m.similarity(&q, item).unwrap());
         }
+    }
+
+    #[test]
+    fn scratch_similarity_matches_reference_bitwise() {
+        for m in [
+            crate::zoo::tir().seeded(3),
+            crate::zoo::mir().seeded(4),
+            crate::zoo::textqa().seeded(5),
+            crate::zoo::reid().seeded(6), // conv layers
+            toy().seeded(7),
+        ] {
+            let mut scratch = crate::InferenceScratch::for_model(&m);
+            let q = m.random_feature(1);
+            for i in 2..6 {
+                let d = m.random_feature(i);
+                let fast = m.similarity_scratch(&q, d.data(), &mut scratch).unwrap();
+                let reference = m.similarity(&q, &d).unwrap();
+                assert_eq!(fast.to_bits(), reference.to_bits(), "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_similarity_rejects_wrong_lengths() {
+        let m = toy().seeded(1);
+        let mut scratch = crate::InferenceScratch::for_model(&m);
+        let q = m.random_feature(1);
+        assert!(m.similarity_scratch(&q, &[0.0; 3], &mut scratch).is_err());
+        let short = Tensor::from_slice(&[0.0; 3]);
+        let d = m.random_feature(2);
+        assert!(m
+            .similarity_scratch(&short, d.data(), &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Reusable activation buffers for allocation-free inference.
+//!
+//! The in-storage scan runs the similarity network once per stored
+//! feature — millions of times per query — so the per-comparison heap
+//! traffic of the allocating path (one tensor per layer, plus the merge)
+//! dominates wall-clock time long before the MACs do. An
+//! [`InferenceScratch`] owns that memory instead: two ping-pong
+//! activation buffers sized for the model's widest layer, plus a merge
+//! buffer for the two-branch entrance. After construction (or at worst
+//! after the first forward pass), a full
+//! [`similarity_scratch`](crate::Model::similarity_scratch) performs
+//! zero heap allocations.
+//!
+//! A scratch is not thread-safe shared state: each scan worker owns one.
+
+use crate::layer::MergeOp;
+use crate::Model;
+
+/// Scratch memory for one inference stream (one scan worker).
+///
+/// # Example
+///
+/// ```
+/// use deepstore_nn::{zoo, InferenceScratch};
+///
+/// let model = zoo::textqa().seeded(1);
+/// let mut scratch = InferenceScratch::for_model(&model);
+/// let q = model.random_feature(1);
+/// let d = model.random_feature(2);
+/// let fast = model.similarity_scratch(&q, d.data(), &mut scratch).unwrap();
+/// let reference = model.similarity(&q, &d).unwrap();
+/// assert_eq!(fast.to_bits(), reference.to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    /// Ping activation buffer (layer outputs for even layer indices).
+    pub(crate) ping: Vec<f32>,
+    /// Pong activation buffer (layer outputs for odd layer indices).
+    pub(crate) pong: Vec<f32>,
+    /// Merged query⊕item buffer feeding the first layer.
+    pub(crate) merge: Vec<f32>,
+}
+
+impl InferenceScratch {
+    /// Builds a scratch sized for `model`: the activation buffers hold
+    /// the model's widest layer output (or the merged input, whichever
+    /// is larger) and the merge buffer holds the merged feature pair, so
+    /// no buffer ever grows during inference.
+    pub fn for_model(model: &Model) -> Self {
+        let merged = match model.merge() {
+            MergeOp::Concat => model.feature_len() * 2,
+            MergeOp::ElementWise(_) => model.feature_len(),
+        };
+        let width = model
+            .layers()
+            .iter()
+            .map(|l| l.shape.output_len())
+            .fold(merged, usize::max);
+        InferenceScratch {
+            ping: Vec::with_capacity(width),
+            pong: Vec::with_capacity(width),
+            merge: Vec::with_capacity(merged),
+        }
+    }
+
+    /// Combined capacity of the three buffers, in f32 elements (what a
+    /// per-worker scratch costs in memory).
+    pub fn capacity(&self) -> usize {
+        self.ping.capacity() + self.pong.capacity() + self.merge.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn sized_for_widest_layer() {
+        let m = zoo::tir(); // merge 512, layers 512/256/2
+        let s = InferenceScratch::for_model(&m);
+        assert_eq!(s.ping.capacity(), 512);
+        assert_eq!(s.pong.capacity(), 512);
+        assert_eq!(s.merge.capacity(), 512);
+    }
+
+    #[test]
+    fn concat_merge_doubles_merge_buffer() {
+        let m = zoo::mir(); // concat merge: 2 x 512
+        let s = InferenceScratch::for_model(&m);
+        assert_eq!(s.merge.capacity(), 1024);
+        assert_eq!(s.capacity(), 1024 * 3);
+    }
+
+    #[test]
+    fn conv_models_size_by_output_len() {
+        let m = zoo::reid(); // conv1 output 128 x 8 x 6 = 6144 < 11264 merged
+        let s = InferenceScratch::for_model(&m);
+        assert_eq!(s.ping.capacity(), 11264);
+    }
+}

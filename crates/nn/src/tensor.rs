@@ -209,22 +209,15 @@ impl Tensor {
                 found: format!("{:?}", w.shape),
             });
         }
-        let (out, inp) = (w.shape[0], w.shape[1]);
+        let out = w.shape[0];
         if b.len() != out {
             return Err(NnError::ShapeMismatch {
                 expected: format!("bias [{out}]"),
                 found: format!("{:?}", b.shape),
             });
         }
-        let mut y = vec![0.0f32; out];
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &w.data[o * inp..(o + 1) * inp];
-            let mut acc = 0.0f32;
-            for (wi, xi) in row.iter().zip(&self.data) {
-                acc += wi * xi;
-            }
-            *yo = acc + b.data[o];
-        }
+        let mut y = Vec::with_capacity(out);
+        crate::kernels::dense_into(&w.data, &b.data, &self.data, &mut y);
         Ok(Tensor {
             shape: vec![out],
             data: y,
@@ -280,42 +273,20 @@ impl Tensor {
                 found: format!("{:?}", bias.shape),
             });
         }
-        let (sh, sw) = stride;
-        let oh = h.div_ceil(sh);
-        let ow = w.div_ceil(sw);
-        // "Same" padding: center the kernel.
-        let ph = kh / 2;
-        let pw = kw / 2;
-        let co_per_group = co / groups;
-        let mut out = vec![0.0f32; co * oh * ow];
-        for ocn in 0..co {
-            let g = ocn / co_per_group;
-            let in_base = g * cg;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bias.data[ocn];
-                    for icg in 0..cg {
-                        let ic = in_base + icg;
-                        for ky in 0..kh {
-                            let iy = (oy * sh + ky) as isize - ph as isize;
-                            if iy < 0 || iy as usize >= h {
-                                continue;
-                            }
-                            for kx in 0..kw {
-                                let ix = (ox * sw + kx) as isize - pw as isize;
-                                if ix < 0 || ix as usize >= w {
-                                    continue;
-                                }
-                                let xv = self.data[ic * h * w + iy as usize * w + ix as usize];
-                                let kv = kernel.data[((ocn * cg + icg) * kh + ky) * kw + kx];
-                                acc += xv * kv;
-                            }
-                        }
-                    }
-                    out[ocn * oh * ow + oy * ow + ox] = acc;
-                }
-            }
-        }
+        let dims = crate::kernels::ConvDims {
+            c,
+            h,
+            w,
+            co,
+            cg,
+            kh,
+            kw,
+            stride,
+            groups,
+        };
+        let (oh, ow) = (dims.oh(), dims.ow());
+        let mut out = Vec::with_capacity(co * oh * ow);
+        crate::kernels::conv2d_into(&self.data, &kernel.data, &bias.data, dims, &mut out);
         Ok(Tensor {
             shape: vec![co, oh, ow],
             data: out,
