@@ -2,7 +2,7 @@
 //! DeepStore API on a small in-memory flash array.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use deepstore_core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
+use deepstore_core::{DeepStore, DeepStoreConfig, QueryRequest};
 use deepstore_nn::{zoo, ModelGraph};
 
 fn bench_engine(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn bench_engine(c: &mut Criterion) {
                 seed += 1;
                 let q = model.random_feature(seed);
                 let qid = store
-                    .query(black_box(&q), 10, mid, db, AcceleratorLevel::Channel)
+                    .query(QueryRequest::new(black_box(q), mid, db).k(10))
                     .unwrap();
                 store.results(qid).unwrap().top_k.len()
             })
@@ -53,7 +53,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
                     seed += 1;
                     let q = model.random_feature(seed);
                     let qid = store
-                        .query(black_box(&q), 10, mid, db, AcceleratorLevel::Channel)
+                        .query(QueryRequest::new(black_box(q), mid, db).k(10))
                         .unwrap();
                     store.results(qid).unwrap().top_k.len()
                 })

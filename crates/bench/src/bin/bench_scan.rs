@@ -1,15 +1,21 @@
-//! `BENCH_scan.json` emitter: features/sec and allocations/feature for
-//! the scan hot path, against the seed-faithful allocating baseline.
+//! `BENCH_scan.json` / `BENCH_batch.json` emitter for the scan hot path.
 //!
-//! A global counting allocator wraps `System`; allocations per scored
-//! feature are measured differentially (a 512-feature scan minus a
-//! 256-feature scan, divided by the 256 extra features) so fixed
-//! per-scan overhead (shard plan, sorter, per-shard scratch warm-up)
-//! cancels out. Throughput is wall-clock over repeated whole-database
-//! scans. Writes `results/BENCH_scan.json` and prints the numbers.
+//! Default mode compares the scratch scan against the seed-faithful
+//! allocating baseline. A global counting allocator wraps `System`;
+//! allocations per scored feature are measured differentially (a
+//! 512-feature scan minus a 256-feature scan, divided by the 256 extra
+//! features) so fixed per-scan overhead (shard plan, sorter, per-shard
+//! scratch warm-up) cancels out. Throughput is wall-clock over repeated
+//! whole-database scans. Writes `results/BENCH_scan.json`.
+//!
+//! `--batch [MAX]` mode measures the batched multi-query scan instead:
+//! one page-sequential pass of a `tir` database scores 1, 2, ... `MAX`
+//! queries at once, and throughput is reported in scored
+//! features·queries per second. Writes `results/BENCH_batch.json`.
 
-use deepstore_bench::reference::{naive_scan, textqa_engine};
+use deepstore_bench::reference::{naive_scan, textqa_engine, zoo_engine};
 use deepstore_bench::report::results_dir;
+use deepstore_nn::{Model, Tensor};
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,7 +69,99 @@ struct ScanBench {
     allocs_per_feature_alloc_reference: f64,
 }
 
+#[derive(Serialize)]
+struct BatchPoint {
+    batch: usize,
+    scored_features_per_sec: f64,
+    scaling_vs_batch1: f64,
+}
+
+#[derive(Serialize)]
+struct BatchBench {
+    workload: String,
+    features: u64,
+    iterations: u32,
+    batches: Vec<BatchPoint>,
+}
+
+const BATCH_N: u64 = 256;
+const BATCH_ITERS: u32 = 20;
+
+/// One flash pass, many queries: scored features·queries/sec per batch
+/// size, on the `tir` zoo model (the paper's text-image retrieval SCN).
+fn batch_mode(max_batch: usize) {
+    let (engine, model, db) = zoo_engine("tir", BATCH_N, 1);
+    let probes: Vec<Tensor> = (0..max_batch as u64)
+        .map(|i| model.random_feature(50_000 + i))
+        .collect();
+
+    let mut sizes = vec![1usize];
+    while *sizes.last().unwrap() * 2 <= max_batch {
+        sizes.push(sizes.last().unwrap() * 2);
+    }
+    if *sizes.last().unwrap() != max_batch {
+        sizes.push(max_batch);
+    }
+
+    let mut batches = Vec::new();
+    for &b in &sizes {
+        let requests: Vec<(&Model, &Tensor, usize)> =
+            probes[..b].iter().map(|p| (&model, p, K)).collect();
+        // Warm (lazy scratch init, fused-lane buffers).
+        engine.scan_top_k_batch(db, &requests).unwrap();
+        let start = Instant::now();
+        for _ in 0..BATCH_ITERS {
+            let ranked = engine.scan_top_k_batch(db, &requests).unwrap();
+            assert_eq!(ranked.len(), b);
+        }
+        let scored = (BATCH_N * b as u64 * u64::from(BATCH_ITERS)) as f64;
+        let per_sec = scored / start.elapsed().as_secs_f64();
+        batches.push(BatchPoint {
+            batch: b,
+            scored_features_per_sec: per_sec,
+            scaling_vs_batch1: 0.0,
+        });
+    }
+    let base = batches[0].scored_features_per_sec;
+    for p in &mut batches {
+        p.scaling_vs_batch1 = p.scored_features_per_sec / base;
+    }
+
+    let report = BatchBench {
+        workload: "tir".into(),
+        features: BATCH_N,
+        iterations: BATCH_ITERS,
+        batches,
+    };
+
+    println!("== batched scan ({} tir features) ==", BATCH_N);
+    for p in &report.batches {
+        println!(
+            "  batch {:>2}: {:>14.0} scored features*queries/s  ({:.2}x vs batch=1)",
+            p.batch, p.scored_features_per_sec, p.scaling_vs_batch1
+        );
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_batch.json");
+    std::fs::write(&path, json).expect("write BENCH_batch.json");
+    println!("[written {}]", path.display());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--batch") {
+        let max_batch = args
+            .get(1)
+            .map(|v| v.parse().expect("--batch takes a positive integer"))
+            .unwrap_or(8);
+        assert!(max_batch >= 1, "--batch takes a positive integer");
+        batch_mode(max_batch);
+        return;
+    }
+
     let (engine, model, db) = textqa_engine(N, 1);
     let (small_engine, _, small_db) = textqa_engine(N / 2, 1);
     let probe = model.random_feature(99_991);

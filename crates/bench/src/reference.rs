@@ -13,14 +13,19 @@ use deepstore_core::engine::{DbId, Engine};
 use deepstore_nn::{zoo, ElementWiseOp, LayerShape, MergeOp, Model, Tensor};
 use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
 
-/// Builds a sealed engine over `n` seeded textqa features.
-pub fn textqa_engine(n: u64, workers: usize) -> (Engine, Model, DbId) {
-    let model = zoo::textqa().seeded(3);
+/// Builds a sealed engine over `n` seeded features from a named zoo model.
+pub fn zoo_engine(app: &str, n: u64, workers: usize) -> (Engine, Model, DbId) {
+    let model = zoo::by_name(app).expect("known app").seeded(3);
     let mut engine = Engine::new(DeepStoreConfig::small().with_parallelism(workers));
     let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
     let db = engine.write_db(&features).unwrap();
     engine.seal_db(db).unwrap();
     (engine, model, db)
+}
+
+/// Builds a sealed engine over `n` seeded textqa features.
+pub fn textqa_engine(n: u64, workers: usize) -> (Engine, Model, DbId) {
+    zoo_engine("textqa", n, workers)
 }
 
 /// The pre-rewrite similarity: allocate on merge, allocate per layer,

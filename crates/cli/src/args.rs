@@ -49,6 +49,11 @@ impl Flags {
         self.values.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// The flag's value, if it was given.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// A required string flag.
     ///
     /// # Errors

@@ -5,7 +5,8 @@ use deepstore_baseline::GpuSsdSystem;
 use deepstore_core::accel::scan;
 use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
 use deepstore_core::runtime::Runtime;
-use deepstore_core::{DeepStore, ScanWorkload};
+use deepstore_core::{DeepStore, QueryRequest, ScanWorkload};
+use deepstore_flash::SimDuration;
 use deepstore_nn::{zoo, ModelGraph};
 use deepstore_workloads::replay::QueryTrace;
 use deepstore_workloads::{QueryStream, TraceDistribution, APP_NAMES};
@@ -19,15 +20,21 @@ commands:
   zoo                                     Table 1 model summary
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
-             [--parallelism P]            functional query on a small drive
+             [--parallelism P] [--batch-file <file>]
+                                          functional query on a small drive
   trace      [--queries N] [--qps F] [--seed S] --out <file>
                                           generate a Poisson query trace
   replay     --trace <file> [--features N] [--parallelism P]
-                                          replay a trace through the runtime
+             [--batch-window-us W]        replay a trace through the runtime
 
 `--parallelism` sets the scan worker-thread count (0 = one per host
 core). It changes host wall-clock time only; results and simulated
 latencies are identical at every setting.
+
+`query --batch-file` reads whitespace-separated probe seeds and submits
+them as one batch: the device scores every probe in a single flash pass.
+`replay --batch-window-us` lets the runtime coalesce queries arriving
+within the window into shared passes (0 or omitted = serial).
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -122,7 +129,15 @@ fn cmd_scan_time(args: &[String]) -> CmdResult {
 
 fn cmd_query(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    flags.expect_only(&["app", "features", "k", "level", "seed", "parallelism"])?;
+    flags.expect_only(&[
+        "app",
+        "features",
+        "k",
+        "level",
+        "seed",
+        "parallelism",
+        "batch-file",
+    ])?;
     let app_name = flags.required("app")?;
     let features: u64 = flags.num_or("features", 128)?;
     let k: usize = flags.num_or("k", 5)?;
@@ -137,17 +152,48 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
-    let probe = model.random_feature(seed ^ 0xBEEF);
-    let qid = store.query(&probe, k, mid, db, level)?;
-    let r = store.results(qid)?;
-    println!(
-        "top-{k} of {features} features at the {level} level (simulated {}):",
-        r.elapsed
-    );
-    for (rank, hit) in r.top_k.iter().enumerate() {
+
+    // Probe seeds: one ad-hoc probe, or a whole batch from --batch-file.
+    let probe_seeds: Vec<u64> = match flags.opt("batch-file") {
+        Some(path) => std::fs::read_to_string(path)?
+            .split_whitespace()
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| ArgError(format!("bad probe seed `{s}` in batch file")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![seed ^ 0xBEEF],
+    };
+    if probe_seeds.is_empty() {
+        return Err(ArgError("batch file contains no probe seeds".into()).into());
+    }
+
+    let requests: Vec<QueryRequest> = probe_seeds
+        .iter()
+        .map(|&s| {
+            QueryRequest::new(model.random_feature(s), mid, db)
+                .k(k)
+                .level(level)
+        })
+        .collect();
+    let ids = store.query_batch(&requests)?;
+    for (qid, probe_seed) in ids.iter().zip(&probe_seeds) {
+        let r = store.results(*qid)?;
         println!(
-            "  #{rank}: feature {:>5}  score {:>9.4}  ObjectID 0x{:x}",
-            hit.feature_index, hit.score, hit.object_id.0
+            "probe {probe_seed}: top-{k} of {features} features at the {level} level (simulated {}):",
+            r.elapsed
+        );
+        for (rank, hit) in r.top_k.iter().enumerate() {
+            println!(
+                "  #{rank}: feature {:>5}  score {:>9.4}  ObjectID 0x{:x}",
+                hit.feature_index, hit.score, hit.object_id.0
+            );
+        }
+    }
+    if probe_seeds.len() > 1 {
+        println!(
+            "({} probes scored in one flash pass per shard)",
+            probe_seeds.len()
         );
     }
     let skipped = store.unreadable_skipped();
@@ -180,12 +226,20 @@ fn cmd_trace(args: &[String]) -> CmdResult {
 
 fn cmd_replay(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    flags.expect_only(&["trace", "features", "k", "level", "parallelism"])?;
+    flags.expect_only(&[
+        "trace",
+        "features",
+        "k",
+        "level",
+        "parallelism",
+        "batch-window-us",
+    ])?;
     let path = flags.required("trace")?;
     let features: u64 = flags.num_or("features", 128)?;
     let k: usize = flags.num_or("k", 5)?;
     let level = parse_level(flags.str_or("level", "channel"))?;
     let parallelism: usize = flags.num_or("parallelism", 1)?;
+    let batch_window_us: u64 = flags.num_or("batch-window-us", 0)?;
 
     let trace = QueryTrace::from_bytes(&std::fs::read(path)?).map_err(ArgError)?;
     let dim = trace
@@ -205,8 +259,14 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
     let mut rt = Runtime::new(store);
+    if batch_window_us > 0 {
+        rt.set_batch_window(Some(SimDuration::from_micros(batch_window_us)));
+    }
     for e in &trace.entries {
-        rt.submit_at(e.arrival, e.qfv.clone(), k, mid, db, level);
+        rt.submit_at(
+            e.arrival,
+            QueryRequest::new(e.qfv.clone(), mid, db).k(k).level(level),
+        );
     }
     rt.run_to_completion()?;
     let s = rt.stats()?;
@@ -216,6 +276,13 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         trace.offered_qps,
         model.name()
     );
+    if let Some(w) = rt.batch_window() {
+        let batched = rt.records().iter().filter(|r| r.batch_size > 1).count();
+        println!(
+            "  batching   : {w} window, {batched}/{} queries coalesced",
+            s.completed
+        );
+    }
     println!("  cache hits : {}/{}", s.cache_hits, s.completed);
     println!("  throughput : {:.2} qps (simulated)", s.throughput_qps);
     println!(
@@ -288,6 +355,37 @@ mod tests {
     }
 
     #[test]
+    fn query_batch_file_submits_all_probes() {
+        let path = std::env::temp_dir().join("deepstore_cli_test_batch.txt");
+        std::fs::write(&path, "100 101\n102\n").unwrap();
+        run(&argv(&[
+            "query",
+            "--app",
+            "tir",
+            "--features",
+            "24",
+            "--k",
+            "2",
+            "--batch-file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Malformed seeds are rejected.
+        std::fs::write(&path, "100 nope\n").unwrap();
+        assert!(run(&argv(&[
+            "query",
+            "--app",
+            "tir",
+            "--features",
+            "24",
+            "--batch-file",
+            path.to_str().unwrap(),
+        ]))
+        .is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn trace_then_replay_roundtrips() {
         let path = std::env::temp_dir().join("deepstore_cli_test_trace.json");
         let path_s = path.to_str().unwrap();
@@ -302,6 +400,17 @@ mod tests {
         ]))
         .unwrap();
         run(&argv(&["replay", "--trace", path_s, "--features", "32"])).unwrap();
+        // With a batching window the replay still completes.
+        run(&argv(&[
+            "replay",
+            "--trace",
+            path_s,
+            "--features",
+            "32",
+            "--batch-window-us",
+            "500",
+        ]))
+        .unwrap();
         std::fs::remove_file(path).ok();
     }
 

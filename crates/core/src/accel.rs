@@ -121,6 +121,59 @@ fn per_feature_counts(shapes: &[LayerShape], acc: &AcceleratorConfig) -> AccessC
     scn_counts_per_feature(shapes, &acc.array)
 }
 
+/// Computes the scan timing for a batch of queries sharing one flash pass.
+///
+/// A batched scan streams the database and distributes the model weights
+/// exactly once while scoring every feature against all `batch` query
+/// feature vectors, so the compute term scales with the batch while the
+/// flash and weight terms do not. For flash-bound workloads the batch
+/// rides along for free until compute catches up with the stream.
+/// `scan_batch(level, w, cfg, 1)` is identical to `scan(level, w, cfg)`.
+///
+/// Returns `None` exactly when [`scan`] does (no mapping at this level).
+pub fn scan_batch(
+    level: AcceleratorLevel,
+    workload: &ScanWorkload,
+    cfg: &DeepStoreConfig,
+    batch: usize,
+) -> Option<ScanTiming> {
+    let single = scan(level, workload, cfg)?;
+    if batch <= 1 {
+        return Some(single);
+    }
+    let acc = match level {
+        AcceleratorLevel::Ssd => AcceleratorConfig::ssd_level(),
+        AcceleratorLevel::Channel => AcceleratorConfig::channel_level(),
+        AcceleratorLevel::Chip => AcceleratorConfig::chip_level(),
+    };
+    let compute = SimDuration::from_secs_f64(single.compute.as_secs_f64() * batch as f64);
+    // The extra batch members re-run the SCN on every feature but add no
+    // flash-page or weight-distribution traffic.
+    let extra = per_feature_counts(&workload.shapes, &acc)
+        .scaled(workload.num_features() * (batch as u64 - 1));
+    let elapsed = match level {
+        AcceleratorLevel::Ssd | AcceleratorLevel::Channel => {
+            compute.max(single.flash) + single.weights
+        }
+        // The chip-level lockstep pipeline is paced by the slowest of
+        // compute, flash and broadcast, plus the trailing bus transfer
+        // (same composition as `chip_level_scan`).
+        AcceleratorLevel::Chip => {
+            compute.max(single.flash).max(single.weights)
+                + SimDuration::for_transfer(
+                    workload.weight_bytes,
+                    cfg.ssd.timing.channel_bus_bytes_per_sec,
+                )
+        }
+    };
+    Some(ScanTiming {
+        elapsed,
+        compute,
+        counts: single.counts + extra,
+        ..single
+    })
+}
+
 /// SSD-level scan: one accelerator, full internal bandwidth through DRAM.
 pub fn ssd_level_scan(workload: &ScanWorkload, cfg: &DeepStoreConfig) -> ScanTiming {
     let acc = AcceleratorConfig::ssd_level();
@@ -390,6 +443,48 @@ mod tests {
             .elapsed
             .as_secs_f64();
         assert!((2.5..4.5).contains(&ch_reid), "reid channel = {ch_reid}");
+    }
+
+    #[test]
+    fn batch_of_one_is_the_single_query_scan() {
+        for app in ["reid", "tir", "textqa"] {
+            let w = workload(app);
+            for level in [
+                AcceleratorLevel::Ssd,
+                AcceleratorLevel::Channel,
+                AcceleratorLevel::Chip,
+            ] {
+                assert_eq!(scan_batch(level, &w, &cfg(), 1), scan(level, &w, &cfg()));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_amortizes_flash_and_weights() {
+        let w = workload("tir");
+        let one = scan(AcceleratorLevel::Channel, &w, &cfg()).unwrap();
+        let eight = scan_batch(AcceleratorLevel::Channel, &w, &cfg(), 8).unwrap();
+        // Flash and weight terms are shared across the batch; only compute
+        // (and its counts) scale.
+        assert_eq!(eight.flash, one.flash);
+        assert_eq!(eight.weights, one.weights);
+        assert_eq!(eight.counts.flash_pages, one.counts.flash_pages);
+        assert_eq!(eight.counts.macs, one.counts.macs * 8);
+        assert!((eight.compute.as_secs_f64() / one.compute.as_secs_f64() - 8.0).abs() < 1e-9);
+        // Sharing the pass beats eight sequential scans.
+        assert!(eight.elapsed.as_secs_f64() < 8.0 * one.elapsed.as_secs_f64());
+        // For flash-bound TIR at channel level, a small batch rides the
+        // stream almost for free.
+        let two = scan_batch(AcceleratorLevel::Channel, &w, &cfg(), 2).unwrap();
+        if 2.0 * one.compute.as_secs_f64() <= one.flash.as_secs_f64() {
+            assert_eq!(two.elapsed, one.elapsed);
+        }
+    }
+
+    #[test]
+    fn batched_scan_respects_level_support() {
+        assert!(scan_batch(AcceleratorLevel::Chip, &workload("reid"), &cfg(), 4).is_none());
+        assert!(scan_batch(AcceleratorLevel::Channel, &workload("reid"), &cfg(), 4).is_some());
     }
 
     #[test]

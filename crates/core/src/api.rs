@@ -1,28 +1,67 @@
 //! The DeepStore programming API (Table 2).
 //!
 //! [`DeepStore`] bundles the functional engine, the query cache and the
-//! timing model behind the paper's five-call interface:
+//! timing model behind the paper's interface:
 //!
-//! | Paper API    | Here                        |
-//! |--------------|-----------------------------|
-//! | `readDB`     | [`DeepStore::read_db`]      |
-//! | `writeDB`    | [`DeepStore::write_db`]     |
-//! | `appendDB`   | [`DeepStore::append_db`]    |
-//! | `loadModel`  | [`DeepStore::load_model`]   |
-//! | `query`      | [`DeepStore::query`]        |
-//! | `getResults` | [`DeepStore::results`]      |
-//! | `setQC`      | [`DeepStore::set_qc`]       |
+//! | Paper API    | Here                                              |
+//! |--------------|---------------------------------------------------|
+//! | `readDB`     | [`DeepStore::read_db`]                            |
+//! | `writeDB`    | [`DeepStore::write_db`]                           |
+//! | `appendDB`   | [`DeepStore::append_db`]                          |
+//! | `loadModel`  | [`DeepStore::load_model`]                         |
+//! | `query`      | [`DeepStore::query`] / [`DeepStore::query_batch`] |
+//! | `getResults` | [`DeepStore::results`] / [`DeepStore::peek_results`] |
+//! | `setQC`      | [`DeepStore::set_qc`]                             |
 //!
 //! Queries execute functionally (real flash pages, real similarity
 //! scores, a real top-K sorter) and every result carries the simulated
 //! elapsed time from the in-storage accelerator timing model.
+//!
+//! # Requests
+//!
+//! A query is described by a [`QueryRequest`] built with a fluent
+//! builder — `QueryRequest::new(qfv, model, db)` defaults to `k = 1`
+//! and the channel-level accelerators, and `.k(..)` / `.level(..)`
+//! override them:
+//!
+//! ```no_run
+//! # use deepstore_core::{DeepStore, DeepStoreConfig, QueryRequest, AcceleratorLevel};
+//! # use deepstore_nn::{zoo, ModelGraph};
+//! # let mut store = DeepStore::new(DeepStoreConfig::small());
+//! # let model = zoo::textqa().seeded(9);
+//! # let db = store.write_db(&[model.random_feature(0)]).unwrap();
+//! # let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+//! let req = QueryRequest::new(model.random_feature(99), mid, db)
+//!     .k(5)
+//!     .level(AcceleratorLevel::Channel);
+//! let qid = store.query(req).unwrap();
+//! ```
+//!
+//! [`DeepStore::query_batch`] submits many requests at once; co-batched
+//! requests against the same `(db, model, level)` share a single flash
+//! pass (every page is streamed and every feature decoded exactly once
+//! for the whole group), which is how the device amortizes its dominant
+//! cost — flash streaming — across concurrent queries. Batched results
+//! are bit-identical to issuing the same requests sequentially.
+//!
+//! # Migration from the positional API
+//!
+//! Earlier revisions exposed `query(&qfv, k, model, db, level)` with five
+//! positional arguments and reported every failure as a [`FlashError`].
+//! That form survives as the deprecated [`DeepStore::query_positional`];
+//! new code builds a [`QueryRequest`]. Errors now arrive as
+//! [`DeepStoreError`], which separates device-API misuse
+//! ([`DeepStoreError::UnknownModel`], [`DeepStoreError::UnknownQuery`],
+//! [`DeepStoreError::LevelUnsupported`]) from genuine flash failures
+//! ([`DeepStoreError::Flash`]).
 
-use crate::accel::{scan as timing_scan, ScanWorkload};
+use crate::accel::{scan as timing_scan, scan_batch, ScanWorkload};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::{DbId, Engine, ObjectId};
+use crate::error::{DeepStoreError, Result};
 use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
 use deepstore_flash::layout::DbLayout;
-use deepstore_flash::{FlashError, Result, SimDuration};
+use deepstore_flash::{FlashError, SimDuration};
 use deepstore_nn::{Model, ModelGraph, Tensor};
 use deepstore_systolic::topk::ScoredFeature;
 use serde::{Deserialize, Serialize};
@@ -35,6 +74,51 @@ pub struct ModelId(pub u64);
 /// Identifies a submitted query (returned by `query`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct QueryId(pub u64);
+
+/// A similarity query: the query feature vector plus everything the
+/// device needs to rank it.
+///
+/// Built with a fluent builder; [`QueryRequest::new`] defaults to
+/// `k = 1` and [`AcceleratorLevel::Channel`] (the level the paper finds
+/// fastest for every workload, §6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The query feature vector.
+    pub qfv: Tensor,
+    /// The similarity model to score with.
+    pub model: ModelId,
+    /// The database to scan.
+    pub db: DbId,
+    /// How many top results to keep.
+    pub k: usize,
+    /// Which accelerator placement serves the scan.
+    pub level: AcceleratorLevel,
+}
+
+impl QueryRequest {
+    /// A request for the top-1 match at the channel level.
+    pub fn new(qfv: Tensor, model: ModelId, db: DbId) -> Self {
+        QueryRequest {
+            qfv,
+            model,
+            db,
+            k: 1,
+            level: AcceleratorLevel::Channel,
+        }
+    }
+
+    /// Sets how many results to retrieve.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the accelerator level that serves the scan.
+    pub fn level(mut self, level: AcceleratorLevel) -> Self {
+        self.level = level;
+        self
+    }
+}
 
 /// One ranked answer: similarity score, feature index, and the feature's
 /// physical address (`ObjectID`) for fetching the raw content.
@@ -136,11 +220,14 @@ impl DeepStore {
 
     /// `readDB`: reads `num` features starting at index `start`.
     ///
+    /// Reading never mutates device state, so this takes `&self`.
+    ///
     /// # Errors
     ///
-    /// Returns [`FlashError::UnknownDb`] or
-    /// [`FlashError::AddressOutOfRange`] for bad ids/ranges.
-    pub fn read_db(&mut self, db: DbId, start: u64, num: u64) -> Result<Vec<Tensor>> {
+    /// Returns [`DeepStoreError::Flash`] wrapping
+    /// [`FlashError::UnknownDb`] or [`FlashError::AddressOutOfRange`]
+    /// for bad ids/ranges.
+    pub fn read_db(&self, db: DbId, start: u64, num: u64) -> Result<Vec<Tensor>> {
         (start..start + num)
             .map(|i| self.engine.read_feature(db, i))
             .collect()
@@ -159,7 +246,8 @@ impl DeepStore {
             return Err(FlashError::SizeMismatch {
                 expected: model.weight_bytes() as usize,
                 found: 0,
-            });
+            }
+            .into());
         }
         let id = ModelId(self.next_model);
         self.next_model += 1;
@@ -188,18 +276,48 @@ impl DeepStore {
         self.engine.unreadable_skipped()
     }
 
-    /// `query`: submits a query feature vector against a database using a
-    /// loaded model, retrieving `k` results via the accelerators at
-    /// `level`. Returns the query id for [`DeepStore::results`].
+    /// Flash operation counters `(reads, programs, erases)` — useful for
+    /// asserting how many page reads a scan issued.
+    pub fn flash_op_counts(&self) -> (u64, u64, u64) {
+        self.engine.flash_op_counts()
+    }
+
+    /// Injects a flash fault plan (reliability experiments): subsequent
+    /// page reads consult the plan and scans skip features whose pages
+    /// fail ECC.
+    pub fn inject_faults(&mut self, faults: deepstore_flash::fault::FaultPlan) {
+        self.engine.inject_faults(faults);
+    }
+
+    /// `query`: submits one [`QueryRequest`], returning the query id for
+    /// [`DeepStore::results`].
+    ///
+    /// Equivalent to `query_batch(&[request])` — single queries are just
+    /// batches of one.
     ///
     /// # Errors
     ///
-    /// * [`FlashError::UnknownDb`] for a bad database or model id.
-    /// * [`FlashError::SizeMismatch`] if the query vector or the
-    ///   database's features do not match the model.
-    /// * [`FlashError::AddressOutOfRange`] if `level` cannot execute the
-    ///   model (chip level vs ReId).
-    pub fn query(
+    /// * [`DeepStoreError::UnknownModel`] for an unloaded model id.
+    /// * [`DeepStoreError::LevelUnsupported`] if the requested level
+    ///   cannot execute the model (chip level vs ReId).
+    /// * [`DeepStoreError::Flash`] for unknown databases or a query
+    ///   vector that does not match the model
+    ///   ([`FlashError::SizeMismatch`]).
+    pub fn query(&mut self, request: QueryRequest) -> Result<QueryId> {
+        let ids = self.query_batch(std::slice::from_ref(&request))?;
+        Ok(ids[0])
+    }
+
+    /// The original five-positional-argument `query` form.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeepStore::query`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest: store.query(QueryRequest::new(qfv, model, db).k(k).level(level))"
+    )]
+    pub fn query_positional(
         &mut self,
         qfv: &Tensor,
         k: usize,
@@ -207,101 +325,169 @@ impl DeepStore {
         db: DbId,
         level: AcceleratorLevel,
     ) -> Result<QueryId> {
-        // `scan_top_k` runs on `&Engine`, so the model, metadata and
-        // config can all be borrowed — no per-query clones of the weight
-        // tensors or the page table.
-        let model_ref = self
-            .models
-            .get(&model)
-            .ok_or(FlashError::UnknownDb(model.0))?;
-        let meta = self.engine.db_meta(db)?;
+        self.query(QueryRequest::new(qfv.clone(), model, db).k(k).level(level))
+    }
+
+    /// Submits a batch of queries, returning one [`QueryId`] per request
+    /// in request order.
+    ///
+    /// Requests that miss the query cache are grouped by
+    /// `(db, model, level)`; each group shares a **single flash pass** —
+    /// every page is streamed and every feature decoded once, and the
+    /// fused multi-query scorer evaluates all of the group's query
+    /// vectors against each feature. Per-request rankings are
+    /// bit-identical to issuing the same requests sequentially.
+    ///
+    /// Timing: each request is charged its own query-cache lookup, and
+    /// every member of a scan group is charged the group's batched scan
+    /// latency (flash streaming and weight distribution amortized across
+    /// the group, compute scaled by its size — see
+    /// [`crate::accel::scan_batch`]). Cache lookups happen for the whole
+    /// batch before any scan fills the cache, so duplicate query vectors
+    /// within one batch all miss together.
+    ///
+    /// The whole batch is validated before any scan runs: one bad
+    /// request fails the batch without issuing queries.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeepStore::query`].
+    pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryId>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
         let cfg = self.engine.config();
 
-        // Timing for the full scan at the requested level.
-        let layout = DbLayout::new(
-            meta.feature_bytes,
-            meta.num_features,
-            cfg.ssd.geometry.page_bytes,
-            cfg.placement,
-        );
-        let workload = ScanWorkload {
-            shapes: model_ref.layer_shapes(),
-            weight_bytes: model_ref.weight_bytes(),
-            feature_bytes: meta.feature_bytes,
-            layout,
-        };
-        let scan_timing = timing_scan(level, &workload, cfg).ok_or_else(|| {
-            FlashError::AddressOutOfRange(format!(
-                "model `{}` has no {level}-level mapping",
-                model_ref.name()
-            ))
-        })?;
-
-        // Query-cache lookup (Algorithm 1), timed on the channel-level
-        // accelerators.
-        let mut elapsed = SimDuration::ZERO;
-        let mut cache_hit = false;
-        let mut ranked: Option<Vec<ScoredFeature>> = None;
-        if let Some(qc) = &mut self.qc {
-            elapsed += lookup_time_for(
-                qc.len(),
-                &workload.shapes,
-                cfg.ssd.geometry.channels,
-                cfg.controller_overhead_cycles,
+        // Validate everything up front: model ids, databases, level
+        // support. `scan_top_k_batch` runs on `&Engine`, so models,
+        // metadata and config are all borrowed — no per-query clones of
+        // weight tensors or page tables.
+        let mut preps: Vec<(&Model, ScanWorkload)> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let model_ref = self
+                .models
+                .get(&req.model)
+                .ok_or(DeepStoreError::UnknownModel(req.model))?;
+            let meta = self.engine.db_meta(req.db)?;
+            let layout = DbLayout::new(
+                meta.feature_bytes,
+                meta.num_features,
+                cfg.ssd.geometry.page_bytes,
+                cfg.placement,
             );
-            if let Some(hit) = qc.lookup(qfv) {
-                cache_hit = true;
-                ranked = Some(hit);
+            let workload = ScanWorkload {
+                shapes: model_ref.layer_shapes(),
+                weight_bytes: model_ref.weight_bytes(),
+                feature_bytes: meta.feature_bytes,
+                layout,
+            };
+            if timing_scan(req.level, &workload, cfg).is_none() {
+                return Err(DeepStoreError::LevelUnsupported {
+                    model: model_ref.name().to_string(),
+                    level: req.level,
+                });
+            }
+            preps.push((model_ref, workload));
+        }
+
+        // Query-cache lookups (Algorithm 1), timed on the channel-level
+        // accelerators. All lookups precede all fills.
+        let mut elapsed = vec![SimDuration::ZERO; requests.len()];
+        let mut cache_hit = vec![false; requests.len()];
+        let mut ranked: Vec<Option<Vec<ScoredFeature>>> = vec![None; requests.len()];
+        if let Some(qc) = &mut self.qc {
+            for (i, req) in requests.iter().enumerate() {
+                elapsed[i] += lookup_time_for(
+                    qc.len(),
+                    &preps[i].1.shapes,
+                    cfg.ssd.geometry.channels,
+                    cfg.controller_overhead_cycles,
+                );
+                if let Some(hit) = qc.lookup(&req.qfv) {
+                    cache_hit[i] = true;
+                    ranked[i] = Some(hit);
+                }
             }
         }
 
-        let ranked = match ranked {
-            Some(r) => r,
-            None => {
-                elapsed += scan_timing.elapsed;
-                let r = self.engine.scan_top_k(db, model_ref, qfv, k)?;
-                if let Some(qc) = &mut self.qc {
-                    qc.insert(qfv.clone(), r.clone());
-                }
-                r
+        // Group the misses by (db, model, level): each group shares one
+        // flash pass. Vec-of-groups (not a HashMap) keeps group order
+        // deterministic — first-miss order.
+        let mut groups: Vec<((DbId, ModelId, AcceleratorLevel), Vec<usize>)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            if ranked[i].is_some() {
+                continue;
             }
-        };
+            let key = (req.db, req.model, req.level);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
 
-        let top_k: Vec<QueryHit> = ranked
-            .iter()
-            .map(|e| {
-                Ok(QueryHit {
-                    score: e.score,
-                    feature_index: e.feature_id,
-                    object_id: self.engine.object_id(db, e.feature_id)?,
+        for ((db, _, level), members) in &groups {
+            let batch: Vec<(&Model, &Tensor, usize)> = members
+                .iter()
+                .map(|&i| (preps[i].0, &requests[i].qfv, requests[i].k))
+                .collect();
+            let timing = scan_batch(*level, &preps[members[0]].1, cfg, members.len())
+                .expect("level support was validated above");
+            let group_results = self.engine.scan_top_k_batch(*db, &batch)?;
+            for (&i, r) in members.iter().zip(group_results) {
+                elapsed[i] += timing.elapsed;
+                if let Some(qc) = &mut self.qc {
+                    qc.insert(requests[i].qfv.clone(), r.clone());
+                }
+                ranked[i] = Some(r);
+            }
+        }
+
+        let mut ids = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let r = ranked[i].take().expect("request was scored or cache-hit");
+            let top_k: Vec<QueryHit> = r
+                .iter()
+                .map(|e| {
+                    Ok(QueryHit {
+                        score: e.score,
+                        feature_index: e.feature_id,
+                        object_id: self.engine.object_id(req.db, e.feature_id)?,
+                    })
                 })
-            })
-            .collect::<Result<_>>()?;
+                .collect::<Result<_>>()?;
+            let id = QueryId(self.next_query);
+            self.next_query += 1;
+            self.results.insert(
+                id,
+                QueryResult {
+                    query_id: id,
+                    top_k,
+                    cache_hit: cache_hit[i],
+                    elapsed: elapsed[i],
+                    level: req.level,
+                },
+            );
+            ids.push(id);
+        }
+        Ok(ids)
+    }
 
-        let id = QueryId(self.next_query);
-        self.next_query += 1;
-        self.results.insert(
-            id,
-            QueryResult {
-                query_id: id,
-                top_k,
-                cache_hit,
-                elapsed,
-                level,
-            },
-        );
-        Ok(id)
+    /// Inspects a completed query's results without consuming them.
+    ///
+    /// Returns `None` for unknown (or already-consumed) query ids.
+    pub fn peek_results(&self, query: QueryId) -> Option<&QueryResult> {
+        self.results.get(&query)
     }
 
     /// `getResults`: retrieves (and removes) a completed query's results.
     ///
     /// # Errors
     ///
-    /// Returns [`FlashError::UnknownDb`] for unknown query ids.
+    /// Returns [`DeepStoreError::UnknownQuery`] for unknown query ids.
     pub fn results(&mut self, query: QueryId) -> Result<QueryResult> {
         self.results
             .remove(&query)
-            .ok_or(FlashError::UnknownDb(query.0))
+            .ok_or(DeepStoreError::UnknownQuery(query))
     }
 }
 
@@ -320,12 +506,21 @@ mod tests {
     }
 
     #[test]
+    fn request_builder_defaults() {
+        let (_, model, db, mid) = setup("tir", 1);
+        let req = QueryRequest::new(model.random_feature(0), mid, db);
+        assert_eq!(req.k, 1);
+        assert_eq!(req.level, AcceleratorLevel::Channel);
+        let req = req.k(9).level(AcceleratorLevel::Ssd);
+        assert_eq!(req.k, 9);
+        assert_eq!(req.level, AcceleratorLevel::Ssd);
+    }
+
+    #[test]
     fn end_to_end_query_returns_ranked_results() {
         let (mut store, model, db, mid) = setup("tir", 64);
         let q = model.random_feature(1000);
-        let qid = store
-            .query(&q, 5, mid, db, AcceleratorLevel::Channel)
-            .unwrap();
+        let qid = store.query(QueryRequest::new(q, mid, db).k(5)).unwrap();
         let r = store.results(qid).unwrap();
         assert_eq!(r.top_k.len(), 5);
         assert!(!r.cache_hit);
@@ -335,7 +530,55 @@ mod tests {
             assert!(w[0].score >= w[1].score);
         }
         // Results are consumed.
-        assert!(store.results(qid).is_err());
+        assert_eq!(store.results(qid), Err(DeepStoreError::UnknownQuery(qid)));
+    }
+
+    #[test]
+    fn peek_does_not_consume_results() {
+        let (mut store, model, db, mid) = setup("tir", 16);
+        let qid = store
+            .query(QueryRequest::new(model.random_feature(7), mid, db).k(3))
+            .unwrap();
+        assert_eq!(store.peek_results(qid).unwrap().top_k.len(), 3);
+        // Peeking twice still works; consuming then peeking does not.
+        let peeked = store.peek_results(qid).unwrap().clone();
+        let consumed = store.results(qid).unwrap();
+        assert_eq!(peeked, consumed);
+        assert!(store.peek_results(qid).is_none());
+    }
+
+    #[test]
+    fn unknown_ids_get_dedicated_errors() {
+        let (mut store, model, db, mid) = setup("tir", 4);
+        let q = model.random_feature(0);
+        assert_eq!(
+            store.query(QueryRequest::new(q.clone(), ModelId(999), db)),
+            Err(DeepStoreError::UnknownModel(ModelId(999)))
+        );
+        assert!(matches!(
+            store.query(QueryRequest::new(q, mid, DbId(999))),
+            Err(DeepStoreError::Flash(FlashError::UnknownDb(999)))
+        ));
+        assert_eq!(
+            store.results(QueryId(777)),
+            Err(DeepStoreError::UnknownQuery(QueryId(777)))
+        );
+    }
+
+    #[test]
+    fn positional_shim_matches_builder_form() {
+        let (mut store, model, db, mid) = setup("textqa", 32);
+        store.disable_qc();
+        let q = model.random_feature(5);
+        #[allow(deprecated)]
+        let q1 = store
+            .query_positional(&q, 4, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
+        let q2 = store.query(QueryRequest::new(q, mid, db).k(4)).unwrap();
+        let r1 = store.results(q1).unwrap();
+        let r2 = store.results(q2).unwrap();
+        assert_eq!(r1.top_k, r2.top_k);
+        assert_eq!(r1.elapsed, r2.elapsed);
     }
 
     #[test]
@@ -343,12 +586,10 @@ mod tests {
         let (mut store, model, db, mid) = setup("textqa", 64);
         let q = model.random_feature(7);
         let q1 = store
-            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(3))
             .unwrap();
         let r1 = store.results(q1).unwrap();
-        let q2 = store
-            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
-            .unwrap();
+        let q2 = store.query(QueryRequest::new(q, mid, db).k(3)).unwrap();
         let r2 = store.results(q2).unwrap();
         assert!(!r1.cache_hit);
         assert!(r2.cache_hit);
@@ -364,18 +605,17 @@ mod tests {
         let (mut store, model, db, mid) = setup("textqa", 32);
         let q = model.random_feature(7);
         let _ = store
-            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(3))
             .unwrap();
         store.append_db(db, &[model.random_feature(999)]).unwrap();
-        let q2 = store
-            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
-            .unwrap();
+        let q2 = store.query(QueryRequest::new(q, mid, db).k(3)).unwrap();
         assert!(!store.results(q2).unwrap().cache_hit);
     }
 
     #[test]
     fn read_db_returns_original_features() {
-        let (mut store, model, db, _) = setup("mir", 20);
+        let (store, model, db, _) = setup("mir", 20);
+        // `read_db` takes `&self`: no mutable borrow needed.
         let got = store.read_db(db, 5, 3).unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0], model.random_feature(5));
@@ -393,21 +633,29 @@ mod tests {
     fn chip_level_rejects_reid_queries() {
         let (mut store, model, db, mid) = setup("reid", 4);
         let q = model.random_feature(0);
-        let err = store.query(&q, 2, mid, db, AcceleratorLevel::Chip);
-        assert!(err.is_err());
+        let err = store
+            .query(
+                QueryRequest::new(q.clone(), mid, db)
+                    .k(2)
+                    .level(AcceleratorLevel::Chip),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeepStoreError::LevelUnsupported {
+                model: "reid".into(),
+                level: AcceleratorLevel::Chip,
+            }
+        );
         // Channel level works.
-        assert!(store
-            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
-            .is_ok());
+        assert!(store.query(QueryRequest::new(q, mid, db).k(2)).is_ok());
     }
 
     #[test]
     fn wrong_query_length_is_rejected() {
         let (mut store, _, db, mid) = setup("tir", 8);
         let bad = Tensor::random(vec![7], 1.0, 0);
-        assert!(store
-            .query(&bad, 2, mid, db, AcceleratorLevel::Channel)
-            .is_err());
+        assert!(store.query(QueryRequest::new(bad, mid, db).k(2)).is_err());
     }
 
     #[test]
@@ -420,17 +668,15 @@ mod tests {
         });
         let q = model.random_feature(3);
         let _ = store
-            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(2))
             .unwrap();
         let q2 = store
-            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(2))
             .unwrap();
         assert!(store.results(q2).unwrap().cache_hit);
         store.disable_qc();
         assert!(store.qc_stats().is_none());
-        let q3 = store
-            .query(&q, 2, mid, db, AcceleratorLevel::Channel)
-            .unwrap();
+        let q3 = store.query(QueryRequest::new(q, mid, db).k(2)).unwrap();
         assert!(!store.results(q3).unwrap().cache_hit);
     }
 
@@ -445,7 +691,9 @@ mod tests {
             AcceleratorLevel::Channel,
             AcceleratorLevel::Chip,
         ] {
-            let qid = store.query(&q, 3, mid, db, level).unwrap();
+            let qid = store
+                .query(QueryRequest::new(q.clone(), mid, db).k(3).level(level))
+                .unwrap();
             elapsed.push(store.results(qid).unwrap().elapsed);
         }
         // Channel is fastest on this tiny DB too (same model ordering).
@@ -459,7 +707,7 @@ mod tests {
         store.disable_qc();
         let q = model.random_feature(123);
         let qid = store
-            .query(&q, 4, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(4))
             .unwrap();
         let r = store.results(qid).unwrap();
         for hit in &r.top_k {
@@ -467,5 +715,119 @@ mod tests {
             let score = model.similarity(&q, &f[0]).unwrap();
             assert!((score - hit.score).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_amortizes_latency() {
+        let (mut store, model, db, mid) = setup("tir", 48);
+        store.disable_qc();
+        let queries: Vec<Tensor> = (500..508).map(|i| model.random_feature(i)).collect();
+
+        // Sequential baseline.
+        let mut seq = Vec::new();
+        for q in &queries {
+            let qid = store
+                .query(QueryRequest::new(q.clone(), mid, db).k(5))
+                .unwrap();
+            seq.push(store.results(qid).unwrap());
+        }
+
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::new(q.clone(), mid, db).k(5))
+            .collect();
+        let ids = store.query_batch(&reqs).unwrap();
+        assert_eq!(ids.len(), 8);
+        let total_seq: SimDuration = seq.iter().map(|s| s.elapsed).sum();
+        for (id, s) in ids.iter().zip(&seq) {
+            let b = store.results(*id).unwrap();
+            assert_eq!(b.top_k, s.top_k, "batched ranking must be bit-identical");
+            // The shared pass costs less than running the whole batch
+            // back-to-back (one member's latency can exceed a lone
+            // query's on a compute-bound micro-DB, but never the sum).
+            assert!(
+                b.elapsed < total_seq,
+                "batched pass {} !< sequential total {}",
+                b.elapsed,
+                total_seq
+            );
+            assert!(
+                b.elapsed >= s.elapsed,
+                "a batch member never beats a lone query"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_groups_by_db_model_and_level() {
+        let (mut store, model, db, mid) = setup("tir", 24);
+        store.disable_qc();
+        let other = zoo::tir().seeded(7);
+        let features: Vec<Tensor> = (0..24).map(|i| other.random_feature(100 + i)).collect();
+        let db2 = store.write_db(&features).unwrap();
+        let mid2 = store.load_model(&ModelGraph::from_model(&other)).unwrap();
+
+        // Interleave requests against two (db, model) pairs; each pair
+        // still resolves correctly and in request order.
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    QueryRequest::new(model.random_feature(900 + i), mid, db).k(3)
+                } else {
+                    QueryRequest::new(other.random_feature(900 + i), mid2, db2).k(3)
+                }
+            })
+            .collect();
+        let ids = store.query_batch(&reqs).unwrap();
+        for (id, req) in ids.iter().zip(&reqs) {
+            let r = store.results(*id).unwrap();
+            assert_eq!(r.top_k.len(), 3);
+            // Recompute the best hit against the right database.
+            let best = store.read_db(req.db, r.top_k[0].feature_index, 1).unwrap();
+            let m = if req.model == mid { &model } else { &other };
+            let score = m.similarity(&req.qfv, &best[0]).unwrap();
+            assert!((score - r.top_k[0].score).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn batch_cache_lookups_precede_fills() {
+        let (mut store, model, db, mid) = setup("textqa", 16);
+        let q = model.random_feature(3);
+        // Two identical queries in one batch: both miss (lookups happen
+        // before any fill), then a later query hits.
+        let reqs = vec![
+            QueryRequest::new(q.clone(), mid, db).k(2),
+            QueryRequest::new(q.clone(), mid, db).k(2),
+        ];
+        let ids = store.query_batch(&reqs).unwrap();
+        assert!(!store.results(ids[0]).unwrap().cache_hit);
+        assert!(!store.results(ids[1]).unwrap().cache_hit);
+        let later = store.query(QueryRequest::new(q, mid, db).k(2)).unwrap();
+        assert!(store.results(later).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (mut store, _, _, _) = setup("tir", 4);
+        assert_eq!(store.query_batch(&[]).unwrap(), Vec::<QueryId>::new());
+    }
+
+    #[test]
+    fn bad_request_fails_whole_batch_without_side_effects() {
+        let (mut store, model, db, mid) = setup("tir", 8);
+        store.disable_qc();
+        let (reads_before, _, _) = store.flash_op_counts();
+        let reqs = vec![
+            QueryRequest::new(model.random_feature(0), mid, db).k(2),
+            QueryRequest::new(model.random_feature(1), ModelId(42), db).k(2),
+        ];
+        assert_eq!(
+            store.query_batch(&reqs),
+            Err(DeepStoreError::UnknownModel(ModelId(42)))
+        );
+        // Validation rejected the batch before any scan ran.
+        let (reads_after, _, _) = store.flash_op_counts();
+        assert_eq!(reads_before, reads_after);
     }
 }

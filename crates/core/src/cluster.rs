@@ -11,10 +11,11 @@
 //! the simulated latency of a cluster query is the slowest shard (drives
 //! run concurrently).
 
-use crate::api::{DeepStore, ModelId, QueryHit};
+use crate::api::{DeepStore, ModelId, QueryHit, QueryRequest};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::DbId;
-use deepstore_flash::{FlashError, Result, SimDuration};
+use crate::error::{DeepStoreError, Result};
+use deepstore_flash::{FlashError, SimDuration};
 use deepstore_nn::{ModelGraph, Tensor};
 use deepstore_systolic::topk::TopKSorter;
 use serde::{Deserialize, Serialize};
@@ -104,7 +105,8 @@ impl DeepStoreCluster {
             return Err(FlashError::SizeMismatch {
                 expected: n,
                 found: features.len(),
-            });
+            }
+            .into());
         }
         let mut per_drive = Vec::with_capacity(n);
         for (d, drive) in self.drives.iter_mut().enumerate() {
@@ -136,8 +138,9 @@ impl DeepStoreCluster {
     ///
     /// # Errors
     ///
-    /// Returns [`FlashError::UnknownDb`] for bad cluster handles and
-    /// propagates drive errors.
+    /// Returns [`FlashError::UnknownDb`] (wrapped) for a bad cluster
+    /// database handle, [`DeepStoreError::UnknownModel`] for a bad
+    /// cluster model handle, and propagates drive errors.
     pub fn query(
         &mut self,
         qfv: &Tensor,
@@ -149,17 +152,21 @@ impl DeepStoreCluster {
         let sharded = self
             .dbs
             .get(db.0 as usize)
-            .ok_or(FlashError::UnknownDb(db.0))?;
+            .ok_or(DeepStoreError::Flash(FlashError::UnknownDb(db.0)))?;
         let cmodel = self
             .models
             .get(model.0 as usize)
-            .ok_or(FlashError::UnknownDb(model.0))?;
+            .ok_or(DeepStoreError::UnknownModel(ModelId(model.0)))?;
         let n = self.drives.len();
         let mut elapsed = SimDuration::ZERO;
         let mut merged = TopKSorter::new(k);
         let mut hits: Vec<Vec<QueryHit>> = Vec::with_capacity(n);
         for (d, drive) in self.drives.iter_mut().enumerate() {
-            let qid = drive.query(qfv, k, cmodel.per_drive[d], sharded.per_drive[d], level)?;
+            let qid = drive.query(
+                QueryRequest::new(qfv.clone(), cmodel.per_drive[d], sharded.per_drive[d])
+                    .k(k)
+                    .level(level),
+            )?;
             let result = drive.results(qid)?;
             // Drives run concurrently: the cluster sees the slowest.
             elapsed = elapsed.max(result.elapsed);
@@ -291,7 +298,7 @@ mod tests {
         let features: Vec<Tensor> = (0..2).map(|i| model.random_feature(i)).collect();
         assert!(matches!(
             c.write_db(&features),
-            Err(FlashError::SizeMismatch { .. })
+            Err(DeepStoreError::Flash(FlashError::SizeMismatch { .. }))
         ));
     }
 

@@ -13,12 +13,13 @@
 //! results by [`crate::api::DeepStore`].
 
 use crate::config::DeepStoreConfig;
+use crate::error::{DeepStoreError, Result};
 use deepstore_flash::array::FlashArray;
 use deepstore_flash::ftl::BlockFtl;
 use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
-use deepstore_flash::{FlashError, Result};
-use deepstore_nn::{InferenceScratch, Model, Tensor};
+use deepstore_flash::{FlashError, Result as FlashResult};
+use deepstore_nn::{InferenceScratch, Model, MultiQueryScorer, Tensor};
 use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -112,7 +113,16 @@ impl Engine {
     ///
     /// Returns [`FlashError::UnknownDb`] for unknown ids.
     pub fn db_meta(&self, db: DbId) -> Result<&DbMeta> {
-        self.dbs.get(&db).ok_or(FlashError::UnknownDb(db.0))
+        self.dbs
+            .get(&db)
+            .ok_or(DeepStoreError::Flash(FlashError::UnknownDb(db.0)))
+    }
+
+    /// `(reads, programs, erases)` issued to the flash array so far.
+    /// Reads count one per page access — the batched scan's
+    /// one-pass-per-shard guarantee is asserted against this counter.
+    pub fn flash_op_counts(&self) -> (u64, u64, u64) {
+        self.array.op_counts()
     }
 
     /// Creates a database from feature vectors (the `writeDB` API).
@@ -169,7 +179,8 @@ impl Engine {
                             return Err(FlashError::SizeMismatch {
                                 expected: feature_bytes,
                                 found: f.len() * 4,
-                            });
+                            }
+                            .into());
                         }
                         for v in f.data() {
                             buf.extend_from_slice(&v.to_le_bytes());
@@ -195,7 +206,8 @@ impl Engine {
                         return Err(FlashError::SizeMismatch {
                             expected: feature_bytes,
                             found: f.len() * 4,
-                        });
+                        }
+                        .into());
                     }
                     bytes.clear();
                     for v in f.data() {
@@ -229,7 +241,7 @@ impl Engine {
         Ok(())
     }
 
-    fn flush_page(&mut self, db: DbId, data: &[u8]) -> Result<()> {
+    fn flush_page(&mut self, db: DbId, data: &[u8]) -> FlashResult<()> {
         // Allocate a fresh page in stripe order. The FTL allocates whole
         // blocks striped across channels; within a database we cycle
         // through blocks page-by-page. For simplicity each page gets the
@@ -271,14 +283,15 @@ impl Engine {
             return Err(FlashError::AddressOutOfRange(format!(
                 "feature {idx} of {} in db {}",
                 meta.num_features, meta.db_id.0
-            )));
+            ))
+            .into());
         }
-        self.read_feature_with(meta, idx)
+        Ok(self.read_feature_with(meta, idx)?)
     }
 
     /// Reads feature `idx` given already-resolved metadata (the scan's
     /// per-shard hot path; avoids a metadata lookup per feature).
-    fn read_feature_with(&self, meta: &DbMeta, idx: u64) -> Result<Tensor> {
+    fn read_feature_with(&self, meta: &DbMeta, idx: u64) -> FlashResult<Tensor> {
         let bytes = self.read_feature_bytes(meta, idx)?;
         let floats: Vec<f32> = bytes
             .chunks_exact(4)
@@ -288,7 +301,7 @@ impl Engine {
             .map_err(|e| FlashError::AddressOutOfRange(e.to_string()))
     }
 
-    fn read_feature_bytes(&self, meta: &DbMeta, idx: u64) -> Result<Vec<u8>> {
+    fn read_feature_bytes(&self, meta: &DbMeta, idx: u64) -> FlashResult<Vec<u8>> {
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
         let (start_page, mut offset) = self.feature_location(meta, idx);
         let mut out = Vec::with_capacity(meta.feature_bytes);
@@ -323,7 +336,7 @@ impl Engine {
         idx: u64,
         cached_page: &mut Option<(usize, &'a [u8])>,
         out: &mut Vec<f32>,
-    ) -> Result<()> {
+    ) -> FlashResult<()> {
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
         let (mut page_idx, mut offset) = self.feature_location(meta, idx);
         out.clear();
@@ -432,57 +445,16 @@ impl Engine {
         k: usize,
     ) -> Result<Vec<ScoredFeature>> {
         let meta = self.db_meta(db)?;
-        let channels = self.cfg.ssd.geometry.channels;
+        let shards = self.shard_plan(meta);
+        let workers = effective_workers(self.cfg.parallelism, shards.len());
 
-        // Shard plan: each feature belongs to the channel its first page
-        // lives on. Unsealed features whose pages are not allocated yet
-        // fall into shard 0, where the read reports the proper error.
-        // Within a shard the indices stay ascending, so the page-sequential
-        // decoder touches each flash page exactly once.
-        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); channels];
-        for idx in 0..meta.num_features {
-            let (page_idx, _) = self.feature_location(meta, idx);
-            let channel = meta.pages.get(page_idx).map_or(0, |p| p.channel);
-            shards[channel].push(idx);
-        }
-
-        let workers = effective_workers(self.cfg.parallelism, channels);
-        let per_shard = self.scan_shards(meta, model, query, k, &shards, workers);
-
-        // Reduce: merge in channel order (the total order in `offer`
-        // makes any order equivalent, but canonical is free), surfacing
-        // the lowest-channel error deterministically.
-        let mut merged = TopKSorter::new(k);
-        let mut skipped = 0;
-        for shard_result in per_shard {
-            let (sorter, shard_skipped) = shard_result?;
-            merged.merge(&sorter);
-            skipped += shard_skipped;
-        }
-        self.unreadable_skipped
-            .fetch_add(skipped, Ordering::Relaxed);
-        Ok(merged.ranked())
-    }
-
-    /// Runs the map step over the shard plan, returning one
-    /// `(sorter, skipped_count)` result per channel, in channel order.
-    ///
-    /// This is the hot path: each worker owns one [`InferenceScratch`]
-    /// and one feature buffer, decodes features page-sequentially out of
-    /// borrowed flash pages (each page is read once per shard, with a
-    /// carry buffer for values straddling page boundaries), and scores
-    /// them with the allocation-free scratch path. After the first
-    /// feature of a shard, the loop performs zero heap allocations.
-    fn scan_shards(
-        &self,
-        meta: &DbMeta,
-        model: &Model,
-        query: &Tensor,
-        k: usize,
-        shards: &[Vec<u64>],
-        workers: usize,
-    ) -> Vec<Result<(TopKSorter, u64)>> {
-        let scan_one = |shard: &[u64]| -> Result<(TopKSorter, u64)> {
+        // Map: each worker owns one `InferenceScratch` and one feature
+        // buffer, decodes features page-sequentially out of borrowed
+        // flash pages (each page is read once per shard, with a carry
+        // buffer for values straddling page boundaries), and scores
+        // them with the allocation-free scratch path. After the first
+        // feature of a shard, the loop performs zero heap allocations.
+        let scan_one = |shard: &[u64]| -> FlashResult<(TopKSorter, u64)> {
             let mut sorter = TopKSorter::new(k);
             let mut skipped = 0u64;
             let mut scratch = InferenceScratch::for_model(model);
@@ -508,40 +480,183 @@ impl Engine {
             }
             Ok((sorter, skipped))
         };
+        let per_shard = run_sharded(&shards, workers, &scan_one);
 
-        if workers <= 1 {
-            return shards.iter().map(|s| scan_one(s)).collect();
+        // Reduce: merge in channel order (the total order in `offer`
+        // makes any order equivalent, but canonical is free), surfacing
+        // the lowest-channel error deterministically.
+        let mut merged = TopKSorter::new(k);
+        let mut skipped = 0;
+        for shard_result in per_shard {
+            let (sorter, shard_skipped) = shard_result?;
+            merged.merge(&sorter);
+            skipped += shard_skipped;
+        }
+        self.unreadable_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+        Ok(merged.ranked())
+    }
+
+    /// Batched map-reduce scan: walks each shard's pages **once** and
+    /// scores every decoded feature against all queries of the batch,
+    /// returning one ranked top-K per request, in request order.
+    ///
+    /// Requests sharing a `&Model` (by reference identity) are scored
+    /// together through a [`MultiQueryScorer`], which streams each dense
+    /// weight row once for up to eight queries — the batch's
+    /// compute-side win on top of the shared flash pass. Per-request
+    /// results are **bit-identical** to issuing the same requests as
+    /// individual [`Engine::scan_top_k`] calls: every query's scores
+    /// replay the single-query kernel order, each request keeps its own
+    /// top-K sorter fed in the same per-shard feature order, and the
+    /// reduce merges in channel order with the same total order.
+    ///
+    /// A feature whose pages fail ECC is skipped once per pass (not
+    /// once per query), so [`Engine::unreadable_skipped`] advances by
+    /// the feature count, not `features × queries`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::scan_top_k`]; the lowest-channel
+    /// error is surfaced deterministically.
+    pub fn scan_top_k_batch(
+        &self,
+        db: DbId,
+        requests: &[(&Model, &Tensor, usize)],
+    ) -> Result<Vec<Vec<ScoredFeature>>> {
+        let meta = self.db_meta(db)?;
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shards = self.shard_plan(meta);
+        let workers = effective_workers(self.cfg.parallelism, shards.len());
+
+        // Group requests by model identity; each group shares one fused
+        // scorer. Linear scan: batches are small (tens of queries).
+        let mut groups: Vec<(&Model, Vec<usize>)> = Vec::new();
+        for (i, (model, _, _)) in requests.iter().enumerate() {
+            match groups.iter_mut().find(|(m, _)| std::ptr::eq(*m, *model)) {
+                Some((_, ix)) => ix.push(i),
+                None => groups.push((model, vec![i])),
+            }
         }
 
-        // Channel shards are distributed round-robin over the workers;
-        // every worker owns disjoint channels, so slots are written once.
-        let mut slots: Vec<Option<Result<(TopKSorter, u64)>>> =
-            std::iter::repeat_with(|| None).take(shards.len()).collect();
-        std::thread::scope(|scope| {
-            let scan_one = &scan_one;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        shards
-                            .iter()
-                            .enumerate()
-                            .filter(|(c, _)| c % workers == w)
-                            .map(|(c, shard)| (c, scan_one(shard)))
-                            .collect::<Vec<_>>()
+        let scan_one = |shard: &[u64]| -> FlashResult<(Vec<TopKSorter>, u64)> {
+            let mut sorters: Vec<TopKSorter> = requests
+                .iter()
+                .map(|&(_, _, k)| TopKSorter::new(k))
+                .collect();
+            let mut skipped = 0u64;
+            let mut scorers: Vec<MultiQueryScorer> = groups
+                .iter()
+                .map(|(model, ix)| {
+                    let queries: Vec<Tensor> = ix.iter().map(|&i| requests[i].1.clone()).collect();
+                    MultiQueryScorer::new(model, &queries).map_err(|_| FlashError::SizeMismatch {
+                        expected: model.feature_bytes(),
+                        found: meta.feature_bytes,
                     })
                 })
-                .collect();
-            for handle in handles {
-                for (c, r) in handle.join().expect("scan worker panicked") {
-                    slots[c] = Some(r);
+                .collect::<FlashResult<_>>()?;
+            let mut scores: Vec<f32> = Vec::with_capacity(requests.len());
+            let mut feature: Vec<f32> = Vec::with_capacity(meta.feature_bytes / 4);
+            let mut cached_page: Option<(usize, &[u8])> = None;
+            for &idx in shard {
+                match self.decode_feature_into(meta, idx, &mut cached_page, &mut feature) {
+                    Ok(()) => {}
+                    Err(FlashError::UncorrectableEcc(_)) => {
+                        skipped += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+                for ((model, ix), scorer) in groups.iter().zip(&mut scorers) {
+                    scorer
+                        .score_into(model, &feature, &mut scores)
+                        .map_err(|_| FlashError::SizeMismatch {
+                            expected: model.feature_bytes(),
+                            found: meta.feature_bytes,
+                        })?;
+                    for (&req_i, &score) in ix.iter().zip(&scores) {
+                        sorters[req_i].offer(score, idx);
+                    }
                 }
             }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every channel scanned"))
-            .collect()
+            Ok((sorters, skipped))
+        };
+        let per_shard = run_sharded(&shards, workers, &scan_one);
+
+        let mut merged: Vec<TopKSorter> = requests
+            .iter()
+            .map(|&(_, _, k)| TopKSorter::new(k))
+            .collect();
+        let mut skipped = 0;
+        for shard_result in per_shard {
+            let (sorters, shard_skipped) = shard_result?;
+            for (m, s) in merged.iter_mut().zip(&sorters) {
+                m.merge(s);
+            }
+            skipped += shard_skipped;
+        }
+        self.unreadable_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+        Ok(merged.into_iter().map(|m| m.ranked()).collect())
     }
+
+    /// Shard plan shared by the single and batched scans: each feature
+    /// belongs to the channel its first page lives on. Unsealed features
+    /// whose pages are not allocated yet fall into shard 0, where the
+    /// read reports the proper error. Within a shard the indices stay
+    /// ascending, so the page-sequential decoder touches each flash page
+    /// exactly once.
+    fn shard_plan(&self, meta: &DbMeta) -> Vec<Vec<u64>> {
+        let channels = self.cfg.ssd.geometry.channels;
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); channels];
+        for idx in 0..meta.num_features {
+            let (page_idx, _) = self.feature_location(meta, idx);
+            let channel = meta.pages.get(page_idx).map_or(0, |p| p.channel);
+            shards[channel].push(idx);
+        }
+        shards
+    }
+}
+
+/// Runs a per-shard map step over the shard plan, returning one result
+/// per channel, in channel order. Channel shards are distributed
+/// round-robin over the workers; every worker owns disjoint channels, so
+/// slots are written once and results are independent of the worker
+/// count.
+fn run_sharded<T: Send>(
+    shards: &[Vec<u64>],
+    workers: usize,
+    scan_one: &(impl Fn(&[u64]) -> T + Sync),
+) -> Vec<T> {
+    if workers <= 1 {
+        return shards.iter().map(|s| scan_one(s)).collect();
+    }
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(shards.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(c, _)| c % workers == w)
+                        .map(|(c, shard)| (c, scan_one(shard)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (c, r) in handle.join().expect("scan worker panicked") {
+                slots[c] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every channel scanned"))
+        .collect()
 }
 
 /// Resolves the configured parallelism to a concrete worker count:
@@ -615,7 +730,7 @@ mod tests {
         let wrong = Tensor::random(vec![100], 1.0, 9);
         assert!(matches!(
             e.append_db(db, &[wrong]),
-            Err(FlashError::SizeMismatch { .. })
+            Err(DeepStoreError::Flash(FlashError::SizeMismatch { .. }))
         ));
     }
 
@@ -624,7 +739,7 @@ mod tests {
         let e = small_engine();
         assert!(matches!(
             e.read_feature(DbId(42), 0),
-            Err(FlashError::UnknownDb(42))
+            Err(DeepStoreError::Flash(FlashError::UnknownDb(42)))
         ));
         assert!(e.db_meta(DbId(42)).is_err());
     }
@@ -721,7 +836,7 @@ mod tests {
         // Direct reads of affected features surface the ECC error.
         assert!(matches!(
             e.read_feature(db, 0),
-            Err(FlashError::UncorrectableEcc(_))
+            Err(DeepStoreError::Flash(FlashError::UncorrectableEcc(_)))
         ));
         assert!(e.read_feature(db, 25).is_ok());
     }
@@ -790,6 +905,57 @@ mod tests {
                 .unwrap();
             assert_eq!(out, f.data(), "feature {i}");
         }
+    }
+
+    #[test]
+    fn batch_scan_matches_sequential_and_reads_each_page_once() {
+        let mut e = small_engine();
+        let model = zoo::tir().seeded(7);
+        // 2 KB tir features divide the 16 KB page evenly: no feature
+        // straddles a page, so page reads are exactly countable.
+        let fs = features(&model, 60);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let queries: Vec<Tensor> = (0..5u64).map(|i| model.random_feature(1000 + i)).collect();
+
+        let (r0, _, _) = e.flash_op_counts();
+        let reqs: Vec<(&Model, &Tensor, usize)> = queries.iter().map(|q| (&model, q, 7)).collect();
+        let batch = e.scan_top_k_batch(db, &reqs).unwrap();
+        let (r1, _, _) = e.flash_op_counts();
+        let batch_reads = r1 - r0;
+
+        // Bit-identical to sequential single-query scans, per request.
+        for (q, got) in queries.iter().zip(&batch) {
+            let single = e.scan_top_k(db, &model, q, 7).unwrap();
+            assert_eq!(got, &single);
+        }
+        let (r2, _, _) = e.flash_op_counts();
+
+        // The batched pass touches each database page exactly once; the
+        // five sequential scans above re-read everything five times.
+        assert_eq!(batch_reads as usize, e.db_meta(db).unwrap().pages.len());
+        assert_eq!(r2 - r1, 5 * batch_reads);
+    }
+
+    #[test]
+    fn batch_scan_handles_mixed_models_and_empty_batch() {
+        let mut e = small_engine();
+        let tir = zoo::tir().seeded(7);
+        let other = zoo::tir().seeded(8); // same shapes, different weights
+        let fs = features(&tir, 24);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let q1 = tir.random_feature(501);
+        let q2 = tir.random_feature(502);
+
+        assert!(e.scan_top_k_batch(db, &[]).unwrap().is_empty());
+
+        let batch = e
+            .scan_top_k_batch(db, &[(&tir, &q1, 4), (&other, &q2, 6), (&tir, &q2, 4)])
+            .unwrap();
+        assert_eq!(batch[0], e.scan_top_k(db, &tir, &q1, 4).unwrap());
+        assert_eq!(batch[1], e.scan_top_k(db, &other, &q2, 6).unwrap());
+        assert_eq!(batch[2], e.scan_top_k(db, &tir, &q2, 4).unwrap());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The crate-wide error type for DeepStore device operations.
+//!
+//! Device-level failures used to be smuggled through
+//! [`FlashError`] — an unknown model id surfaced as
+//! `FlashError::UnknownDb`, an accelerator level that cannot run a
+//! model as `FlashError::AddressOutOfRange` with a prose payload.
+//! [`DeepStoreError`] gives each failure its own variant so callers can
+//! match on what actually went wrong, and wraps genuine flash/FTL
+//! failures as [`DeepStoreError::Flash`] (with a `From` impl, so `?`
+//! propagates them unchanged through the device layers).
+
+use crate::api::{ModelId, QueryId};
+use crate::config::AcceleratorLevel;
+use deepstore_flash::FlashError;
+use std::fmt;
+
+/// Errors surfaced by the DeepStore device API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeepStoreError {
+    /// A [`ModelId`] that was never returned by `loadModel` (or whose
+    /// model was since unloaded).
+    UnknownModel(ModelId),
+    /// A [`QueryId`] that was never issued, or whose results were
+    /// already consumed by `getResults`.
+    UnknownQuery(QueryId),
+    /// The requested accelerator level cannot execute the model (e.g.
+    /// chip-level accelerators lack the on-chip SRAM for ReId's
+    /// convolutional working set, §4.5).
+    LevelUnsupported {
+        /// Name of the model that has no mapping at this level.
+        model: String,
+        /// The accelerator level that was requested.
+        level: AcceleratorLevel,
+    },
+    /// A flash/FTL-level failure (bad address, ECC, capacity, …).
+    Flash(FlashError),
+}
+
+impl fmt::Display for DeepStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepStoreError::UnknownModel(id) => write!(f, "unknown model id {}", id.0),
+            DeepStoreError::UnknownQuery(id) => write!(f, "unknown query id {}", id.0),
+            DeepStoreError::LevelUnsupported { model, level } => {
+                write!(f, "model `{model}` has no {level}-level mapping")
+            }
+            DeepStoreError::Flash(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeepStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeepStoreError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for DeepStoreError {
+    fn from(e: FlashError) -> Self {
+        DeepStoreError::Flash(e)
+    }
+}
+
+/// Convenient result alias for the device API.
+pub type Result<T> = std::result::Result<T, DeepStoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_distinguishable_and_display() {
+        let m = DeepStoreError::UnknownModel(ModelId(3));
+        let q = DeepStoreError::UnknownQuery(QueryId(3));
+        assert_ne!(m, q);
+        assert!(m.to_string().contains("model id 3"));
+        assert!(q.to_string().contains("query id 3"));
+        let l = DeepStoreError::LevelUnsupported {
+            model: "reid".into(),
+            level: AcceleratorLevel::Chip,
+        };
+        assert!(l.to_string().contains("reid"));
+    }
+
+    #[test]
+    fn flash_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: DeepStoreError = FlashError::UnknownDb(9).into();
+        assert_eq!(e, DeepStoreError::Flash(FlashError::UnknownDb(9)));
+        assert!(e.source().is_some());
+        assert!(DeepStoreError::UnknownQuery(QueryId(1)).source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeepStoreError>();
+    }
+}

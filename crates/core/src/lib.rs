@@ -18,7 +18,7 @@
 //! # Example
 //!
 //! ```
-//! use deepstore_core::{DeepStore, DeepStoreConfig, AcceleratorLevel};
+//! use deepstore_core::{DeepStore, DeepStoreConfig, QueryRequest};
 //! use deepstore_nn::{zoo, ModelGraph};
 //!
 //! let mut store = DeepStore::new(DeepStoreConfig::small());
@@ -27,10 +27,17 @@
 //! let db = store.write_db(&features).unwrap();
 //! let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
 //! let qid = store
-//!     .query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Channel)
+//!     .query(QueryRequest::new(model.random_feature(99), mid, db).k(3))
 //!     .unwrap();
 //! let result = store.results(qid).unwrap();
 //! assert_eq!(result.top_k.len(), 3);
+//!
+//! // A batch shares one flash pass across co-pending queries:
+//! let reqs: Vec<_> = (0..4)
+//!     .map(|i| QueryRequest::new(model.random_feature(200 + i), mid, db).k(3))
+//!     .collect();
+//! let ids = store.query_batch(&reqs).unwrap();
+//! assert_eq!(ids.len(), 4);
 //! ```
 
 pub mod accel;
@@ -39,13 +46,15 @@ pub mod cluster;
 pub mod config;
 pub mod dse;
 pub mod engine;
+pub mod error;
 pub mod proto;
 pub mod qcache;
 pub mod runtime;
 
-pub use accel::{scan, ScanTiming, ScanWorkload};
-pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryResult};
+pub use accel::{scan, scan_batch, ScanTiming, ScanWorkload};
+pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryRequest, QueryResult};
 pub use cluster::DeepStoreCluster;
 pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
+pub use error::{DeepStoreError, Result};
 pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};

@@ -26,7 +26,7 @@
 //! assert_eq!(results.top_k.len(), 3);
 //! ```
 
-use crate::api::{DeepStore, ModelId, QueryId, QueryResult};
+use crate::api::{DeepStore, ModelId, QueryId, QueryRequest, QueryResult};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::DbId;
 use crate::qcache::QueryCacheConfig;
@@ -126,6 +126,13 @@ pub enum Command {
         /// The query handle.
         query: QueryId,
     },
+    /// `query` (batched): submit several queries in one command; the
+    /// device coalesces same-`(db, model, level)` requests into shared
+    /// flash passes.
+    QueryBatch {
+        /// The batched requests, answered in order.
+        requests: Vec<QueryRequest>,
+    },
 }
 
 impl Command {
@@ -138,6 +145,7 @@ impl Command {
             Command::SetQc { .. } => 0x05,
             Command::Query { .. } => 0x06,
             Command::GetResults { .. } => 0x07,
+            Command::QueryBatch { .. } => 0x08,
         }
     }
 }
@@ -157,6 +165,8 @@ pub enum Response {
     QcConfigured,
     /// `query` accepted; poll with `getResults`.
     QuerySubmitted(QueryId),
+    /// `query` batch accepted; one handle per request, in order.
+    BatchSubmitted(Vec<QueryId>),
     /// `getResults` payload.
     Results(Box<QueryResult>),
     /// The command failed on the device.
@@ -204,7 +214,7 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
 /// Returns a [`ProtoError`] describing any framing or payload problem.
 pub fn decode_command(bytes: &[u8]) -> Result<Command, ProtoError> {
     let (opcode, payload) = unframe(bytes)?;
-    if !(0x01..=0x07).contains(&opcode) {
+    if !(0x01..=0x08).contains(&opcode) {
         return Err(ProtoError::UnknownOpcode(opcode));
     }
     let cmd: Command =
@@ -302,8 +312,12 @@ impl Device {
                 level,
             } => self
                 .store
-                .query(&qfv, k, model, db, level)
+                .query(QueryRequest::new(qfv, model, db).k(k).level(level))
                 .map(Response::QuerySubmitted),
+            Command::QueryBatch { requests } => self
+                .store
+                .query_batch(&requests)
+                .map(Response::BatchSubmitted),
             Command::GetResults { query } => self
                 .store
                 .results(query)
@@ -427,6 +441,22 @@ impl<'a> HostClient<'a> {
         }
     }
 
+    /// Batched `query` over the wire: one command, one flash pass per
+    /// coalesced `(db, model, level)` group on the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] for bad handles or unsupported
+    /// levels (the whole batch is rejected before any scan runs).
+    pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryId>, ProtoError> {
+        match self.round_trip(&Command::QueryBatch {
+            requests: requests.to_vec(),
+        })? {
+            Response::BatchSubmitted(ids) => Ok(ids),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
     /// `getResults` over the wire.
     ///
     /// # Errors
@@ -532,6 +562,26 @@ mod tests {
         let r = host.get_results(qid).unwrap();
         assert_eq!(r.top_k[0].feature_index, 0);
         assert!(device.frames_handled() >= 6);
+    }
+
+    #[test]
+    fn batched_queries_roundtrip_over_the_wire() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        device.store_mut().disable_qc();
+        let mut host = HostClient::new(&mut device);
+        let model = zoo::textqa().seeded_metric(5);
+        let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        // Probes 3 and 11 are exact duplicates of features 3 and 11.
+        let reqs: Vec<QueryRequest> = [3u64, 11]
+            .iter()
+            .map(|&s| QueryRequest::new(model.random_feature(s), mid, db).k(2))
+            .collect();
+        let ids = host.query_batch(&reqs).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(host.get_results(ids[0]).unwrap().top_k[0].feature_index, 3);
+        assert_eq!(host.get_results(ids[1]).unwrap().top_k[0].feature_index, 11);
     }
 
     #[test]

@@ -62,6 +62,65 @@ pub(crate) fn dense_into(w: &[f32], b: &[f32], x: &[f32], out: &mut Vec<f32>) {
     }
 }
 
+/// Lane width of the fused multi-query dense kernel: eight queries are
+/// scored against one item per pass over the weight row. Eight f32 lanes
+/// fill one AVX register (or two SSE registers) and keep the per-row
+/// accumulator set (4 chains × 8 lanes) inside the register file.
+pub(crate) const QUERY_LANES: usize = 8;
+
+/// Dense matrix-vector product for [`QUERY_LANES`] inputs at once:
+/// `out[o][l] = Σ_k w[o][k] · xt[k][l] + b[o]`.
+///
+/// `xt` is *lane-transposed*: `QUERY_LANES` input vectors interleaved so
+/// that `xt[k*QUERY_LANES + l]` is element `k` of input `l`. `out` is
+/// refilled in the same layout. The weight row is read **once** for all
+/// eight inputs (the batched scan's weight-reuse win), and each lane's
+/// accumulation replays [`dot_unrolled`]'s exact order — four
+/// independent chains over `k % 4`, combined `(s0 + s1) + (s2 + s3)`,
+/// tail lanes added sequentially, bias added last — so every lane is
+/// bit-identical to a [`dense_into`] call on that input alone. The
+/// per-lane loops are trivially vectorizable (independent lanes, no
+/// reassociation), which is where the batch throughput comes from.
+pub(crate) fn dense_into_multi(w: &[f32], bias: &[f32], xt: &[f32], out: &mut Vec<f32>) {
+    const L: usize = QUERY_LANES;
+    let inp = xt.len() / L;
+    debug_assert_eq!(xt.len(), inp * L);
+    out.clear();
+    out.reserve(bias.len() * L);
+    for (o, &b0) in bias.iter().enumerate() {
+        let row = &w[o * inp..(o + 1) * inp];
+        // `chunks_exact` hands the optimizer compile-time-known slice
+        // lengths, so the `l` loops below are bounds-check-free and
+        // vectorize cleanly.
+        let mut quads = row.chunks_exact(4);
+        let mut xq = xt.chunks_exact(4 * L);
+        let (mut s0, mut s1, mut s2, mut s3) = ([0.0f32; L], [0.0f32; L], [0.0f32; L], [0.0f32; L]);
+        for (wc, x) in (&mut quads).zip(&mut xq) {
+            let (x0, r) = x.split_at(L);
+            let (x1, r) = r.split_at(L);
+            let (x2, x3) = r.split_at(L);
+            for l in 0..L {
+                s0[l] += wc[0] * x0[l];
+                s1[l] += wc[1] * x1[l];
+                s2[l] += wc[2] * x2[l];
+                s3[l] += wc[3] * x3[l];
+            }
+        }
+        let mut acc = [0.0f32; L];
+        for l in 0..L {
+            acc[l] = (s0[l] + s1[l]) + (s2[l] + s3[l]);
+        }
+        for (&wi, xr) in quads.remainder().iter().zip(xq.remainder().chunks_exact(L)) {
+            for l in 0..L {
+                acc[l] += wi * xr[l];
+            }
+        }
+        for a in acc {
+            out.push(a + b0);
+        }
+    }
+}
+
 /// Shape of a conv2d operand set; bundles the dimensions the kernel
 /// needs so call sites stay readable.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +246,36 @@ mod tests {
         want += w[8] * x[8];
         want += w[9] * x[9];
         assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn dense_into_multi_matches_per_lane_dense_into() {
+        // 10 inputs (2 quads + 2 tail lanes), 3 outputs, 8 query lanes.
+        let (inp, outp) = (10usize, 3usize);
+        let w: Vec<f32> = (0..inp * outp).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..outp).map(|i| i as f32 * 0.1).collect();
+        let xs: Vec<Vec<f32>> = (0..QUERY_LANES)
+            .map(|l| (0..inp).map(|k| ((l * inp + k) as f32).cos()).collect())
+            .collect();
+        let mut xt = vec![0.0f32; inp * QUERY_LANES];
+        for (l, x) in xs.iter().enumerate() {
+            for (k, &v) in x.iter().enumerate() {
+                xt[k * QUERY_LANES + l] = v;
+            }
+        }
+        let mut fused = Vec::new();
+        dense_into_multi(&w, &b, &xt, &mut fused);
+        let mut single = Vec::new();
+        for (l, x) in xs.iter().enumerate() {
+            dense_into(&w, &b, x, &mut single);
+            for (o, &v) in single.iter().enumerate() {
+                assert_eq!(
+                    fused[o * QUERY_LANES + l].to_bits(),
+                    v.to_bits(),
+                    "lane {l} output {o}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub(crate) mod kernels;
 pub mod layer;
 pub mod metrics;
 pub mod model;
+pub mod multiquery;
 pub mod scratch;
 pub mod tensor;
 pub mod zoo;
@@ -44,6 +45,7 @@ pub use batch::Batch;
 pub use graph::ModelGraph;
 pub use layer::{Activation, ElementWiseOp, Layer, LayerShape, MergeOp};
 pub use model::{Model, ModelBuilder};
+pub use multiquery::MultiQueryScorer;
 pub use scratch::InferenceScratch;
 pub use tensor::Tensor;
 

@@ -1,0 +1,46 @@
+//! Release-mode smoke check (ignored by default): fused multi-query
+//! scoring must beat per-query scoring on throughput for dense models.
+//!
+//! Run with `cargo test -p deepstore-nn --release -- --ignored`.
+
+use deepstore_nn::{zoo, InferenceScratch, MultiQueryScorer};
+use std::time::Instant;
+
+#[test]
+#[ignore = "timing smoke test; run with --release -- --ignored"]
+fn fused_tir_beats_per_query() {
+    let m = zoo::tir().seeded(1);
+    let queries: Vec<_> = (0..8u64).map(|i| m.random_feature(i)).collect();
+    let items: Vec<_> = (100..228u64).map(|i| m.random_feature(i)).collect();
+
+    let mut scorer = MultiQueryScorer::new(&m, &queries).unwrap();
+    let mut scores = Vec::with_capacity(8);
+    let mut scratch = InferenceScratch::for_model(&m);
+    // Warm up.
+    scorer.score_into(&m, items[0].data(), &mut scores).unwrap();
+    m.similarity_scratch(&queries[0], items[0].data(), &mut scratch)
+        .unwrap();
+
+    let t0 = Instant::now();
+    let mut acc = 0.0f32;
+    for it in &items {
+        scorer.score_into(&m, it.data(), &mut scores).unwrap();
+        acc += scores.iter().sum::<f32>();
+    }
+    let fused = t0.elapsed();
+
+    let t1 = Instant::now();
+    for it in &items {
+        for q in &queries {
+            acc += m.similarity_scratch(q, it.data(), &mut scratch).unwrap();
+        }
+    }
+    let single = t1.elapsed();
+    println!(
+        "fused {:?} vs per-query {:?} => {:.2}x (acc {acc})",
+        fused,
+        single,
+        single.as_secs_f64() / fused.as_secs_f64()
+    );
+    assert!(single.as_secs_f64() / fused.as_secs_f64() > 1.5);
+}

@@ -1,6 +1,6 @@
 //! Per-layer execution schedules.
 //!
-//! §5: the modified SCALE-Sim "generate[s] the access patterns for the
+//! §5: the modified SCALE-Sim "generate\[s\] the access patterns for the
 //! different levels of the memory hierarchy as well as the traces for
 //! loading dataset feature vectors from flash", which then drive the
 //! SSD-Sim half. This module produces that intermediate artifact: an

@@ -13,7 +13,7 @@
 
 use deepstore::baseline::GpuSsdSystem;
 use deepstore::core::accel::{channel_level_scan, ssd_level_scan, ScanWorkload};
-use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
+use deepstore::core::{DeepStore, DeepStoreConfig, QueryRequest};
 use deepstore::nn::{zoo, ModelGraph, Tensor};
 use deepstore::workloads::gen::FeatureGen;
 
@@ -36,13 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probe_identity = 3usize;
     let probe = gen.feature(probe_identity as u64 + 10_000 * IDENTITIES as u64);
     // (feature index i belongs to identity i % IDENTITIES)
-    let qid = store.query(
-        &probe,
-        SIGHTINGS_PER_IDENTITY as usize,
-        model_id,
-        db,
-        AcceleratorLevel::Channel,
-    )?;
+    let qid =
+        store.query(QueryRequest::new(probe, model_id, db).k(SIGHTINGS_PER_IDENTITY as usize))?;
     let result = store.results(qid)?;
 
     println!("probe is identity {probe_identity}; top matches:");

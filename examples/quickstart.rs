@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig};
+use deepstore::core::{DeepStore, DeepStoreConfig, QueryRequest};
 use deepstore::nn::{zoo, ModelGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,9 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ship the model to the device (loadModel).
     let model_id = store.load_model(&ModelGraph::from_model(&model))?;
 
-    // Run a top-5 query on the channel-level accelerators.
+    // Run a top-5 query on the channel-level accelerators (the
+    // builder's default level).
     let query = model.random_feature(10_000);
-    let qid = store.query(&query, 5, model_id, db, AcceleratorLevel::Channel)?;
+    let qid = store.query(QueryRequest::new(query.clone(), model_id, db).k(5))?;
     let result = store.results(qid)?;
 
     println!(
@@ -51,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same query again hits the similarity-based query cache.
-    let qid = store.query(&query, 5, model_id, db, AcceleratorLevel::Channel)?;
+    let qid = store.query(QueryRequest::new(query, model_id, db).k(5))?;
     let again = store.results(qid)?;
     println!(
         "repeat query: cache_hit = {}, simulated {} ({}x faster)",

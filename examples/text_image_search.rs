@@ -10,7 +10,7 @@
 //! cargo run --release --example text_image_search
 //! ```
 
-use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig, QueryCacheConfig};
+use deepstore::core::{DeepStore, DeepStoreConfig, QueryCacheConfig, QueryRequest};
 use deepstore::flash::SimDuration;
 use deepstore::nn::{zoo, ModelGraph};
 use deepstore::workloads::{QueryStream, TraceDistribution};
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total = SimDuration::ZERO;
     for _ in 0..QUERIES {
         let (_, q) = stream.next_query();
-        let qid = store.query(&q, 5, model_id, db, AcceleratorLevel::Channel)?;
+        let qid = store.query(QueryRequest::new(q, model_id, db).k(5))?;
         total += store.results(qid)?.elapsed;
     }
     let without = SimDuration::from_nanos(total.as_nanos() / QUERIES as u64);
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hits = 0;
     for _ in 0..QUERIES {
         let (_, q) = stream.next_query();
-        let qid = store.query(&q, 5, model_id, db, AcceleratorLevel::Channel)?;
+        let qid = store.query(QueryRequest::new(q, model_id, db).k(5))?;
         let r = store.results(qid)?;
         total += r.elapsed;
         hits += r.cache_hit as usize;

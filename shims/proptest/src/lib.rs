@@ -257,7 +257,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`]; converts from `usize` and ranges.
+    /// Length bounds for [`vec()`]; converts from `usize` and ranges.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

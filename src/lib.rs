@@ -25,7 +25,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use deepstore::core::{DeepStore, DeepStoreConfig, AcceleratorLevel};
+//! use deepstore::core::{DeepStore, DeepStoreConfig, QueryRequest};
 //! use deepstore::nn::{zoo, ModelGraph};
 //!
 //! // Build a small in-storage system and load the TIR similarity model.
@@ -38,10 +38,17 @@
 //! // Run an intelligent query entirely inside the simulated SSD.
 //! let query = model.random_feature(1000);
 //! let qid = store
-//!     .query(&query, 5, model_id, db, AcceleratorLevel::Channel)
+//!     .query(QueryRequest::new(query, model_id, db).k(5))
 //!     .unwrap();
 //! let results = store.results(qid).unwrap();
 //! assert_eq!(results.top_k.len(), 5);
+//!
+//! // Batched queries share one flash pass per (db, model, level) group.
+//! let batch: Vec<_> = (0..4)
+//!     .map(|i| QueryRequest::new(model.random_feature(2000 + i), model_id, db).k(5))
+//!     .collect();
+//! let qids = store.query_batch(&batch).unwrap();
+//! assert_eq!(qids.len(), 4);
 //! ```
 
 pub use deepstore_baseline as baseline;

@@ -83,15 +83,24 @@ fn scan_hot_path_is_allocation_free() {
         .unwrap();
     assert!(warmup.is_finite());
 
-    let before = allocations();
-    for item in &items {
-        model
-            .similarity_scratch(&q, item.data(), &mut scratch)
-            .unwrap();
+    // The counter is process-global, so a harness thread allocating
+    // concurrently can pollute a single measurement; the steady-state
+    // claim holds if any attempt observes zero, so take the minimum.
+    let mut steady_state = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        for item in &items {
+            model
+                .similarity_scratch(&q, item.data(), &mut scratch)
+                .unwrap();
+        }
+        steady_state = steady_state.min(allocations() - before);
+        if steady_state == 0 {
+            break;
+        }
     }
     assert_eq!(
-        allocations() - before,
-        0,
+        steady_state, 0,
         "similarity_scratch allocated on the steady-state path"
     );
 

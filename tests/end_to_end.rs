@@ -1,6 +1,8 @@
 //! Integration tests: the full DeepStore API across crates.
 
-use deepstore::core::{AcceleratorLevel, DeepStore, DeepStoreConfig, QueryCacheConfig};
+use deepstore::core::{
+    AcceleratorLevel, DeepStore, DeepStoreConfig, QueryCacheConfig, QueryRequest,
+};
 use deepstore::flash::SimDuration;
 use deepstore::nn::{zoo, ModelGraph, Tensor};
 use deepstore::workloads::gen::FeatureGen;
@@ -31,7 +33,7 @@ fn every_app_queries_end_to_end_at_every_supported_level() {
         store.disable_qc();
         let q = model.random_feature(500);
         for level in AcceleratorLevel::ALL {
-            let res = store.query(&q, 4, mid, db, level);
+            let res = store.query(QueryRequest::new(q.clone(), mid, db).k(4).level(level));
             if app == "reid" && level == AcceleratorLevel::Chip {
                 assert!(res.is_err(), "reid must not run at chip level");
                 continue;
@@ -55,7 +57,7 @@ fn planted_duplicate_is_rank_one_with_metric_weights() {
     let db = store.write_db(&features).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
     let qid = store
-        .query(&query, 1, mid, db, AcceleratorLevel::Channel)
+        .query(QueryRequest::new(query.clone(), mid, db))
         .unwrap();
     let r = store.results(qid).unwrap();
     assert_eq!(r.top_k[0].feature_index, 29);
@@ -73,9 +75,7 @@ fn clustered_gallery_retrieval_is_accurate() {
     let db = store.write_db(&gallery).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
     let probe = gen.feature(8 * 1000 + 5); // identity 5, unseen sighting
-    let qid = store
-        .query(&probe, 4, mid, db, AcceleratorLevel::Channel)
-        .unwrap();
+    let qid = store.query(QueryRequest::new(probe, mid, db).k(4)).unwrap();
     let r = store.results(qid).unwrap();
     let correct = r.top_k.iter().filter(|h| h.feature_index % 8 == 5).count();
     assert!(correct >= 3, "only {correct}/4 matches: {:?}", r.top_k);
@@ -100,9 +100,7 @@ fn query_cache_accelerates_semantic_repeats() {
     let mut misses = 0;
     for _ in 0..40 {
         let (_, q) = stream.next_query();
-        let qid = store
-            .query(&q, 3, mid, db, AcceleratorLevel::Channel)
-            .unwrap();
+        let qid = store.query(QueryRequest::new(q, mid, db).k(3)).unwrap();
         let r = store.results(qid).unwrap();
         if r.cache_hit {
             hits += 1;
@@ -121,7 +119,13 @@ fn results_survive_serialization() {
     // QueryResult and friends are serde types; the host protocol is JSON.
     let (mut store, model, db, mid) = store_with("textqa", 24, 2);
     let q = model.random_feature(999);
-    let qid = store.query(&q, 3, mid, db, AcceleratorLevel::Ssd).unwrap();
+    let qid = store
+        .query(
+            QueryRequest::new(q, mid, db)
+                .k(3)
+                .level(AcceleratorLevel::Ssd),
+        )
+        .unwrap();
     let r = store.results(qid).unwrap();
     let json = serde_json::to_string(&r).unwrap();
     let back: deepstore::core::QueryResult = serde_json::from_str(&json).unwrap();
@@ -149,7 +153,7 @@ fn append_db_extends_search_space() {
     let target = model.random_feature(777);
     store.append_db(db, std::slice::from_ref(&target)).unwrap();
     let qid = store
-        .query(&target, 1, mid, db, AcceleratorLevel::Channel)
+        .query(QueryRequest::new(target.clone(), mid, db))
         .unwrap();
     let r = store.results(qid).unwrap();
     // MIR is concat-merge (no metric guarantee), but the appended feature

@@ -8,10 +8,10 @@
 //! models, database sizes, `k` and worker counts), with injected read
 //! faults, and through the `Runtime`'s latency statistics.
 
-use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
+use deepstore_core::config::DeepStoreConfig;
 use deepstore_core::engine::{DbId, Engine};
 use deepstore_core::runtime::Runtime;
-use deepstore_core::{DeepStore, ModelId};
+use deepstore_core::{DeepStore, ModelId, QueryRequest};
 use deepstore_flash::fault::FaultPlan;
 use deepstore_flash::SimDuration;
 use deepstore_nn::{zoo, Model, ModelGraph, Tensor};
@@ -108,11 +108,7 @@ fn runtime_latencies_identical_across_parallelism() {
         for i in 0..20u64 {
             rt.submit_at(
                 SimDuration::from_nanos(i * 50_000),
-                model.random_feature(1_000 + i),
-                5,
-                mid,
-                db,
-                AcceleratorLevel::Channel,
+                QueryRequest::new(model.random_feature(1_000 + i), mid, db).k(5),
             );
         }
         rt.run_to_completion().unwrap();

@@ -5,7 +5,9 @@ use deepstore::core::proto::{
     Response,
 };
 use deepstore::core::runtime::Runtime;
-use deepstore::core::{AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, QueryCacheConfig};
+use deepstore::core::{
+    AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, QueryCacheConfig, QueryRequest,
+};
 use deepstore::flash::SimDuration;
 use deepstore::nn::{zoo, ModelGraph, Tensor};
 use proptest::prelude::*;
@@ -22,7 +24,7 @@ fn full_session_over_the_wire_matches_direct_api() {
     let db = direct.write_db(&features).unwrap();
     let mid = direct.load_model(&ModelGraph::from_model(&model)).unwrap();
     let qid = direct
-        .query(&probe, 5, mid, db, AcceleratorLevel::Channel)
+        .query(QueryRequest::new(probe.clone(), mid, db).k(5))
         .unwrap();
     let direct_result = direct.results(qid).unwrap();
 
@@ -93,11 +95,7 @@ fn runtime_trace_replay_produces_consistent_stats() {
     for i in 0..12u64 {
         rt.submit_at(
             SimDuration::from_micros(i * 5),
-            model.random_feature(i % 4),
-            3,
-            mid,
-            db,
-            AcceleratorLevel::Channel,
+            QueryRequest::new(model.random_feature(i % 4), mid, db).k(3),
         );
     }
     rt.run_to_completion().unwrap();

@@ -11,6 +11,7 @@
 
 use deepstore_core::config::DeepStoreConfig;
 use deepstore_core::engine::{DbId, Engine};
+use deepstore_core::DeepStoreError;
 use deepstore_flash::fault::FaultPlan;
 use deepstore_flash::FlashError;
 use deepstore_nn::{
@@ -182,7 +183,7 @@ proptest! {
                 Ok(f) => {
                     sorter.offer(model.similarity(&probe, &f).unwrap(), idx);
                 }
-                Err(FlashError::UncorrectableEcc(_)) => skipped += 1,
+                Err(DeepStoreError::Flash(FlashError::UncorrectableEcc(_))) => skipped += 1,
                 Err(e) => panic!("unexpected read error: {e}"),
             }
         }
