@@ -12,11 +12,24 @@
 //! one page-sequential pass of a `tir` database scores 1, 2, ... `MAX`
 //! queries at once, and throughput is reported in scored
 //! features·queries per second. Writes `results/BENCH_batch.json`.
+//!
+//! `--obs-check` mode measures scan throughput for the *current* build's
+//! telemetry configuration and writes `results/BENCH_obs_on.json` or
+//! `BENCH_obs_off.json` (keyed on the `obs` cargo feature). When the
+//! counterpart file already exists it compares the two and exits
+//! non-zero if instrumentation costs more than 2% throughput — run it
+//! once per feature configuration:
+//!
+//! ```text
+//! cargo run --release -p deepstore-bench --bin bench_scan \
+//!     --no-default-features -- --obs-check
+//! cargo run --release -p deepstore-bench --bin bench_scan -- --obs-check
+//! ```
 
 use deepstore_bench::reference::{naive_scan, textqa_engine, zoo_engine};
 use deepstore_bench::report::results_dir;
 use deepstore_nn::{Model, Tensor};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -150,8 +163,96 @@ fn batch_mode(max_batch: usize) {
     println!("[written {}]", path.display());
 }
 
+#[derive(Serialize, Deserialize)]
+struct ObsCheck {
+    workload: String,
+    features: u64,
+    iterations: u32,
+    rounds: u32,
+    obs_enabled: bool,
+    features_per_sec: f64,
+}
+
+const OBS_ROUNDS: u32 = 5;
+const OBS_MAX_OVERHEAD: f64 = 0.02;
+
+/// Measures scan throughput under the current build's telemetry
+/// configuration and, when both configurations have been measured,
+/// enforces the <2% instrumentation-overhead budget.
+fn obs_check_mode() {
+    let obs_enabled = cfg!(feature = "obs");
+    let (engine, model, db) = textqa_engine(N, 1);
+    let probe = model.random_feature(99_991);
+    engine.scan_top_k(db, &model, &probe, K).unwrap();
+
+    // Best-of-rounds wall clock: the minimum round time tracks the true
+    // cost, everything above it is scheduler noise.
+    let mut best_fps = 0.0f64;
+    for _ in 0..OBS_ROUNDS {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            assert_eq!(engine.scan_top_k(db, &model, &probe, K).unwrap().len(), K);
+        }
+        let fps = (N * u64::from(ITERS)) as f64 / start.elapsed().as_secs_f64();
+        best_fps = best_fps.max(fps);
+    }
+
+    let report = ObsCheck {
+        workload: "textqa".into(),
+        features: N,
+        iterations: ITERS,
+        rounds: OBS_ROUNDS,
+        obs_enabled,
+        features_per_sec: best_fps,
+    };
+    let (mine, other) = if obs_enabled {
+        ("BENCH_obs_on.json", "BENCH_obs_off.json")
+    } else {
+        ("BENCH_obs_off.json", "BENCH_obs_on.json")
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(mine);
+    std::fs::write(&path, serde_json::to_string(&report).expect("serializes"))
+        .expect("write obs check report");
+    println!(
+        "== obs overhead check (telemetry {}) ==",
+        if obs_enabled { "on" } else { "off" }
+    );
+    println!("  scan throughput: {best_fps:>12.0} features/s (best of {OBS_ROUNDS})");
+    println!("[written {}]", path.display());
+
+    let Ok(bytes) = std::fs::read_to_string(dir.join(other)) else {
+        println!("  (counterpart {other} not found; run the other feature config to compare)");
+        return;
+    };
+    let counterpart: ObsCheck = serde_json::from_str(&bytes).expect("counterpart parses");
+    let (on, off) = if obs_enabled {
+        (best_fps, counterpart.features_per_sec)
+    } else {
+        (counterpart.features_per_sec, best_fps)
+    };
+    let overhead = 1.0 - on / off;
+    println!(
+        "  obs on {on:.0} vs off {off:.0} features/s: {:.2}% overhead (budget {:.0}%)",
+        overhead * 100.0,
+        OBS_MAX_OVERHEAD * 100.0
+    );
+    assert!(
+        overhead <= OBS_MAX_OVERHEAD,
+        "telemetry overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        OBS_MAX_OVERHEAD * 100.0
+    );
+    println!("  within budget");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--obs-check") {
+        obs_check_mode();
+        return;
+    }
     if args.first().map(String::as_str) == Some("--batch") {
         let max_batch = args
             .get(1)

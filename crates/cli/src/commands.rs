@@ -4,6 +4,7 @@ use crate::args::{ArgError, Flags};
 use deepstore_baseline::GpuSsdSystem;
 use deepstore_core::accel::scan;
 use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
+use deepstore_core::proto::{Device, HostClient};
 use deepstore_core::runtime::Runtime;
 use deepstore_core::{DeepStore, QueryRequest, ScanWorkload};
 use deepstore_flash::SimDuration;
@@ -20,8 +21,11 @@ commands:
   zoo                                     Table 1 model summary
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
-             [--parallelism P] [--batch-file <file>]
+             [--parallelism P] [--batch-file <file>] [--trace <out.json>]
                                           functional query on a small drive
+  stats      [--app <name>] [--features N] [--k K] [--parallelism P]
+                                          device telemetry after a mixed
+                                          workload (single/parallel/batch)
   trace      [--queries N] [--qps F] [--seed S] --out <file>
                                           generate a Poisson query trace
   replay     --trace <file> [--features N] [--parallelism P]
@@ -33,6 +37,11 @@ latencies are identical at every setting.
 
 `query --batch-file` reads whitespace-separated probe seeds and submits
 them as one batch: the device scores every probe in a single flash pass.
+`query --trace` writes the pipeline timeline as Chrome trace-event JSON
+(open in chrome://tracing or Perfetto); timestamps are simulated ns, so
+the file is byte-identical across runs.
+`stats` drives the same mixed workload over the wire protocol and prints
+the device's telemetry snapshot (`getStats`, opcode 0x09).
 `replay --batch-window-us` lets the runtime coalesce queries arriving
 within the window into shared passes (0 or omitted = serial).
 ";
@@ -52,6 +61,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "zoo" => cmd_zoo(rest),
         "scan-time" => cmd_scan_time(rest),
         "query" => cmd_query(rest),
+        "stats" => cmd_stats(rest),
         "trace" => cmd_trace(rest),
         "replay" => cmd_replay(rest),
         other => Err(ArgError(format!("unknown command `{other}`")).into()),
@@ -137,6 +147,7 @@ fn cmd_query(args: &[String]) -> CmdResult {
         "seed",
         "parallelism",
         "batch-file",
+        "trace",
     ])?;
     let app_name = flags.required("app")?;
     let features: u64 = flags.num_or("features", 128)?;
@@ -149,6 +160,9 @@ fn cmd_query(args: &[String]) -> CmdResult {
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
         .seeded_metric(seed);
     let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    if flags.opt("trace").is_some() {
+        store.enable_tracing();
+    }
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
@@ -199,6 +213,84 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let skipped = store.unreadable_skipped();
     if skipped > 0 {
         println!("  ({skipped} features skipped: uncorrectable reads)");
+    }
+    if let Some(path) = flags.opt("trace") {
+        let json = store.trace_json().expect("tracing was enabled");
+        std::fs::write(path, &json)?;
+        println!("wrote pipeline trace to {path} (chrome://tracing)");
+    }
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    SimDuration::from_nanos(ns).to_string()
+}
+
+fn cmd_stats(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["app", "features", "k", "parallelism"])?;
+    let app_name = flags.str_or("app", "textqa");
+    let features: u64 = flags.num_or("features", 64)?;
+    let k: usize = flags.num_or("k", 3)?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(11);
+    let mut device = Device::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let mut host = HostClient::new(&mut device);
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = host.write_db(&fs)?;
+    let mid = host.load_model(&ModelGraph::from_model(&model))?;
+
+    // A mixed workload: one single query, one repeat (query-cache hit
+    // at the device's default QC), and one 4-probe batch sharing a
+    // flash pass — all over the wire.
+    let probe = model.random_feature(1000);
+    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel)?;
+    host.get_results(qid)?;
+    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel)?;
+    host.get_results(qid)?;
+    let reqs: Vec<QueryRequest> = (0..4)
+        .map(|i| QueryRequest::new(model.random_feature(2000 + i), mid, db).k(k))
+        .collect();
+    for id in host.query_batch(&reqs)? {
+        host.get_results(id)?;
+    }
+
+    let s = host.stats()?;
+    println!("device stats for `{app_name}` ({features} features, parallelism {parallelism}):");
+    println!(
+        "  queries    : {} in {} batches ({} cache hits, {} misses, {} scan groups)",
+        s.queries, s.batches, s.cache_hits, s.cache_misses, s.scan_groups
+    );
+    println!("  stage totals (simulated):");
+    println!("    qc lookup: {}", format_ns(s.stages.qc_lookup_ns));
+    println!("    flash    : {}", format_ns(s.stages.flash_ns));
+    println!("    compute  : {}", format_ns(s.stages.compute_ns));
+    println!("    weights  : {}", format_ns(s.stages.weights_ns));
+    println!("    scan     : {}", format_ns(s.stages.scan_ns));
+    println!("    total    : {}", format_ns(s.stages.total_ns));
+    println!(
+        "  flash      : {} page reads, {} programs, {} erases",
+        s.flash.page_reads, s.flash.programs, s.flash.erases
+    );
+    println!(
+        "  flash bus  : {} waited across {} transfers",
+        format_ns(s.flash.bus_wait_ns),
+        s.flash.bus_transfers
+    );
+    println!(
+        "  reliability: {} ecc failures, {} gc runs ({} blocks), {} features skipped",
+        s.flash.ecc_failures, s.flash.gc_runs, s.flash.gc_blocks_reclaimed, s.unreadable_skipped
+    );
+    println!(
+        "  registry   : {} counters, {} histograms",
+        s.metrics.counters.len(),
+        s.metrics.histograms.len()
+    );
+    if s.queries == 0 {
+        println!("  (pipeline counters are zero: built without the `obs` feature)");
     }
     Ok(())
 }
@@ -382,6 +474,45 @@ mod tests {
             path.to_str().unwrap(),
         ]))
         .is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stats_command_runs() {
+        run(&argv(&["stats", "--features", "32", "--k", "2"])).unwrap();
+        run(&argv(&[
+            "stats",
+            "--app",
+            "tir",
+            "--features",
+            "24",
+            "--parallelism",
+            "2",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["stats", "--app", "nope"])).is_err());
+    }
+
+    #[test]
+    fn query_trace_flag_writes_chrome_json() {
+        let path = std::env::temp_dir().join("deepstore_cli_test_query_trace.json");
+        let path_s = path.to_str().unwrap();
+        run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--features",
+            "32",
+            "--k",
+            "2",
+            "--trace",
+            path_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let value = serde::parse_value(json.as_bytes()).unwrap();
+        let obj = value.as_object().unwrap();
+        assert!(obj.iter().any(|(k, _)| k == "traceEvents"));
         std::fs::remove_file(path).ok();
     }
 

@@ -100,6 +100,63 @@ pub struct ScanTiming {
     pub accelerators: usize,
 }
 
+/// Per-shard flash timing detail: how long one parallel unit (channel,
+/// or chip at the chip level) streams its share of the scan, and how
+/// much of that its pages spent waiting for the shared channel bus.
+/// Recomputed from the same deterministic stream model as [`scan`], so
+/// trace timelines built from it agree with the scan's `flash` term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Channel index (or chip index at the chip level).
+    pub unit: usize,
+    /// Pages this unit streams.
+    pub pages: u64,
+    /// Total stream time for this unit.
+    pub stream: SimDuration,
+    /// Summed channel-bus arbitration wait across this unit's pages.
+    pub bus_wait: SimDuration,
+}
+
+/// Per-shard flash stream timings for a scan at `level`: one entry per
+/// parallel unit, in unit order. The maximum `stream` over all entries
+/// equals the `flash` term of [`scan`]'s [`ScanTiming`] at the channel
+/// and chip levels; at the SSD level it equals the internal-stream
+/// component (the `flash` term also folds in the controller DRAM path).
+pub fn shard_timings(
+    level: AcceleratorLevel,
+    workload: &ScanWorkload,
+    cfg: &DeepStoreConfig,
+) -> Vec<ShardTiming> {
+    let pages = workload.layout.total_pages();
+    let (per_unit, model) = match level {
+        AcceleratorLevel::Ssd => (
+            stripe_pages(pages, cfg.ssd.geometry.channels),
+            ChannelStream::new(&cfg.ssd),
+        ),
+        AcceleratorLevel::Channel => (
+            stripe_pages(pages, cfg.ssd.geometry.channels),
+            ChannelStream::new(&cfg.ssd).with_dfv_queue(DFV_QUEUE_PAGES),
+        ),
+        AcceleratorLevel::Chip => (
+            stripe_pages(pages, cfg.ssd.geometry.total_chips()),
+            ChannelStream::for_chip_direct(&cfg.ssd),
+        ),
+    };
+    per_unit
+        .iter()
+        .enumerate()
+        .map(|(unit, &p)| {
+            let stats = model.stream_pages_detailed(p);
+            ShardTiming {
+                unit,
+                pages: p,
+                stream: stats.total,
+                bus_wait: stats.bus_wait,
+            }
+        })
+        .collect()
+}
+
 /// Computes the scan timing at a given level.
 ///
 /// Returns `None` when the level cannot execute the workload — the paper's
@@ -375,6 +432,44 @@ mod tests {
                 assert!(ch.elapsed < chip.elapsed, "{app}: channel !< chip");
             }
         }
+    }
+
+    #[test]
+    fn shard_timings_agree_with_scan_flash_term() {
+        let w = workload("textqa");
+        for level in [AcceleratorLevel::Channel, AcceleratorLevel::Chip] {
+            let timing = scan(level, &w, &cfg()).unwrap();
+            let shards = shard_timings(level, &w, &cfg());
+            let units = match level {
+                AcceleratorLevel::Chip => cfg().ssd.geometry.total_chips(),
+                _ => cfg().ssd.geometry.channels,
+            };
+            assert_eq!(shards.len(), units);
+            assert_eq!(
+                shards.iter().map(|s| s.pages).sum::<u64>(),
+                w.layout.total_pages(),
+                "{level:?}: shard pages must cover the whole database"
+            );
+            let slowest = shards
+                .iter()
+                .map(|s| s.stream)
+                .fold(SimDuration::ZERO, SimDuration::max);
+            assert_eq!(
+                slowest, timing.flash,
+                "{level:?}: slowest shard stream must equal the scan flash term"
+            );
+        }
+        // SSD level: the scan's flash term folds in the controller DRAM
+        // path, so the slowest shard only bounds it from below.
+        let ssd = scan(AcceleratorLevel::Ssd, &w, &cfg()).unwrap();
+        let shards = shard_timings(AcceleratorLevel::Ssd, &w, &cfg());
+        let slowest = shards
+            .iter()
+            .map(|s| s.stream)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        assert!(slowest <= ssd.flash);
+        // Pages contending for a shared channel bus must report waits.
+        assert!(shards.iter().any(|s| s.bus_wait > SimDuration::ZERO));
     }
 
     #[test]

@@ -44,25 +44,35 @@
 //! cost — flash streaming — across concurrent queries. Batched results
 //! are bit-identical to issuing the same requests sequentially.
 //!
-//! # Migration from the positional API
+//! # Errors
 //!
-//! Earlier revisions exposed `query(&qfv, k, model, db, level)` with five
-//! positional arguments and reported every failure as a [`FlashError`].
-//! That form survives as the deprecated [`DeepStore::query_positional`];
-//! new code builds a [`QueryRequest`]. Errors now arrive as
-//! [`DeepStoreError`], which separates device-API misuse
-//! ([`DeepStoreError::UnknownModel`], [`DeepStoreError::UnknownQuery`],
-//! [`DeepStoreError::LevelUnsupported`]) from genuine flash failures
-//! ([`DeepStoreError::Flash`]).
+//! Errors arrive as [`DeepStoreError`], which separates device-API
+//! misuse ([`DeepStoreError::UnknownModel`],
+//! [`DeepStoreError::UnknownQuery`], [`DeepStoreError::LevelUnsupported`])
+//! from genuine flash failures ([`DeepStoreError::Flash`]). The
+//! deprecated five-positional-argument `query_positional` shim from the
+//! builder migration has been removed; build a [`QueryRequest`].
+//!
+//! # Observability
+//!
+//! The device keeps lock-free telemetry on the whole query pipeline
+//! (see [`crate::telemetry`]): [`DeepStore::stats`] reports pipeline
+//! counters, per-stage simulated-latency totals and flash event counts,
+//! and [`DeepStore::enable_tracing`] records a per-query span timeline
+//! that [`DeepStore::trace_json`] renders as Chrome trace-event JSON.
+//! Both are driven entirely by the simulated clock, so repeated runs of
+//! the same workload produce identical stats and byte-identical traces.
 
-use crate::accel::{scan as timing_scan, scan_batch, ScanWorkload};
+use crate::accel::{scan as timing_scan, scan_batch, shard_timings, ScanWorkload};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::{DbId, Engine, ObjectId};
 use crate::error::{DeepStoreError, Result};
 use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
+use crate::telemetry::{merge_snapshots, ApiTelemetry, DeviceStats};
 use deepstore_flash::layout::DbLayout;
 use deepstore_flash::{FlashError, SimDuration};
 use deepstore_nn::{Model, ModelGraph, Tensor};
+use deepstore_obs::TraceRecorder;
 use deepstore_systolic::topk::ScoredFeature;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -145,6 +155,12 @@ pub struct QueryResult {
     pub elapsed: SimDuration,
     /// Accelerator level that served (or would have served) the scan.
     pub level: AcceleratorLevel,
+    /// Features the query's scan pass skipped because their flash pages
+    /// failed ECC (0 for cache hits — no scan ran). Members of one
+    /// batched scan group share the pass, so they report the same
+    /// count; the engine-global [`DeepStore::unreadable_skipped`] total
+    /// is the sum over passes, not over queries.
+    pub skipped: u64,
 }
 
 /// The DeepStore device facade.
@@ -156,6 +172,13 @@ pub struct DeepStore {
     results: HashMap<QueryId, QueryResult>,
     next_model: u64,
     next_query: u64,
+    /// API-level telemetry (queries, batches, stage totals).
+    telemetry: ApiTelemetry,
+    /// Trace recorder, present while tracing is enabled.
+    tracer: Option<TraceRecorder>,
+    /// Simulated trace clock: successive batches lay out back-to-back
+    /// on one reproducible timeline.
+    trace_clock_ns: u64,
 }
 
 impl DeepStore {
@@ -174,6 +197,9 @@ impl DeepStore {
             results: HashMap::new(),
             next_model: 1,
             next_query: 1,
+            telemetry: ApiTelemetry::new(),
+            tracer: None,
+            trace_clock_ns: 0,
         }
     }
 
@@ -308,26 +334,6 @@ impl DeepStore {
         Ok(ids[0])
     }
 
-    /// The original five-positional-argument `query` form.
-    ///
-    /// # Errors
-    ///
-    /// See [`DeepStore::query`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a QueryRequest: store.query(QueryRequest::new(qfv, model, db).k(k).level(level))"
-    )]
-    pub fn query_positional(
-        &mut self,
-        qfv: &Tensor,
-        k: usize,
-        model: ModelId,
-        db: DbId,
-        level: AcceleratorLevel,
-    ) -> Result<QueryId> {
-        self.query(QueryRequest::new(qfv.clone(), model, db).k(k).level(level))
-    }
-
     /// Submits a batch of queries, returning one [`QueryId`] per request
     /// in request order.
     ///
@@ -357,6 +363,12 @@ impl DeepStore {
             return Ok(Vec::new());
         }
         let cfg = self.engine.config();
+        self.telemetry.on_batch();
+        let base = self.trace_clock_ns;
+        if let Some(t) = &mut self.tracer {
+            t.instant("batch", "pipeline", base, 0)
+                .arg_u64("requests", requests.len() as u64);
+        }
 
         // Validate everything up front: model ids, databases, level
         // support. `scan_top_k_batch` runs on `&Engine`, so models,
@@ -389,20 +401,27 @@ impl DeepStore {
             }
             preps.push((model_ref, workload));
         }
+        if let Some(t) = &mut self.tracer {
+            t.instant("validate", "pipeline", base, 0);
+        }
 
         // Query-cache lookups (Algorithm 1), timed on the channel-level
         // accelerators. All lookups precede all fills.
         let mut elapsed = vec![SimDuration::ZERO; requests.len()];
         let mut cache_hit = vec![false; requests.len()];
         let mut ranked: Vec<Option<Vec<ScoredFeature>>> = vec![None; requests.len()];
+        let mut qc_ns = vec![0u64; requests.len()];
         if let Some(qc) = &mut self.qc {
             for (i, req) in requests.iter().enumerate() {
-                elapsed[i] += lookup_time_for(
+                let lookup = lookup_time_for(
                     qc.len(),
                     &preps[i].1.shapes,
                     cfg.ssd.geometry.channels,
                     cfg.controller_overhead_cycles,
                 );
+                elapsed[i] += lookup;
+                qc_ns[i] = lookup.as_nanos();
+                self.telemetry.on_qc_lookup(lookup.as_nanos());
                 if let Some(hit) = qc.lookup(&req.qfv) {
                     cache_hit[i] = true;
                     ranked[i] = Some(hit);
@@ -424,17 +443,78 @@ impl DeepStore {
                 None => groups.push((key, vec![i])),
             }
         }
+        if let Some(t) = &mut self.tracer {
+            t.instant("scan-group formation", "pipeline", base, 0)
+                .arg_u64("groups", groups.len() as u64);
+        }
 
-        for ((db, _, level), members) in &groups {
+        let mut skipped = vec![0u64; requests.len()];
+        for (g, ((db, _, level), members)) in groups.iter().enumerate() {
             let batch: Vec<(&Model, &Tensor, usize)> = members
                 .iter()
                 .map(|&i| (preps[i].0, &requests[i].qfv, requests[i].k))
                 .collect();
-            let timing = scan_batch(*level, &preps[members[0]].1, cfg, members.len())
+            let workload = &preps[members[0]].1;
+            let timing = scan_batch(*level, workload, cfg, members.len())
                 .expect("level support was validated above");
-            let group_results = self.engine.scan_top_k_batch(*db, &batch)?;
+            let (group_results, group_skipped) =
+                self.engine.scan_top_k_batch_counted(*db, &batch)?;
+
+            // Per-shard page-walk detail: stream time and channel-bus
+            // arbitration waits from the flash sim's timing model.
+            let shards = shard_timings(*level, workload, cfg);
+            let bus_wait: u64 = shards.iter().map(|s| s.bus_wait.as_nanos()).sum();
+            let transfers: u64 = shards.iter().map(|s| s.pages).sum();
+            self.engine.flash_metrics().on_bus_wait(bus_wait, transfers);
+            self.telemetry.on_scan_group(
+                members.len() as u64,
+                group_skipped,
+                timing.flash.as_nanos(),
+                timing.compute.as_nanos(),
+                timing.weights.as_nanos(),
+                timing.elapsed.as_nanos(),
+            );
+            if let Some(t) = &mut self.tracer {
+                // Each group gets a private block of trace lanes so its
+                // spans never interleave with another group's: the
+                // group-level scan/compute/weights lanes, then one lane
+                // per shard. 512 lanes per block covers any geometry.
+                let lane = 2000 + (g as u32) * 512;
+                let scan_ns = timing.elapsed.as_nanos();
+                t.span("scan", "scan-group", base, scan_ns, lane)
+                    .arg_u64("members", members.len() as u64)
+                    .arg_u64("skipped", group_skipped)
+                    .arg_str("level", format!("{level:?}"));
+                t.span(
+                    "compute",
+                    "scan-group",
+                    base,
+                    timing.compute.as_nanos(),
+                    lane + 1,
+                );
+                let weights_ns = timing.weights.as_nanos();
+                t.span(
+                    "weights",
+                    "scan-group",
+                    base + scan_ns.saturating_sub(weights_ns),
+                    weights_ns,
+                    lane + 2,
+                );
+                for shard in &shards {
+                    t.span(
+                        format!("flash[{}]", shard.unit),
+                        "flash",
+                        base,
+                        shard.stream.as_nanos(),
+                        lane + 3 + shard.unit as u32,
+                    )
+                    .arg_u64("pages", shard.pages)
+                    .arg_u64("bus_wait_ns", shard.bus_wait.as_nanos());
+                }
+            }
             for (&i, r) in members.iter().zip(group_results) {
                 elapsed[i] += timing.elapsed;
+                skipped[i] = group_skipped;
                 if let Some(qc) = &mut self.qc {
                     qc.insert(requests[i].qfv.clone(), r.clone());
                 }
@@ -442,6 +522,7 @@ impl DeepStore {
             }
         }
 
+        let qc_enabled = self.qc.is_some();
         let mut ids = Vec::with_capacity(requests.len());
         for (i, req) in requests.iter().enumerate() {
             let r = ranked[i].take().expect("request was scored or cache-hit");
@@ -457,6 +538,20 @@ impl DeepStore {
                 .collect::<Result<_>>()?;
             let id = QueryId(self.next_query);
             self.next_query += 1;
+            self.telemetry.on_query(elapsed[i].as_nanos(), cache_hit[i]);
+            if let Some(t) = &mut self.tracer {
+                // One lane per request: the query span covers lookup
+                // through merge, with the cache probe nested inside it.
+                let lane = 10 + i as u32;
+                t.span("query", "query", base, elapsed[i].as_nanos(), lane)
+                    .arg_u64("id", id.0)
+                    .arg_u64("k", req.k as u64)
+                    .arg_u64("skipped", skipped[i])
+                    .arg_str("cache", if cache_hit[i] { "hit" } else { "miss" });
+                if qc_enabled {
+                    t.span("qc_lookup", "qcache", base, qc_ns[i], lane);
+                }
+            }
             self.results.insert(
                 id,
                 QueryResult {
@@ -465,10 +560,18 @@ impl DeepStore {
                     cache_hit: cache_hit[i],
                     elapsed: elapsed[i],
                     level: req.level,
+                    skipped: skipped[i],
                 },
             );
             ids.push(id);
         }
+        let batch_ns = elapsed.iter().map(|e| e.as_nanos()).max().unwrap_or(0);
+        if let Some(t) = &mut self.tracer {
+            t.instant("merge", "pipeline", base + batch_ns, 0);
+        }
+        // Advance the trace clock past this batch so the next batch's
+        // spans start on a fresh, non-overlapping timestamp range.
+        self.trace_clock_ns = base + batch_ns + 1;
         Ok(ids)
     }
 
@@ -488,6 +591,64 @@ impl DeepStore {
         self.results
             .remove(&query)
             .ok_or(DeepStoreError::UnknownQuery(query))
+    }
+
+    /// Device-wide telemetry: query/batch/cache counters, per-stage
+    /// simulated-time totals, flash event counts and the full metrics
+    /// snapshot (engine registry followed by the API registry).
+    ///
+    /// The snapshot is deterministic: all counters are driven by the
+    /// simulated timing model and physical data placement, so the same
+    /// request sequence yields byte-identical stats at any
+    /// `parallelism` setting. With the `obs` feature disabled all
+    /// counters read zero.
+    #[must_use]
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            queries: self.telemetry.queries(),
+            batches: self.telemetry.batches(),
+            cache_hits: self.telemetry.cache_hits(),
+            cache_misses: self.telemetry.cache_misses(),
+            scan_groups: self.telemetry.scan_groups(),
+            unreadable_skipped: self.engine.unreadable_skipped(),
+            stages: self.telemetry.stage_totals(),
+            flash: self.engine.flash_event_counts(),
+            metrics: merge_snapshots(vec![
+                self.engine.metrics_snapshot(),
+                self.telemetry.snapshot(),
+            ]),
+        }
+    }
+
+    /// Starts recording a per-query trace timeline. Subsequent batches
+    /// append spans; [`DeepStore::trace_json`] renders the accumulated
+    /// timeline as Chrome trace-event JSON (load it in
+    /// `chrome://tracing` or Perfetto).
+    ///
+    /// Timestamps are simulated nanoseconds, not wall-clock time, so a
+    /// trace of the same request sequence is byte-identical across runs
+    /// and `parallelism` settings.
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(TraceRecorder::new());
+        }
+    }
+
+    /// Renders the recorded trace as Chrome trace-event JSON, or `None`
+    /// if [`DeepStore::enable_tracing`] was never called.
+    #[must_use]
+    pub fn trace_json(&self) -> Option<String> {
+        self.tracer.as_ref().map(TraceRecorder::to_json)
+    }
+
+    /// Drops an instant marker on the pipeline lane at the current
+    /// trace clock (no-op unless tracing is enabled). The wire/runtime
+    /// layer uses this to mark request decode.
+    pub fn trace_mark(&mut self, name: &'static str) {
+        let ts = self.trace_clock_ns;
+        if let Some(t) = &mut self.tracer {
+            t.instant(name, "pipeline", ts, 0);
+        }
     }
 }
 
@@ -566,19 +727,71 @@ mod tests {
     }
 
     #[test]
-    fn positional_shim_matches_builder_form() {
+    fn repeated_builder_queries_are_deterministic() {
         let (mut store, model, db, mid) = setup("textqa", 32);
         store.disable_qc();
         let q = model.random_feature(5);
-        #[allow(deprecated)]
         let q1 = store
-            .query_positional(&q, 4, mid, db, AcceleratorLevel::Channel)
+            .query(QueryRequest::new(q.clone(), mid, db).k(4))
             .unwrap();
         let q2 = store.query(QueryRequest::new(q, mid, db).k(4)).unwrap();
         let r1 = store.results(q1).unwrap();
         let r2 = store.results(q2).unwrap();
         assert_eq!(r1.top_k, r2.top_k);
         assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.skipped, r2.skipped);
+    }
+
+    #[test]
+    fn stats_reports_stage_totals_and_flash_counts() {
+        let (mut store, model, db, mid) = setup("textqa", 48);
+        let q1 = store
+            .query(QueryRequest::new(model.random_feature(5), mid, db).k(3))
+            .unwrap();
+        let reqs: Vec<_> = (0..3)
+            .map(|i| QueryRequest::new(model.random_feature(100 + i), mid, db).k(3))
+            .collect();
+        let ids = store.query_batch(&reqs).unwrap();
+        let _ = store.results(q1).unwrap();
+        for id in ids {
+            let _ = store.results(id).unwrap();
+        }
+        let stats = store.stats();
+        if cfg!(feature = "obs") {
+            assert_eq!(stats.queries, 4);
+            assert_eq!(stats.batches, 2);
+            assert_eq!(stats.cache_hits + stats.cache_misses, 4);
+            assert!(stats.scan_groups >= 1);
+            assert!(stats.stages.scan_ns > 0);
+            assert!(stats.stages.total_ns >= stats.stages.scan_ns);
+            assert!(stats.flash.page_reads > 0);
+            assert!(stats.metrics.counter("api.queries").is_some());
+            assert!(stats.metrics.counter("engine.scans").is_some());
+        } else {
+            assert_eq!(stats.queries, 0);
+            // Flash op counts come from the functional sim, not the
+            // obs hooks, so they survive the feature being disabled.
+            assert!(stats.flash.page_reads > 0);
+        }
+    }
+
+    #[test]
+    fn trace_json_is_emitted_and_reproducible() {
+        let run = || {
+            let (mut store, model, db, mid) = setup("textqa", 32);
+            store.enable_tracing();
+            let reqs: Vec<_> = (0..2)
+                .map(|i| QueryRequest::new(model.random_feature(i), mid, db).k(2))
+                .collect();
+            store.query_batch(&reqs).unwrap();
+            store.trace_json().expect("tracing enabled")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "trace must be byte-identical across runs");
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("scan-group formation"));
+        assert!(a.contains("qc_lookup"));
     }
 
     #[test]

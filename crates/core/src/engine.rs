@@ -14,12 +14,15 @@
 
 use crate::config::DeepStoreConfig;
 use crate::error::{DeepStoreError, Result};
+use crate::telemetry::ScanMetrics;
 use deepstore_flash::array::FlashArray;
 use deepstore_flash::ftl::BlockFtl;
 use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
+use deepstore_flash::obs::{FlashEventCounts, FlashMetrics};
 use deepstore_flash::{FlashError, Result as FlashResult};
 use deepstore_nn::{InferenceScratch, Model, MultiQueryScorer, Tensor};
+use deepstore_obs::MetricsSnapshot;
 use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -64,7 +67,11 @@ pub struct Engine {
     write_buffers: HashMap<DbId, Vec<u8>>,
     /// Features skipped during scans because their pages failed ECC.
     /// Atomic so scans can run on `&self` (queries are read-only).
+    /// Kept as the derived sum over all scans; per-query attribution
+    /// comes from the `_counted` scan variants.
     unreadable_skipped: AtomicU64,
+    /// Scan-path telemetry, recorded once per scan call.
+    metrics: ScanMetrics,
 }
 
 impl Engine {
@@ -79,6 +86,7 @@ impl Engine {
             next_db: 1,
             write_buffers: HashMap::new(),
             unreadable_skipped: AtomicU64::new(0),
+            metrics: ScanMetrics::new(),
         }
     }
 
@@ -123,6 +131,21 @@ impl Engine {
     /// one-pass-per-shard guarantee is asserted against this counter.
     pub fn flash_op_counts(&self) -> (u64, u64, u64) {
         self.array.op_counts()
+    }
+
+    /// The flash array's telemetry hooks (ECC failures, GC, bus waits).
+    pub fn flash_metrics(&self) -> &FlashMetrics {
+        self.array.metrics()
+    }
+
+    /// A snapshot of every flash event count.
+    pub fn flash_event_counts(&self) -> FlashEventCounts {
+        self.array.event_counts()
+    }
+
+    /// A deterministic snapshot of the engine's scan counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Creates a database from feature vectors (the `writeDB` API).
@@ -444,6 +467,28 @@ impl Engine {
         query: &Tensor,
         k: usize,
     ) -> Result<Vec<ScoredFeature>> {
+        self.scan_top_k_counted(db, model, query, k)
+            .map(|(ranked, _)| ranked)
+    }
+
+    /// [`Engine::scan_top_k`] with per-scan skip attribution: returns the
+    /// ranked top-K plus how many features **this scan** skipped because
+    /// their pages failed ECC. The engine-global
+    /// [`Engine::unreadable_skipped`] counter still advances by the same
+    /// amount (it is the derived sum over all scans), but only the
+    /// per-scan count can attribute skips to a query when scans run
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::scan_top_k`].
+    pub fn scan_top_k_counted(
+        &self,
+        db: DbId,
+        model: &Model,
+        query: &Tensor,
+        k: usize,
+    ) -> Result<(Vec<ScoredFeature>, u64)> {
         let meta = self.db_meta(db)?;
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
@@ -494,7 +539,8 @@ impl Engine {
         }
         self.unreadable_skipped
             .fetch_add(skipped, Ordering::Relaxed);
-        Ok(merged.ranked())
+        self.metrics.on_scan(meta.num_features, skipped);
+        Ok((merged.ranked(), skipped))
     }
 
     /// Batched map-reduce scan: walks each shard's pages **once** and
@@ -524,9 +570,27 @@ impl Engine {
         db: DbId,
         requests: &[(&Model, &Tensor, usize)],
     ) -> Result<Vec<Vec<ScoredFeature>>> {
+        self.scan_top_k_batch_counted(db, requests)
+            .map(|(ranked, _)| ranked)
+    }
+
+    /// [`Engine::scan_top_k_batch`] with per-pass skip attribution: also
+    /// returns how many features this pass skipped for failing ECC (the
+    /// count is per *pass*, shared by every request of the batch, since
+    /// the batch walks each page once). The global
+    /// [`Engine::unreadable_skipped`] stays the derived sum.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::scan_top_k_batch`].
+    pub fn scan_top_k_batch_counted(
+        &self,
+        db: DbId,
+        requests: &[(&Model, &Tensor, usize)],
+    ) -> Result<(Vec<Vec<ScoredFeature>>, u64)> {
         let meta = self.db_meta(db)?;
         if requests.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), 0));
         }
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
@@ -599,7 +663,9 @@ impl Engine {
         }
         self.unreadable_skipped
             .fetch_add(skipped, Ordering::Relaxed);
-        Ok(merged.into_iter().map(|m| m.ranked()).collect())
+        self.metrics
+            .on_batch_scan(requests.len() as u64, meta.num_features, skipped);
+        Ok((merged.into_iter().map(|m| m.ranked()).collect(), skipped))
     }
 
     /// Shard plan shared by the single and batched scans: each feature

@@ -50,11 +50,13 @@ pub mod error;
 pub mod proto;
 pub mod qcache;
 pub mod runtime;
+pub mod telemetry;
 
-pub use accel::{scan, scan_batch, ScanTiming, ScanWorkload};
+pub use accel::{scan, scan_batch, ScanTiming, ScanWorkload, ShardTiming};
 pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryRequest, QueryResult};
 pub use cluster::DeepStoreCluster;
 pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
 pub use error::{DeepStoreError, Result};
 pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};
+pub use telemetry::{DeviceStats, StageTotals};

@@ -30,6 +30,7 @@ use crate::api::{DeepStore, ModelId, QueryId, QueryRequest, QueryResult};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::DbId;
 use crate::qcache::QueryCacheConfig;
+use crate::telemetry::DeviceStats;
 use deepstore_nn::{ModelGraph, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -133,6 +134,9 @@ pub enum Command {
         /// The batched requests, answered in order.
         requests: Vec<QueryRequest>,
     },
+    /// `getStats`: fetch the device's telemetry snapshot (pipeline
+    /// counters, per-stage latency totals, flash event counts).
+    Stats,
 }
 
 impl Command {
@@ -146,6 +150,7 @@ impl Command {
             Command::Query { .. } => 0x06,
             Command::GetResults { .. } => 0x07,
             Command::QueryBatch { .. } => 0x08,
+            Command::Stats => 0x09,
         }
     }
 }
@@ -169,6 +174,8 @@ pub enum Response {
     BatchSubmitted(Vec<QueryId>),
     /// `getResults` payload.
     Results(Box<QueryResult>),
+    /// `getStats` payload.
+    Stats(Box<DeviceStats>),
     /// The command failed on the device.
     Error(String),
 }
@@ -214,7 +221,7 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
 /// Returns a [`ProtoError`] describing any framing or payload problem.
 pub fn decode_command(bytes: &[u8]) -> Result<Command, ProtoError> {
     let (opcode, payload) = unframe(bytes)?;
-    if !(0x01..=0x08).contains(&opcode) {
+    if !(0x01..=0x09).contains(&opcode) {
         return Err(ProtoError::UnknownOpcode(opcode));
     }
     let cmd: Command =
@@ -322,6 +329,7 @@ impl Device {
                 .store
                 .results(query)
                 .map(|r| Response::Results(Box::new(r))),
+            Command::Stats => Ok(Response::Stats(Box::new(self.store.stats()))),
         };
         result.unwrap_or_else(|e| Response::Error(e.to_string()))
     }
@@ -468,6 +476,18 @@ impl<'a> HostClient<'a> {
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
+
+    /// `getStats` over the wire: the device's telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the device rejects the command.
+    pub fn stats(&mut self) -> Result<DeviceStats, ProtoError> {
+        match self.round_trip(&Command::Stats)? {
+            Response::Stats(s) => Ok(*s),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +511,7 @@ mod tests {
                 config: QueryCacheConfig::paper_default(),
             },
             Command::GetResults { query: QueryId(7) },
+            Command::Stats,
         ];
         for cmd in cmds {
             let bytes = encode_command(&cmd);
@@ -582,6 +603,35 @@ mod tests {
         assert_eq!(ids.len(), 2);
         assert_eq!(host.get_results(ids[0]).unwrap().top_k[0].feature_index, 3);
         assert_eq!(host.get_results(ids[1]).unwrap().top_k[0].feature_index, 11);
+    }
+
+    #[test]
+    fn stats_roundtrip_over_the_wire() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        let mut host = HostClient::new(&mut device);
+        let model = zoo::textqa().seeded_metric(5);
+        let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let qid = host
+            .query(
+                &model.random_feature(3),
+                2,
+                mid,
+                db,
+                AcceleratorLevel::Channel,
+            )
+            .unwrap();
+        let _ = host.get_results(qid).unwrap();
+        let stats = host.stats().unwrap();
+        // Flash op counts come from the functional sim and survive the
+        // `obs` feature being disabled; the pipeline counters only
+        // populate with it enabled.
+        assert!(stats.flash.page_reads > 0);
+        if cfg!(feature = "obs") {
+            assert_eq!(stats.queries, 1);
+            assert!(stats.stages.total_ns > 0);
+        }
     }
 
     #[test]

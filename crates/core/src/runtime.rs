@@ -128,6 +128,15 @@ impl Runtime {
         &self.store
     }
 
+    /// The wrapped device's telemetry snapshot (pipeline counters,
+    /// per-stage latency totals, flash event counts) — distinct from
+    /// [`Runtime::stats`], which summarizes the *schedule* (queueing,
+    /// latency percentiles) rather than the device pipeline.
+    #[must_use]
+    pub fn device_stats(&self) -> crate::telemetry::DeviceStats {
+        self.store.stats()
+    }
+
     /// Sets the batching window: when `Some(w)`, a batch nominally
     /// starting at `t` also admits queued queries against the same
     /// `(db, model, level)` whose arrival is at most `t + w`, and the
@@ -453,6 +462,25 @@ mod tests {
         assert!(s.p95_latency <= s.p99_latency);
         assert!(s.mean_latency >= rt.records()[0].latency().min(s.p50_latency));
         assert!(s.makespan >= s.p99_latency);
+    }
+
+    #[test]
+    fn device_stats_cover_scheduled_queries() {
+        let (mut rt, model, db, mid) = runtime_with(16);
+        for i in 0..3 {
+            rt.submit_at(
+                SimDuration::from_micros(i),
+                req(&model, 600 + i, mid, db, 2),
+            );
+        }
+        rt.run_to_completion().unwrap();
+        let ds = rt.device_stats();
+        assert!(ds.flash.page_reads > 0);
+        if cfg!(feature = "obs") {
+            assert_eq!(ds.queries, 3);
+            assert_eq!(ds.batches, 3);
+            assert!(ds.stages.scan_ns > 0);
+        }
     }
 
     #[test]

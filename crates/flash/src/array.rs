@@ -7,6 +7,7 @@
 
 use crate::fault::FaultPlan;
 use crate::geometry::{PageAddr, SsdGeometry};
+use crate::obs::{FlashEventCounts, FlashMetrics};
 use crate::{FlashError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +42,8 @@ pub struct FlashArray {
     reads: AtomicU64,
     programs: u64,
     erases: u64,
+    /// Telemetry hooks for events the operation counters do not cover.
+    metrics: FlashMetrics,
 }
 
 impl Clone for FlashArray {
@@ -54,6 +57,7 @@ impl Clone for FlashArray {
             reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
             programs: self.programs,
             erases: self.erases,
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -70,6 +74,7 @@ impl FlashArray {
             reads: AtomicU64::new(0),
             programs: 0,
             erases: 0,
+            metrics: FlashMetrics::new(),
         }
     }
 
@@ -123,6 +128,7 @@ impl FlashArray {
     pub fn read(&self, addr: PageAddr) -> Result<&[u8]> {
         self.geometry.check(addr)?;
         if self.faults.fails(&self.geometry, addr) {
+            self.metrics.on_ecc_failure();
             return Err(FlashError::UncorrectableEcc(addr));
         }
         let idx = self.geometry.page_index(addr);
@@ -181,6 +187,27 @@ impl FlashArray {
             self.programs,
             self.erases,
         )
+    }
+
+    /// The array's telemetry hooks (ECC failures, GC, bus waits).
+    pub fn metrics(&self) -> &FlashMetrics {
+        &self.metrics
+    }
+
+    /// A snapshot of every flash event count: the operation counters
+    /// plus the [`FlashMetrics`] hook totals.
+    pub fn event_counts(&self) -> FlashEventCounts {
+        let (page_reads, programs, erases) = self.op_counts();
+        FlashEventCounts {
+            page_reads,
+            programs,
+            erases,
+            ecc_failures: self.metrics.ecc_failures(),
+            gc_runs: self.metrics.gc_runs(),
+            gc_blocks_reclaimed: self.metrics.gc_blocks_reclaimed(),
+            bus_wait_ns: self.metrics.bus_wait_ns(),
+            bus_transfers: self.metrics.bus_transfers(),
+        }
     }
 }
 

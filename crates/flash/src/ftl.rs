@@ -170,6 +170,7 @@ impl BlockFtl {
             *self.wear.entry(phys).or_insert(0) += 1;
         }
         self.gc_runs += 1;
+        array.metrics().on_gc(reclaimed as u64);
         // Re-sort the free list by wear so the least-worn blocks are used
         // first (wear leveling).
         let mut rebuilt: Vec<PhysicalBlock> = self.free.drain(..).collect();

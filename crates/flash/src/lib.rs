@@ -39,11 +39,13 @@ pub mod gc;
 pub mod geometry;
 pub mod host;
 pub mod layout;
+pub mod obs;
 pub mod stream;
 pub mod timing;
 pub mod trace;
 
 pub use geometry::{PageAddr, SsdGeometry};
+pub use obs::{FlashEventCounts, FlashMetrics};
 pub use timing::{FlashTiming, SimDuration};
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,130 @@
+//! Flash-layer telemetry: event hooks and their snapshot.
+//!
+//! [`FlashMetrics`] is the collection point for flash events that the
+//! pre-existing [`crate::array::FlashArray`] operation counters do not
+//! cover: uncorrectable-ECC failures, garbage-collection passes, and
+//! channel-bus arbitration waits from the timing model. Every hook body
+//! is compiled out when the `obs` cargo feature is off — the type, its
+//! accessors and [`FlashEventCounts`] stay available (reporting zeros)
+//! so no API surface changes between configurations.
+//!
+//! All storage is [`deepstore_obs::Counter`] (single relaxed atomic
+//! adds), so counts are deterministic under any host thread
+//! interleaving — see `crates/obs` for the argument.
+
+use deepstore_obs::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Lock-free event counters for one flash array.
+#[derive(Debug, Default)]
+pub struct FlashMetrics {
+    ecc_failures: Counter,
+    gc_runs: Counter,
+    gc_blocks_reclaimed: Counter,
+    bus_wait_ns: Counter,
+    bus_transfers: Counter,
+}
+
+impl Clone for FlashMetrics {
+    fn clone(&self) -> Self {
+        let copy = FlashMetrics::default();
+        copy.ecc_failures.add(self.ecc_failures.get());
+        copy.gc_runs.add(self.gc_runs.get());
+        copy.gc_blocks_reclaimed.add(self.gc_blocks_reclaimed.get());
+        copy.bus_wait_ns.add(self.bus_wait_ns.get());
+        copy.bus_transfers.add(self.bus_transfers.get());
+        copy
+    }
+}
+
+impl FlashMetrics {
+    /// Fresh metrics, all zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A page read failed ECC.
+    #[inline]
+    pub fn on_ecc_failure(&self) {
+        #[cfg(feature = "obs")]
+        self.ecc_failures.incr();
+    }
+
+    /// A garbage-collection pass reclaimed `blocks` blocks.
+    #[inline]
+    pub fn on_gc(&self, blocks: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.gc_runs.incr();
+            self.gc_blocks_reclaimed.add(blocks);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = blocks;
+    }
+
+    /// The timing model charged `wait_ns` of channel-bus arbitration
+    /// wait across `transfers` page transfers.
+    #[inline]
+    pub fn on_bus_wait(&self, wait_ns: u64, transfers: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.bus_wait_ns.add(wait_ns);
+            self.bus_transfers.add(transfers);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (wait_ns, transfers);
+    }
+
+    /// ECC failures observed so far.
+    #[must_use]
+    pub fn ecc_failures(&self) -> u64 {
+        self.ecc_failures.get()
+    }
+
+    /// GC passes run so far.
+    #[must_use]
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs.get()
+    }
+
+    /// Blocks reclaimed by GC so far.
+    #[must_use]
+    pub fn gc_blocks_reclaimed(&self) -> u64 {
+        self.gc_blocks_reclaimed.get()
+    }
+
+    /// Total simulated bus-arbitration wait (ns) charged so far.
+    #[must_use]
+    pub fn bus_wait_ns(&self) -> u64 {
+        self.bus_wait_ns.get()
+    }
+
+    /// Page transfers the bus-wait total covers.
+    #[must_use]
+    pub fn bus_transfers(&self) -> u64 {
+        self.bus_transfers.get()
+    }
+}
+
+/// A point-in-time copy of every flash event count, combining the
+/// array's operation counters with the [`FlashMetrics`] hooks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashEventCounts {
+    /// Page reads served.
+    pub page_reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Reads that failed ECC.
+    pub ecc_failures: u64,
+    /// Garbage-collection passes.
+    pub gc_runs: u64,
+    /// Blocks reclaimed by GC.
+    pub gc_blocks_reclaimed: u64,
+    /// Simulated channel-bus arbitration wait, in nanoseconds.
+    pub bus_wait_ns: u64,
+    /// Page transfers covered by the bus-wait total.
+    pub bus_transfers: u64,
+}

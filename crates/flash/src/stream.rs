@@ -19,6 +19,28 @@
 use crate::timing::SimDuration;
 use crate::SsdConfig;
 
+/// Detailed outcome of streaming one shard's pages: the total stream
+/// time plus the bus-arbitration wait the event loop observed (the time
+/// pages sat in plane buffers with their array read done, waiting for
+/// the shared channel bus). Feeds the telemetry layer's per-shard trace
+/// spans and bus-wait counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Pages streamed.
+    pub pages: u64,
+    /// Total stream time.
+    pub total: SimDuration,
+    /// Summed bus-arbitration wait across all pages.
+    pub bus_wait: SimDuration,
+}
+
+/// Internal result of the event loop.
+struct RunOutcome {
+    watched: SimDuration,
+    last: SimDuration,
+    bus_wait: SimDuration,
+}
+
 /// Event-driven model of one channel streaming pages in striped order.
 #[derive(Debug, Clone)]
 pub struct ChannelStream {
@@ -92,6 +114,18 @@ impl ChannelStream {
         self.finish_times(pages).1
     }
 
+    /// Like [`ChannelStream::stream_pages`], but also reports the summed
+    /// bus-arbitration wait the event loop observed — the telemetry
+    /// layer's window into channel-bus contention.
+    pub fn stream_pages_detailed(&self, pages: u64) -> StreamStats {
+        let sim = self.run(pages, None);
+        StreamStats {
+            pages,
+            total: sim.last,
+            bus_wait: sim.bus_wait,
+        }
+    }
+
     /// Time for the channel to *program* `pages` pages (the `writeDB`
     /// path): data moves over the bus into plane buffers, then the cell
     /// program (~600 µs) runs per plane, overlapped across the channel's
@@ -122,7 +156,7 @@ impl ChannelStream {
     pub fn nth_and_total(&self, n: u64, pages: u64) -> (SimDuration, SimDuration) {
         let n = n.clamp(1, pages.max(1));
         let sim = self.run(pages, Some(n));
-        (sim.0, self.finish_times(pages).1)
+        (sim.watched, self.finish_times(pages).1)
     }
 
     /// Steady-state per-page service time of this stream (the larger of the
@@ -144,15 +178,22 @@ impl ChannelStream {
     }
 
     fn finish_times(&self, pages: u64) -> (SimDuration, SimDuration) {
-        self.run(pages, None)
+        let sim = self.run(pages, None);
+        (sim.watched, sim.last)
     }
 
-    /// Runs the event loop; if `watch` is Some(n), the first element of the
-    /// returned tuple is the delivery time of the n-th page, otherwise it
-    /// equals the total.
-    fn run(&self, pages: u64, watch: Option<u64>) -> (SimDuration, SimDuration) {
+    /// Runs the event loop; if `watch` is Some(n), `watched` in the
+    /// returned outcome is the delivery time of the n-th page, otherwise
+    /// it equals the total. `bus_wait` accumulates, per page, the gap
+    /// between its array read completing and the shared bus picking it
+    /// up — the channel-bus arbitration cost.
+    fn run(&self, pages: u64, watch: Option<u64>) -> RunOutcome {
         if pages == 0 {
-            return (SimDuration::ZERO, SimDuration::ZERO);
+            return RunOutcome {
+                watched: SimDuration::ZERO,
+                last: SimDuration::ZERO,
+                bus_wait: SimDuration::ZERO,
+            };
         }
         // plane_free[i]: when plane i can *start* its next array read
         // (single page buffer: freed when the bus drains it).
@@ -160,6 +201,7 @@ impl ChannelStream {
         let mut bus_free = SimDuration::ZERO;
         let mut watched = SimDuration::ZERO;
         let mut last = SimDuration::ZERO;
+        let mut bus_wait = SimDuration::ZERO;
         // Completion ring for the prefetch-window constraint.
         let window = self.queue_depth.min(pages as usize);
         let mut ring = vec![SimDuration::ZERO; window];
@@ -174,6 +216,7 @@ impl ChannelStream {
             let read_start = plane_free[plane].max(window_gate);
             let read_done = read_start + self.array_read;
             let xfer_start = read_done.max(bus_free);
+            bus_wait += xfer_start - read_done;
             let done = xfer_start + self.page_transfer;
             bus_free = done;
             plane_free[plane] = done;
@@ -188,7 +231,11 @@ impl ChannelStream {
         if watch.is_none() {
             watched = last;
         }
-        (watched, last)
+        RunOutcome {
+            watched,
+            last,
+            bus_wait,
+        }
     }
 }
 
@@ -343,6 +390,22 @@ mod tests {
         let a = s.program_pages(10, c.timing.program);
         let b = s.program_pages(11, c.timing.program);
         assert!(b >= a);
+    }
+
+    #[test]
+    fn detailed_stream_matches_plain_and_reports_bus_waits() {
+        let s = ChannelStream::new(&cfg());
+        for pages in [0, 1, 7, 1000] {
+            let d = s.stream_pages_detailed(pages);
+            assert_eq!(d.total, s.stream_pages(pages), "pages = {pages}");
+            assert_eq!(d.pages, pages);
+        }
+        // The default config is bus-bound in steady state, so pages pile
+        // up behind the shared bus and the wait is substantial.
+        let d = s.stream_pages_detailed(1000);
+        assert!(d.bus_wait > SimDuration::ZERO, "{d:?}");
+        // A single page never waits for the bus.
+        assert_eq!(s.stream_pages_detailed(1).bus_wait, SimDuration::ZERO);
     }
 
     #[test]

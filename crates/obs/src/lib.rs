@@ -1,0 +1,29 @@
+//! Telemetry substrate for the DeepStore workspace.
+//!
+//! Two pieces, both built for *deterministic* observability of a
+//! simulated device:
+//!
+//! * [`metrics`] — a lock-free metrics registry: atomic counters and
+//!   fixed power-of-two-bucket histograms. Every mutation is a single
+//!   commutative atomic RMW, so a [`MetricsSnapshot`] taken after a
+//!   workload is bit-identical regardless of how many host worker
+//!   threads interleaved while producing it.
+//! * [`trace`] — a span-based trace recorder emitting Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto). Timestamps are
+//!   *simulated* nanoseconds from the device timing model, never host
+//!   wall-clock, so two runs of the same query produce byte-identical
+//!   trace files.
+//!
+//! The crate is dependency-light (serde shims only) and is always
+//! compiled; consumers gate the *recording call sites* behind their own
+//! `obs` cargo feature so the types stay available in both
+//! configurations.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, CounterId, CounterSample, Histogram, HistogramId, HistogramSample, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{TraceEvent, TraceRecorder};

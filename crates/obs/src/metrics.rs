@@ -1,0 +1,347 @@
+//! Lock-free counters, histograms, and the registry that snapshots them.
+//!
+//! Determinism is the design driver: every write is one atomic
+//! `fetch_add` / `fetch_max`, which are commutative and associative, so
+//! the final value of every cell is independent of thread interleaving.
+//! Combined with DeepStore's physically-determined shard plan this
+//! makes a post-workload [`MetricsSnapshot`] identical for any
+//! `parallelism` setting — a property the telemetry test suite asserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds exact zeros,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed power-of-two-bucket histogram.
+///
+/// The bucket layout is static (no resizing, no locking): recording is
+/// one `fetch_add` on the bucket plus three more for count/sum/max.
+/// Power-of-two buckets cover the full `u64` range, which is plenty of
+/// resolution for latency-in-nanoseconds and bytes-moved style metrics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for `value`.
+    #[inline]
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        64 - value.leading_zeros() as usize
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a registered counter. Cheap to copy; only valid with the
+/// registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A named collection of counters and histograms.
+///
+/// Registration (`&mut self`) happens once at construction; recording
+/// (`&self`) is lock-free thereafter, so the registry can be shared
+/// across scan worker threads behind a plain reference.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, Counter)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter under `name` and returns its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push((name, Counter::new()));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a histogram under `name` and returns its handle.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        self.histograms.push((name, Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `delta` to a registered counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, delta: u64) {
+        self.counters[id.0].1.add(delta);
+    }
+
+    /// Adds one to a registered counter.
+    #[inline]
+    pub fn incr(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Records one observation in a registered histogram.
+    #[inline]
+    pub fn record(&self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// The current value of a registered counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1.get()
+    }
+
+    /// A deterministic point-in-time copy of every metric, in
+    /// registration order. Zero-valued counters and empty histogram
+    /// buckets are included/elided consistently, so equal workloads
+    /// yield equal snapshots.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, c)| CounterSample {
+                    name: (*name).to_string(),
+                    value: c.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSample {
+                    name: (*name).to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    max: h.max(),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| b.load(Ordering::Relaxed) != 0)
+                        .map(|(i, b)| (i as u32, b.load(Ordering::Relaxed)))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter's value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Registered name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram's state in a snapshot. `buckets` is sparse: only
+/// non-empty `(bucket_index, count)` pairs, in ascending index order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Registered name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty `(bucket_index, count)` pairs.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A deterministic copy of a [`MetricsRegistry`] at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, in registration order.
+    pub counters: Vec<CounterSample>,
+    /// All histograms, in registration order.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (used when telemetry is compiled out).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Looks up a counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram sample by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 107);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn snapshot_is_interleaving_independent() {
+        // The same multiset of operations applied in two different
+        // orders (and thread splits) yields the same snapshot.
+        let build = |rev: bool| {
+            let mut reg = MetricsRegistry::new();
+            let c = reg.counter("ops");
+            let h = reg.histogram("latency");
+            let mut vals: Vec<u64> = (0..100).map(|i| i * 37 % 1000).collect();
+            if rev {
+                vals.reverse();
+            }
+            std::thread::scope(|s| {
+                let (a, b) = vals.split_at(if rev { 13 } else { 61 });
+                let reg = &reg;
+                s.spawn(move || {
+                    for &v in a {
+                        reg.add(c, v);
+                        reg.record(h, v);
+                    }
+                });
+                for &v in b {
+                    reg.add(c, v);
+                    reg.record(h, v);
+                }
+            });
+            reg.snapshot()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("reads");
+        let h = reg.histogram("ns");
+        reg.add(c, 42);
+        reg.record(h, 9);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}
