@@ -13,6 +13,12 @@
 //! queries at once, and throughput is reported in scored
 //! features·queries per second. Writes `results/BENCH_batch.json`.
 //!
+//! `--fault-check` mode measures the fault layer's hot-path price: scan
+//! throughput with no fault plan versus an armed plan that injects
+//! nothing (zero-rate transient faults force the per-page outcome check
+//! on every read). Exits non-zero above 2% overhead and writes
+//! `results/BENCH_fault.json`.
+//!
 //! `--obs-check` mode measures scan throughput for the *current* build's
 //! telemetry configuration and writes `results/BENCH_obs_on.json` or
 //! `BENCH_obs_off.json` (keyed on the `obs` cargo feature). When the
@@ -247,10 +253,100 @@ fn obs_check_mode() {
     println!("  within budget");
 }
 
+#[derive(Serialize)]
+struct FaultCheck {
+    workload: String,
+    features: u64,
+    iterations: u32,
+    rounds: u32,
+    features_per_sec_plan_empty: f64,
+    features_per_sec_plan_armed: f64,
+    overhead: f64,
+}
+
+const FAULT_MAX_OVERHEAD: f64 = 0.02;
+const FAULT_ROUNDS: u32 = 7;
+
+/// Measures the cost of the fault layer itself: scan throughput with no
+/// fault plan versus an armed plan that injects nothing (a zero-rate
+/// transient layer). The armed plan forces every page read through the
+/// per-page outcome check and the retry machinery's bookkeeping, so the
+/// difference is the hot-path price of fault tolerance. Budget: <2%.
+fn fault_check_mode() {
+    use deepstore_flash::fault::FaultPlan;
+    // Two identically-seeded engines over the same data, one with the
+    // fault layer armed (zero-rate: every read takes the layered outcome
+    // path but nothing ever fails).
+    let (empty_engine, model, db) = textqa_engine(N, 1);
+    let (mut armed_engine, _, armed_db) = textqa_engine(N, 1);
+    armed_engine.inject_faults(FaultPlan::none().transient(0.0, 1));
+    let probe = model.random_feature(99_991);
+    empty_engine.scan_top_k(db, &model, &probe, K).unwrap();
+    armed_engine
+        .scan_top_k(armed_db, &model, &probe, K)
+        .unwrap();
+
+    let round = |engine: &deepstore_core::engine::Engine, db| {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            assert_eq!(engine.scan_top_k(db, &model, &probe, K).unwrap().len(), K);
+        }
+        (N * u64::from(ITERS)) as f64 / start.elapsed().as_secs_f64()
+    };
+
+    // Interleave the two configurations round by round so clock drift
+    // and scheduler noise hit both equally; best-of-rounds per config
+    // tracks the true cost.
+    let mut empty_fps = 0.0f64;
+    let mut armed_fps = 0.0f64;
+    for _ in 0..FAULT_ROUNDS {
+        empty_fps = empty_fps.max(round(&empty_engine, db));
+        armed_fps = armed_fps.max(round(&armed_engine, armed_db));
+    }
+    let overhead = 1.0 - armed_fps / empty_fps;
+
+    let report = FaultCheck {
+        workload: "textqa".into(),
+        features: N,
+        iterations: ITERS,
+        rounds: FAULT_ROUNDS,
+        features_per_sec_plan_empty: empty_fps,
+        features_per_sec_plan_armed: armed_fps,
+        overhead,
+    };
+    println!("== fault layer overhead check ({N} textqa features) ==");
+    println!("  plan empty : {empty_fps:>12.0} features/s (best of {FAULT_ROUNDS})");
+    println!("  plan armed : {armed_fps:>12.0} features/s (zero-rate transient)");
+    println!(
+        "  overhead   : {:.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        FAULT_MAX_OVERHEAD * 100.0
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_fault.json");
+    std::fs::write(&path, serde_json::to_string(&report).expect("serializes"))
+        .expect("write BENCH_fault.json");
+    println!("[written {}]", path.display());
+
+    assert!(
+        overhead <= FAULT_MAX_OVERHEAD,
+        "fault layer overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        FAULT_MAX_OVERHEAD * 100.0
+    );
+    println!("  within budget");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--obs-check") {
         obs_check_mode();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--fault-check") {
+        fault_check_mode();
         return;
     }
     if args.first().map(String::as_str) == Some("--batch") {

@@ -22,6 +22,7 @@ commands:
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
              [--parallelism P] [--batch-file <file>] [--trace <out.json>]
+             [--min-coverage F] [--dead-channel C]
                                           functional query on a small drive
   stats      [--app <name>] [--features N] [--k K] [--parallelism P]
                                           device telemetry after a mixed
@@ -40,8 +41,15 @@ them as one batch: the device scores every probe in a single flash pass.
 `query --trace` writes the pipeline timeline as Chrome trace-event JSON
 (open in chrome://tracing or Perfetto); timestamps are simulated ns, so
 the file is byte-identical across runs.
+`query --dead-channel` injects a whole-channel outage before querying;
+features on the dead channel are skipped and results come back degraded
+with their coverage fraction. `query --min-coverage` (0..=1) rejects the
+batch with an insufficient-coverage error instead of returning partial
+top-K when the scan cannot reach the requested fraction.
 `stats` drives the same mixed workload over the wire protocol and prints
-the device's telemetry snapshot (`getStats`, opcode 0x09).
+the device's telemetry snapshot (`getStats`, opcode 0x09), including the
+fault path: read retries, recovered reads, remapped/lost pages, retired
+blocks and degraded queries.
 `replay --batch-window-us` lets the runtime coalesce queries arriving
 within the window into shared passes (0 or omitted = serial).
 ";
@@ -148,6 +156,8 @@ fn cmd_query(args: &[String]) -> CmdResult {
         "parallelism",
         "batch-file",
         "trace",
+        "min-coverage",
+        "dead-channel",
     ])?;
     let app_name = flags.required("app")?;
     let features: u64 = flags.num_or("features", 128)?;
@@ -155,6 +165,20 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let level = parse_level(flags.str_or("level", "channel"))?;
     let seed: u64 = flags.num_or("seed", 42)?;
     let parallelism: usize = flags.num_or("parallelism", 1)?;
+    let min_coverage: Option<f64> = match flags.opt("min-coverage") {
+        Some(v) => {
+            let f: f64 = v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --min-coverage: cannot parse `{v}`")))?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(
+                    ArgError(format!("flag --min-coverage: `{v}` is not in [0, 1]")).into(),
+                );
+            }
+            Some(f)
+        }
+        None => None,
+    };
 
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
@@ -166,6 +190,20 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
+    if let Some(channel) = flags.opt("dead-channel") {
+        let channel: usize = channel
+            .parse()
+            .map_err(|_| ArgError(format!("flag --dead-channel: cannot parse `{channel}`")))?;
+        let channels = store.config().ssd.geometry.channels;
+        if channel >= channels {
+            return Err(ArgError(format!(
+                "flag --dead-channel: channel {channel} out of range (drive has {channels})"
+            ))
+            .into());
+        }
+        store.inject_faults(deepstore_flash::fault::FaultPlan::none().dead_channel(channel));
+        println!("(injected outage: channel {channel} is dead)");
+    }
 
     // Probe seeds: one ad-hoc probe, or a whole batch from --batch-file.
     let probe_seeds: Vec<u64> = match flags.opt("batch-file") {
@@ -185,9 +223,13 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let requests: Vec<QueryRequest> = probe_seeds
         .iter()
         .map(|&s| {
-            QueryRequest::new(model.random_feature(s), mid, db)
+            let mut req = QueryRequest::new(model.random_feature(s), mid, db)
                 .k(k)
-                .level(level)
+                .level(level);
+            if let Some(f) = min_coverage {
+                req = req.min_coverage(f);
+            }
+            req
         })
         .collect();
     let ids = store.query_batch(&requests)?;
@@ -197,6 +239,12 @@ fn cmd_query(args: &[String]) -> CmdResult {
             "probe {probe_seed}: top-{k} of {features} features at the {level} level (simulated {}):",
             r.elapsed
         );
+        if r.degraded {
+            println!(
+                "  (degraded: scan covered {:.1}% of the database)",
+                r.coverage * 100.0
+            );
+        }
         for (rank, hit) in r.top_k.iter().enumerate() {
             println!(
                 "  #{rank}: feature {:>5}  score {:>9.4}  ObjectID 0x{:x}",
@@ -283,6 +331,16 @@ fn cmd_stats(args: &[String]) -> CmdResult {
     println!(
         "  reliability: {} ecc failures, {} gc runs ({} blocks), {} features skipped",
         s.flash.ecc_failures, s.flash.gc_runs, s.flash.gc_blocks_reclaimed, s.unreadable_skipped
+    );
+    println!(
+        "  fault path : {} read retries ({} stalled), {} reads recovered",
+        s.flash.read_retries,
+        format_ns(s.flash.read_retry_ns),
+        s.flash.reads_recovered
+    );
+    println!(
+        "  recovery   : {} pages remapped, {} blocks retired, {} pages lost, {} degraded queries",
+        s.flash.remapped_pages, s.flash.retired_blocks, s.flash.lost_pages, s.degraded_queries
     );
     println!(
         "  registry   : {} counters, {} histograms",
@@ -475,6 +533,68 @@ mod tests {
         ]))
         .is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn query_dead_channel_degrades_and_min_coverage_rejects() {
+        // A dead channel degrades the answer but the query still runs.
+        run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--features",
+            "32",
+            "--k",
+            "3",
+            "--dead-channel",
+            "0",
+        ]))
+        .unwrap();
+        // Demanding full coverage on a degraded drive fails the batch.
+        let err = run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--features",
+            "32",
+            "--k",
+            "3",
+            "--dead-channel",
+            "0",
+            "--min-coverage",
+            "0.99",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("insufficient coverage"));
+        // A healthy drive satisfies any coverage floor.
+        run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--features",
+            "32",
+            "--min-coverage",
+            "1.0",
+        ]))
+        .unwrap();
+        // Bad flag values are rejected.
+        assert!(run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--min-coverage",
+            "1.5"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "query",
+            "--app",
+            "textqa",
+            "--min-coverage",
+            "nope"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["query", "--app", "textqa", "--dead-channel", "64"])).is_err());
     }
 
     #[test]

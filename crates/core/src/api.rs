@@ -70,6 +70,7 @@ use crate::error::{DeepStoreError, Result};
 use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
 use crate::telemetry::{merge_snapshots, ApiTelemetry, DeviceStats};
 use deepstore_flash::layout::DbLayout;
+use deepstore_flash::stream::retry_stall;
 use deepstore_flash::{FlashError, SimDuration};
 use deepstore_nn::{Model, ModelGraph, Tensor};
 use deepstore_obs::TraceRecorder;
@@ -103,6 +104,14 @@ pub struct QueryRequest {
     pub k: usize,
     /// Which accelerator placement serves the scan.
     pub level: AcceleratorLevel,
+    /// Minimum fraction of the database the scan must cover for the
+    /// query to succeed. `None` (the default) accepts any partial
+    /// answer: intelligent queries tolerate approximation, so a scan
+    /// that lost features to uncorrectable reads still returns its
+    /// degraded top-K. `Some(f)` makes the whole batch fail with
+    /// [`DeepStoreError::InsufficientCoverage`] when coverage drops
+    /// below `f`.
+    pub min_coverage: Option<f64>,
 }
 
 impl QueryRequest {
@@ -114,6 +123,7 @@ impl QueryRequest {
             db,
             k: 1,
             level: AcceleratorLevel::Channel,
+            min_coverage: None,
         }
     }
 
@@ -126,6 +136,22 @@ impl QueryRequest {
     /// Sets the accelerator level that serves the scan.
     pub fn level(mut self, level: AcceleratorLevel) -> Self {
         self.level = level;
+        self
+    }
+
+    /// Requires the scan to cover at least `fraction` of the database
+    /// (`0.0 ..= 1.0`) or fail with
+    /// [`DeepStoreError::InsufficientCoverage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn min_coverage(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "min_coverage must be in [0, 1]"
+        );
+        self.min_coverage = Some(fraction);
         self
     }
 }
@@ -161,6 +187,16 @@ pub struct QueryResult {
     /// count; the engine-global [`DeepStore::unreadable_skipped`] total
     /// is the sum over passes, not over queries.
     pub skipped: u64,
+    /// Fraction of the database's features the scan actually scored
+    /// (`1.0` for cache hits and fault-free scans). The top-K was
+    /// ranked over exactly this fraction; the rest was unreadable even
+    /// after read retries.
+    pub coverage: f64,
+    /// True when `coverage < 1.0`: the answer is approximate beyond
+    /// the model's own approximation, because part of the database
+    /// could not be read. Degraded results are never inserted into the
+    /// query cache, so cache hits always carry full coverage.
+    pub degraded: bool,
 }
 
 /// The DeepStore device facade.
@@ -315,6 +351,36 @@ impl DeepStore {
         self.engine.inject_faults(faults);
     }
 
+    /// Runs the recovery (scrub) pipeline: soft-decodes data out of
+    /// permanently-failing blocks observed by earlier scans, remaps it
+    /// into fresh blocks and retires the bad blocks from the FTL. The
+    /// next scan reads the remapped copies at full coverage.
+    ///
+    /// Recovery is an explicit maintenance operation — like garbage
+    /// collection, it is never run implicitly by the query path, so a
+    /// sequence of queries observes one consistent (possibly degraded)
+    /// view of the database regardless of batching or parallelism. See
+    /// [`Engine::recover_faults`](crate::engine::Engine::recover_faults).
+    pub fn recover_faults(&mut self) -> crate::engine::RecoveryReport {
+        let recovery = self.engine.recover_faults();
+        if !recovery.is_empty() {
+            self.telemetry
+                .on_recovery(recovery.pages_remapped, recovery.pages_lost);
+            if let Some(t) = &mut self.tracer {
+                t.instant("recovery", "fault", self.trace_clock_ns, 0)
+                    .arg_u64("blocks_retired", recovery.blocks_retired)
+                    .arg_u64("pages_remapped", recovery.pages_remapped)
+                    .arg_u64("pages_lost", recovery.pages_lost);
+            }
+        }
+        recovery
+    }
+
+    /// Blocks the FTL has retired (taken out of allocation) so far.
+    pub fn retired_block_count(&self) -> usize {
+        self.engine.retired_block_count()
+    }
+
     /// `query`: submits one [`QueryRequest`], returning the query id for
     /// [`DeepStore::results`].
     ///
@@ -449,6 +515,7 @@ impl DeepStore {
         }
 
         let mut skipped = vec![0u64; requests.len()];
+        let mut coverage = vec![1.0f64; requests.len()];
         for (g, ((db, _, level), members)) in groups.iter().enumerate() {
             let batch: Vec<(&Model, &Tensor, usize)> = members
                 .iter()
@@ -457,8 +524,21 @@ impl DeepStore {
             let workload = &preps[members[0]].1;
             let timing = scan_batch(*level, workload, cfg, members.len())
                 .expect("level support was validated above");
-            let (group_results, group_skipped) =
+            let (group_results, group_faults) =
                 self.engine.scan_top_k_batch_counted(*db, &batch)?;
+            let group_skipped = group_faults.skipped;
+            let num_features = self.engine.db_meta(*db)?.num_features;
+            let group_coverage = if num_features == 0 {
+                1.0
+            } else {
+                (num_features - group_skipped) as f64 / num_features as f64
+            };
+            // Read retries stall the flash stream: charge the escalating
+            // ladder cost to the group's simulated latency. The histogram
+            // is functional (identical with `obs` on and off), so timing
+            // and traces never depend on the telemetry feature.
+            let stall = retry_stall(&cfg.ssd.timing, &group_faults.reads.retries_by_round);
+            self.engine.flash_metrics().on_retry_stall(stall.as_nanos());
 
             // Per-shard page-walk detail: stream time and channel-bus
             // arbitration waits from the flash sim's timing model.
@@ -484,7 +564,30 @@ impl DeepStore {
                 t.span("scan", "scan-group", base, scan_ns, lane)
                     .arg_u64("members", members.len() as u64)
                     .arg_u64("skipped", group_skipped)
+                    .arg_u64("retries", group_faults.reads.total_retries())
+                    .arg_u64("recovered", group_faults.reads.recovered)
+                    .arg_u64("lost_reads", group_faults.reads.lost)
                     .arg_str("level", format!("{level:?}"));
+                // One span per retry round on a lane near the top of the
+                // group's block: duration = that round's ladder cost
+                // summed over its retries, laid back-to-back so the lane
+                // reads as the total retry stall.
+                let mut retry_at = base + scan_ns;
+                for (round, &n) in group_faults.reads.retries_by_round.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let cost = (cfg.ssd.timing.read_retry.cost_of(round as u32 + 1) * n).as_nanos();
+                    t.span(
+                        format!("read-retry r{}", round + 1),
+                        "fault",
+                        retry_at,
+                        cost,
+                        lane + 500,
+                    )
+                    .arg_u64("retries", n);
+                    retry_at += cost;
+                }
                 t.span(
                     "compute",
                     "scan-group",
@@ -513,12 +616,32 @@ impl DeepStore {
                 }
             }
             for (&i, r) in members.iter().zip(group_results) {
-                elapsed[i] += timing.elapsed;
+                elapsed[i] += timing.elapsed + stall;
                 skipped[i] = group_skipped;
-                if let Some(qc) = &mut self.qc {
-                    qc.insert(requests[i].qfv.clone(), r.clone());
+                coverage[i] = group_coverage;
+                // Degraded answers never enter the cache: a later hit
+                // would replay the partial top-K as if it covered the
+                // whole database.
+                if group_skipped == 0 {
+                    if let Some(qc) = &mut self.qc {
+                        qc.insert(requests[i].qfv.clone(), r.clone());
+                    }
                 }
                 ranked[i] = Some(r);
+            }
+        }
+
+        // Coverage policy: enforced for the whole batch after all scans
+        // and before any result is published — one starved request fails
+        // the batch, and no query ids are handed out.
+        for (i, req) in requests.iter().enumerate() {
+            if let Some(required) = req.min_coverage {
+                if coverage[i] < required {
+                    return Err(DeepStoreError::InsufficientCoverage {
+                        required,
+                        achieved: coverage[i],
+                    });
+                }
             }
         }
 
@@ -538,7 +661,11 @@ impl DeepStore {
                 .collect::<Result<_>>()?;
             let id = QueryId(self.next_query);
             self.next_query += 1;
+            let degraded = coverage[i] < 1.0;
             self.telemetry.on_query(elapsed[i].as_nanos(), cache_hit[i]);
+            if degraded {
+                self.telemetry.on_degraded();
+            }
             if let Some(t) = &mut self.tracer {
                 // One lane per request: the query span covers lookup
                 // through merge, with the cache probe nested inside it.
@@ -547,6 +674,7 @@ impl DeepStore {
                     .arg_u64("id", id.0)
                     .arg_u64("k", req.k as u64)
                     .arg_u64("skipped", skipped[i])
+                    .arg_str("coverage", format!("{:.4}", coverage[i]))
                     .arg_str("cache", if cache_hit[i] { "hit" } else { "miss" });
                 if qc_enabled {
                     t.span("qc_lookup", "qcache", base, qc_ns[i], lane);
@@ -561,6 +689,8 @@ impl DeepStore {
                     elapsed: elapsed[i],
                     level: req.level,
                     skipped: skipped[i],
+                    coverage: coverage[i],
+                    degraded,
                 },
             );
             ids.push(id);
@@ -611,6 +741,7 @@ impl DeepStore {
             cache_misses: self.telemetry.cache_misses(),
             scan_groups: self.telemetry.scan_groups(),
             unreadable_skipped: self.engine.unreadable_skipped(),
+            degraded_queries: self.telemetry.degraded_queries(),
             stages: self.telemetry.stage_totals(),
             flash: self.engine.flash_event_counts(),
             metrics: merge_snapshots(vec![

@@ -16,7 +16,8 @@ use crate::config::DeepStoreConfig;
 use crate::error::{DeepStoreError, Result};
 use crate::telemetry::ScanMetrics;
 use deepstore_flash::array::FlashArray;
-use deepstore_flash::ftl::BlockFtl;
+use deepstore_flash::fault::ReadFaultStats;
+use deepstore_flash::ftl::{BlockFtl, PhysicalBlock};
 use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
 use deepstore_flash::obs::{FlashEventCounts, FlashMetrics};
@@ -53,6 +54,36 @@ pub struct DbMeta {
     pub pages: Vec<PageAddr>,
 }
 
+/// Fault-path outcome of one scan pass, aggregated across its shards in
+/// channel order. The counts are functional (identical with `obs` on and
+/// off): the retry histogram drives the timing model's retry stall and
+/// the per-query trace spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanFaults {
+    /// Features skipped because a page stayed unreadable after retries.
+    pub skipped: u64,
+    /// Per-read retry/recovery/remap/lost statistics.
+    pub reads: ReadFaultStats,
+}
+
+/// What one [`Engine::recover_faults`] pass accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Failing blocks retired from the FTL's allocation pool.
+    pub blocks_retired: u64,
+    /// Database pages soft-decoded and rewritten into fresh blocks.
+    pub pages_remapped: u64,
+    /// Database pages with no remap source (data is gone).
+    pub pages_lost: u64,
+}
+
+impl RecoveryReport {
+    /// True if the pass did nothing (no blocks were pending).
+    pub fn is_empty(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
 /// The in-storage engine state.
 #[derive(Debug)]
 pub struct Engine {
@@ -78,9 +109,11 @@ impl Engine {
     /// Creates an engine over a fresh flash array.
     pub fn new(cfg: DeepStoreConfig) -> Self {
         let geometry = cfg.ssd.geometry;
+        let mut array = FlashArray::new(geometry);
+        array.set_read_retry(cfg.ssd.timing.read_retry.clone());
         Engine {
             cfg,
-            array: FlashArray::new(geometry),
+            array,
             ftl: BlockFtl::new(geometry),
             dbs: HashMap::new(),
             next_db: 1,
@@ -94,6 +127,100 @@ impl Engine {
     /// and reliability studies).
     pub fn inject_faults(&mut self, faults: deepstore_flash::fault::FaultPlan) {
         self.array.inject_faults(faults);
+    }
+
+    /// Blocks that failed permanently during reads and await
+    /// [`Engine::recover_faults`].
+    pub fn pending_retirements(&self) -> usize {
+        self.array.pending_retirements()
+    }
+
+    /// Blocks the FTL has retired (removed from allocation) so far.
+    pub fn retired_block_count(&self) -> usize {
+        self.ftl.retired_blocks()
+    }
+
+    /// The recovery pipeline: drains the queue of permanently-failing
+    /// blocks, soft-decodes every database page still living in them
+    /// (the last-gasp read), rewrites the recovered pages into freshly
+    /// allocated blocks, repoints the database metadata, and retires the
+    /// bad blocks from the FTL's allocation pool.
+    ///
+    /// Data is lost only when a page has no remap source (outage-domain
+    /// pages never enter the queue, so in practice: when the drive is
+    /// out of replacement blocks). Blocks whose pages could not all be
+    /// remapped stay un-repointed so later reads keep reporting the ECC
+    /// failure honestly.
+    ///
+    /// Runs on `&mut self` between query batches — never during a scan.
+    pub fn recover_faults(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let geometry = self.cfg.ssd.geometry;
+        let ppb = geometry.pages_per_block as u64;
+        for block_idx in self.array.take_pending_retirements() {
+            let base = geometry.page_from_index(block_idx * ppb);
+            let old = PhysicalBlock {
+                channel: base.channel,
+                chip: base.chip,
+                plane: base.plane,
+                block: base.block,
+            };
+            // Gather every database page living in the failing block, in
+            // deterministic (db, position) order — the db map iterates in
+            // hash order.
+            let mut victims: Vec<(DbId, usize)> = Vec::new();
+            for (db, meta) in &self.dbs {
+                for (pos, addr) in meta.pages.iter().enumerate() {
+                    if geometry.page_index(*addr) / ppb == block_idx {
+                        victims.push((*db, pos));
+                    }
+                }
+            }
+            victims.sort_unstable();
+            // Last-gasp soft-decode before touching the FTL: if any page
+            // has no remap source the whole block's data stays put (the
+            // block is still retired so the allocator never reuses it).
+            let mut recovered: Vec<(DbId, usize, usize, Vec<u8>)> = Vec::new();
+            let mut lost = 0u64;
+            for &(db, pos) in &victims {
+                let addr = self.dbs[&db].pages[pos];
+                match self.array.recover_page_bytes(addr) {
+                    Some(bytes) => recovered.push((db, pos, addr.page, bytes)),
+                    None => lost += 1,
+                }
+            }
+            let replacement = if lost == 0 && !recovered.is_empty() {
+                self.ftl.allocate(&mut self.array).ok()
+            } else {
+                None
+            };
+            match replacement {
+                Some((_, fresh)) => {
+                    let remapped = recovered.len() as u64;
+                    for (db, pos, page, bytes) in recovered {
+                        let new_addr = fresh.page(page);
+                        self.array
+                            .program(new_addr, &bytes)
+                            .expect("replacement block is freshly erased");
+                        self.dbs.get_mut(&db).expect("victim db exists").pages[pos] = new_addr;
+                    }
+                    report.pages_remapped += remapped;
+                    self.array.metrics().on_remap(remapped);
+                }
+                None => {
+                    // No remap source or no spare capacity: every victim
+                    // page of this block is lost.
+                    lost += recovered.len() as u64;
+                }
+            }
+            if lost > 0 {
+                report.pages_lost += lost;
+                self.array.metrics().on_lost(lost);
+            }
+            self.ftl.retire(old);
+            report.blocks_retired += 1;
+        }
+        report
     }
 
     /// Features skipped by scans due to uncorrectable reads so far.
@@ -359,6 +486,7 @@ impl Engine {
         idx: u64,
         cached_page: &mut Option<(usize, &'a [u8])>,
         out: &mut Vec<f32>,
+        faults: &mut ReadFaultStats,
     ) -> FlashResult<()> {
         let page_bytes = self.cfg.ssd.geometry.page_bytes;
         let (mut page_idx, mut offset) = self.feature_location(meta, idx);
@@ -377,7 +505,7 @@ impl Engine {
                             meta.db_id.0
                         ))
                     })?;
-                    let data = self.array.read(addr)?;
+                    let data = self.array.read_with_stats(addr, faults)?;
                     *cached_page = Some((page_idx, data));
                     data
                 }
@@ -471,13 +599,14 @@ impl Engine {
             .map(|(ranked, _)| ranked)
     }
 
-    /// [`Engine::scan_top_k`] with per-scan skip attribution: returns the
-    /// ranked top-K plus how many features **this scan** skipped because
-    /// their pages failed ECC. The engine-global
-    /// [`Engine::unreadable_skipped`] counter still advances by the same
-    /// amount (it is the derived sum over all scans), but only the
-    /// per-scan count can attribute skips to a query when scans run
-    /// concurrently.
+    /// [`Engine::scan_top_k`] with per-scan fault attribution: returns
+    /// the ranked top-K plus this scan's [`ScanFaults`] — how many
+    /// features it skipped for failing ECC beyond the retry budget, and
+    /// the retry/remap/lost read statistics behind them. The
+    /// engine-global [`Engine::unreadable_skipped`] counter still
+    /// advances by the same skip count (it is the derived sum over all
+    /// scans), but only the per-scan stats can attribute faults to a
+    /// query when scans run concurrently.
     ///
     /// # Errors
     ///
@@ -488,7 +617,7 @@ impl Engine {
         model: &Model,
         query: &Tensor,
         k: usize,
-    ) -> Result<(Vec<ScoredFeature>, u64)> {
+    ) -> Result<(Vec<ScoredFeature>, ScanFaults)> {
         let meta = self.db_meta(db)?;
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
@@ -499,18 +628,24 @@ impl Engine {
         // buffer for values straddling page boundaries), and scores
         // them with the allocation-free scratch path. After the first
         // feature of a shard, the loop performs zero heap allocations.
-        let scan_one = |shard: &[u64]| -> FlashResult<(TopKSorter, u64)> {
+        let scan_one = |shard: &[u64]| -> FlashResult<(TopKSorter, ScanFaults)> {
             let mut sorter = TopKSorter::new(k);
-            let mut skipped = 0u64;
+            let mut faults = ScanFaults::default();
             let mut scratch = InferenceScratch::for_model(model);
             let mut feature: Vec<f32> = Vec::with_capacity(meta.feature_bytes / 4);
             let mut cached_page: Option<(usize, &[u8])> = None;
             for &idx in shard {
-                match self.decode_feature_into(meta, idx, &mut cached_page, &mut feature) {
+                match self.decode_feature_into(
+                    meta,
+                    idx,
+                    &mut cached_page,
+                    &mut feature,
+                    &mut faults.reads,
+                ) {
                     Ok(()) => {}
                     Err(FlashError::UncorrectableEcc(_)) => {
                         // Degrade gracefully: skip the unreadable feature.
-                        skipped += 1;
+                        faults.skipped += 1;
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -523,7 +658,7 @@ impl Engine {
                     })?;
                 sorter.offer(score, idx);
             }
-            Ok((sorter, skipped))
+            Ok((sorter, faults))
         };
         let per_shard = run_sharded(&shards, workers, &scan_one);
 
@@ -531,16 +666,17 @@ impl Engine {
         // makes any order equivalent, but canonical is free), surfacing
         // the lowest-channel error deterministically.
         let mut merged = TopKSorter::new(k);
-        let mut skipped = 0;
+        let mut faults = ScanFaults::default();
         for shard_result in per_shard {
-            let (sorter, shard_skipped) = shard_result?;
+            let (sorter, shard_faults) = shard_result?;
             merged.merge(&sorter);
-            skipped += shard_skipped;
+            faults.skipped += shard_faults.skipped;
+            faults.reads.merge(&shard_faults.reads);
         }
         self.unreadable_skipped
-            .fetch_add(skipped, Ordering::Relaxed);
-        self.metrics.on_scan(meta.num_features, skipped);
-        Ok((merged.ranked(), skipped))
+            .fetch_add(faults.skipped, Ordering::Relaxed);
+        self.metrics.on_scan(meta.num_features, faults.skipped);
+        Ok((merged.ranked(), faults))
     }
 
     /// Batched map-reduce scan: walks each shard's pages **once** and
@@ -574,11 +710,11 @@ impl Engine {
             .map(|(ranked, _)| ranked)
     }
 
-    /// [`Engine::scan_top_k_batch`] with per-pass skip attribution: also
-    /// returns how many features this pass skipped for failing ECC (the
-    /// count is per *pass*, shared by every request of the batch, since
-    /// the batch walks each page once). The global
-    /// [`Engine::unreadable_skipped`] stays the derived sum.
+    /// [`Engine::scan_top_k_batch`] with per-pass fault attribution:
+    /// also returns the pass's [`ScanFaults`] (the counts are per
+    /// *pass*, shared by every request of the batch, since the batch
+    /// walks each page once). The global [`Engine::unreadable_skipped`]
+    /// stays the derived sum.
     ///
     /// # Errors
     ///
@@ -587,10 +723,10 @@ impl Engine {
         &self,
         db: DbId,
         requests: &[(&Model, &Tensor, usize)],
-    ) -> Result<(Vec<Vec<ScoredFeature>>, u64)> {
+    ) -> Result<(Vec<Vec<ScoredFeature>>, ScanFaults)> {
         let meta = self.db_meta(db)?;
         if requests.is_empty() {
-            return Ok((Vec::new(), 0));
+            return Ok((Vec::new(), ScanFaults::default()));
         }
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
@@ -605,12 +741,12 @@ impl Engine {
             }
         }
 
-        let scan_one = |shard: &[u64]| -> FlashResult<(Vec<TopKSorter>, u64)> {
+        let scan_one = |shard: &[u64]| -> FlashResult<(Vec<TopKSorter>, ScanFaults)> {
             let mut sorters: Vec<TopKSorter> = requests
                 .iter()
                 .map(|&(_, _, k)| TopKSorter::new(k))
                 .collect();
-            let mut skipped = 0u64;
+            let mut faults = ScanFaults::default();
             let mut scorers: Vec<MultiQueryScorer> = groups
                 .iter()
                 .map(|(model, ix)| {
@@ -625,10 +761,16 @@ impl Engine {
             let mut feature: Vec<f32> = Vec::with_capacity(meta.feature_bytes / 4);
             let mut cached_page: Option<(usize, &[u8])> = None;
             for &idx in shard {
-                match self.decode_feature_into(meta, idx, &mut cached_page, &mut feature) {
+                match self.decode_feature_into(
+                    meta,
+                    idx,
+                    &mut cached_page,
+                    &mut feature,
+                    &mut faults.reads,
+                ) {
                     Ok(()) => {}
                     Err(FlashError::UncorrectableEcc(_)) => {
-                        skipped += 1;
+                        faults.skipped += 1;
                         continue;
                     }
                     Err(e) => return Err(e),
@@ -645,7 +787,7 @@ impl Engine {
                     }
                 }
             }
-            Ok((sorters, skipped))
+            Ok((sorters, faults))
         };
         let per_shard = run_sharded(&shards, workers, &scan_one);
 
@@ -653,19 +795,20 @@ impl Engine {
             .iter()
             .map(|&(_, _, k)| TopKSorter::new(k))
             .collect();
-        let mut skipped = 0;
+        let mut faults = ScanFaults::default();
         for shard_result in per_shard {
-            let (sorters, shard_skipped) = shard_result?;
+            let (sorters, shard_faults) = shard_result?;
             for (m, s) in merged.iter_mut().zip(&sorters) {
                 m.merge(s);
             }
-            skipped += shard_skipped;
+            faults.skipped += shard_faults.skipped;
+            faults.reads.merge(&shard_faults.reads);
         }
         self.unreadable_skipped
-            .fetch_add(skipped, Ordering::Relaxed);
+            .fetch_add(faults.skipped, Ordering::Relaxed);
         self.metrics
-            .on_batch_scan(requests.len() as u64, meta.num_features, skipped);
-        Ok((merged.into_iter().map(|m| m.ranked()).collect(), skipped))
+            .on_batch_scan(requests.len() as u64, meta.num_features, faults.skipped);
+        Ok((merged.into_iter().map(|m| m.ranked()).collect(), faults))
     }
 
     /// Shard plan shared by the single and batched scans: each feature
@@ -674,6 +817,12 @@ impl Engine {
     /// read reports the proper error. Within a shard the indices stay
     /// ascending, so the page-sequential decoder touches each flash page
     /// exactly once.
+    ///
+    /// Assigning by *first* page also makes the fault accounting exact
+    /// by construction: a feature straddling a block boundary spans
+    /// pages on two different channels, but it still lives in exactly
+    /// one shard, so a fault on its boundary page skips it exactly once
+    /// (pinned by `boundary_page_fault_skips_straddler_exactly_once`).
     fn shard_plan(&self, meta: &DbMeta) -> Vec<Vec<u64>> {
         let channels = self.cfg.ssd.geometry.channels;
         let mut shards: Vec<Vec<u64>> = vec![Vec::new(); channels];
@@ -966,11 +1115,13 @@ mod tests {
         let meta = e.db_meta(db).unwrap();
         let mut cached = None;
         let mut out = Vec::new();
+        let mut stats = ReadFaultStats::new();
         for (i, f) in fs.iter().enumerate() {
-            e.decode_feature_into(meta, i as u64, &mut cached, &mut out)
+            e.decode_feature_into(meta, i as u64, &mut cached, &mut out, &mut stats)
                 .unwrap();
             assert_eq!(out, f.data(), "feature {i}");
         }
+        assert_eq!(stats, ReadFaultStats::new());
     }
 
     #[test]
@@ -1022,6 +1173,152 @@ mod tests {
         assert_eq!(batch[0], e.scan_top_k(db, &tir, &q1, 4).unwrap());
         assert_eq!(batch[1], e.scan_top_k(db, &other, &q2, 6).unwrap());
         assert_eq!(batch[2], e.scan_top_k(db, &tir, &q2, 4).unwrap());
+    }
+
+    #[test]
+    fn boundary_page_fault_skips_straddler_exactly_once() {
+        // Regression: a feature straddling a block boundary spans two
+        // pages on *different channels*. Fault the boundary (second)
+        // page: the straddler must be counted skipped exactly once — in
+        // its first page's shard — never once per touching shard.
+        use deepstore_flash::fault::FaultPlan;
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(12);
+        let n = 700u64;
+        let fs = features(&model, n);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+
+        let meta = e.db_meta(db).unwrap();
+        let fb = meta.feature_bytes;
+        let pb = e.config().ssd.geometry.page_bytes;
+        let ppb = e.config().ssd.geometry.pages_per_block;
+        let straddler = (pb * ppb / fb) as u64;
+        let (p, off) = e.feature_location(meta, straddler);
+        assert!(off + fb > pb, "test premise: block straddle");
+        let boundary_page = meta.pages[p + 1];
+        assert_ne!(
+            meta.pages[p].channel, boundary_page.channel,
+            "test premise: cross-channel straddle"
+        );
+        // How many features start on the boundary page itself.
+        let starting_there = (0..n)
+            .filter(|&i| e.feature_location(meta, i).0 == p + 1)
+            .count() as u64;
+        let geometry = e.config().ssd.geometry;
+        e.inject_faults(FaultPlan::none().fail_page(&geometry, boundary_page));
+
+        let q = model.random_feature(31);
+        // Exactly the straddler plus every feature starting on the
+        // faulted page is skipped — at every parallelism.
+        let expected = 1 + starting_there;
+        for workers in [1usize, 2, 4] {
+            e.set_parallelism(workers);
+            let (top, faults) = e.scan_top_k_counted(db, &model, &q, n as usize).unwrap();
+            assert_eq!(faults.skipped, expected, "workers = {workers}");
+            assert_eq!(top.len(), (n - expected) as usize);
+        }
+    }
+
+    #[test]
+    fn permanent_fault_remaps_and_restores_full_coverage() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut e = small_engine();
+        let model = zoo::tir().seeded(9);
+        // 2 KB features divide pages evenly: exact accounting.
+        let fs = features(&model, 64);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let bad_page = e.db_meta(db).unwrap().pages[0];
+        let geometry = e.config().ssd.geometry;
+        e.inject_faults(FaultPlan::none().fail_page(&geometry, bad_page));
+
+        let q = model.random_feature(500);
+        let clean = {
+            let mut pristine = small_engine();
+            let db2 = pristine.write_db(&fs).unwrap();
+            pristine.seal_db(db2).unwrap();
+            pristine.scan_top_k(db2, &model, &q, 64).unwrap()
+        };
+
+        // Degraded scan: the 8 features of the failing page are skipped
+        // and the block queues for retirement.
+        let (degraded, faults) = e.scan_top_k_counted(db, &model, &q, 64).unwrap();
+        assert_eq!(faults.skipped, 8);
+        // Each skipped feature re-read (and re-failed) the bad page.
+        assert_eq!(faults.reads.remappable, 8);
+        assert_eq!(e.pending_retirements(), 1);
+        // The degraded top-K is the fault-free ranking minus the lost
+        // features.
+        let alive: Vec<_> = clean
+            .iter()
+            .filter(|h| h.feature_id >= 8)
+            .cloned()
+            .collect();
+        assert_eq!(degraded, alive);
+
+        // Recovery remaps the whole block and retires it.
+        let report = e.recover_faults();
+        assert_eq!(report.blocks_retired, 1);
+        // All 8 database pages lived in the failing block.
+        assert_eq!(report.pages_remapped, 8);
+        assert_eq!(report.pages_lost, 0);
+        assert_eq!(e.pending_retirements(), 0);
+        assert_eq!(e.retired_block_count(), 1);
+        assert!(e.recover_faults().is_empty(), "queue drained");
+
+        // Full coverage is back, bit-identical to the fault-free run.
+        let (healed, faults) = e.scan_top_k_counted(db, &model, &q, 64).unwrap();
+        assert_eq!(faults, ScanFaults::default());
+        assert_eq!(healed, clean);
+        assert!(e.read_feature(db, 0).is_ok());
+    }
+
+    #[test]
+    fn outage_domain_loses_data_without_retirement() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut e = small_engine();
+        let model = zoo::tir().seeded(10);
+        let fs = features(&model, 64);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let dead = e.db_meta(db).unwrap().pages[0].channel;
+        e.inject_faults(FaultPlan::none().dead_channel(dead));
+
+        let q = model.random_feature(501);
+        let (top, faults) = e.scan_top_k_counted(db, &model, &q, 64).unwrap();
+        assert!(faults.skipped > 0);
+        assert_eq!(faults.reads.remappable, 0);
+        assert!(faults.reads.lost > 0);
+        // Outage domains have no remap source: nothing queues, recovery
+        // is a no-op, and the data stays lost.
+        assert_eq!(e.pending_retirements(), 0);
+        assert!(e.recover_faults().is_empty());
+        let (again, _) = e.scan_top_k_counted(db, &model, &q, 64).unwrap();
+        assert_eq!(top, again);
+    }
+
+    #[test]
+    fn transient_faults_with_retries_match_fault_free_scan() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(13);
+        let fs = features(&model, 120);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let q = model.random_feature(77);
+        let clean = e.scan_top_k(db, &model, &q, 120).unwrap();
+
+        // Every page transient-faulty, failing at most 3 attempts: the
+        // default 4-attempt ladder always recovers, so the scan result
+        // is bit-identical and nothing is skipped.
+        e.inject_faults(FaultPlan::none().transient(0.8, 99));
+        let (faulty, faults) = e.scan_top_k_counted(db, &model, &q, 120).unwrap();
+        assert_eq!(faulty, clean);
+        assert_eq!(faults.skipped, 0);
+        assert!(faults.reads.total_retries() > 0, "faults actually fired");
+        assert!(faults.reads.recovered > 0);
+        assert_eq!((faults.reads.remappable, faults.reads.lost), (0, 0));
     }
 
     #[test]

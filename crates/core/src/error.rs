@@ -32,6 +32,15 @@ pub enum DeepStoreError {
         /// The accelerator level that was requested.
         level: AcceleratorLevel,
     },
+    /// A scan could not read enough of the database to satisfy the
+    /// request's `min_coverage` policy: too many features were lost to
+    /// uncorrectable reads even after retry and remap.
+    InsufficientCoverage {
+        /// The coverage fraction the request demanded.
+        required: f64,
+        /// The coverage fraction the scan actually achieved.
+        achieved: f64,
+    },
     /// A flash/FTL-level failure (bad address, ECC, capacity, …).
     Flash(FlashError),
 }
@@ -43,6 +52,13 @@ impl fmt::Display for DeepStoreError {
             DeepStoreError::UnknownQuery(id) => write!(f, "unknown query id {}", id.0),
             DeepStoreError::LevelUnsupported { model, level } => {
                 write!(f, "model `{model}` has no {level}-level mapping")
+            }
+            DeepStoreError::InsufficientCoverage { required, achieved } => {
+                write!(
+                    f,
+                    "insufficient coverage: scan reached {achieved:.4} of the \
+                     database, request requires {required:.4}"
+                )
             }
             DeepStoreError::Flash(e) => write!(f, "{e}"),
         }
@@ -83,6 +99,20 @@ mod tests {
             level: AcceleratorLevel::Chip,
         };
         assert!(l.to_string().contains("reid"));
+        let c = DeepStoreError::InsufficientCoverage {
+            required: 0.9,
+            achieved: 0.5,
+        };
+        assert!(c.to_string().contains("insufficient coverage"));
+        assert!(c.to_string().contains("0.9"));
+        assert!(c.to_string().contains("0.5"));
+        assert_ne!(
+            c,
+            DeepStoreError::InsufficientCoverage {
+                required: 0.9,
+                achieved: 0.6,
+            }
+        );
     }
 
     #[test]

@@ -635,6 +635,76 @@ mod tests {
     }
 
     #[test]
+    fn min_coverage_and_degraded_results_roundtrip_over_the_wire() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut device = Device::new(DeepStoreConfig::small());
+        device.store_mut().disable_qc();
+        let mut host = HostClient::new(&mut device);
+        let model = zoo::tir().seeded_metric(5);
+        // 256 tir features fill two blocks, so the database spans two
+        // channels and a single dead channel loses only half of it.
+        let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+
+        // `min_coverage` survives command encode/decode exactly.
+        let req = QueryRequest::new(model.random_feature(900), mid, db)
+            .k(2)
+            .min_coverage(0.75);
+        let cmd = Command::QueryBatch {
+            requests: vec![req],
+        };
+        assert_eq!(decode_command(&encode_command(&cmd)).unwrap(), cmd);
+
+        // Kill one channel: part of the database becomes unreadable and
+        // results come back degraded, with coverage on the wire.
+        host.device
+            .store_mut()
+            .inject_faults(FaultPlan::none().dead_channel(0));
+        let reqs = vec![QueryRequest::new(model.random_feature(901), mid, db).k(2)];
+        let ids = host.query_batch(&reqs).unwrap();
+        let r = host.get_results(ids[0]).unwrap();
+        assert!(r.degraded, "a dead channel must degrade the answer");
+        assert!(r.coverage > 0.0 && r.coverage < 1.0);
+        assert!(!r.top_k.is_empty());
+
+        // The response frame round-trips the new fields bit-exactly.
+        let resp = Response::Results(Box::new(r));
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn insufficient_coverage_surfaces_as_device_error() {
+        use deepstore_flash::fault::FaultPlan;
+        let mut device = Device::new(DeepStoreConfig::small());
+        device.store_mut().disable_qc();
+        let mut host = HostClient::new(&mut device);
+        let model = zoo::textqa().seeded_metric(5);
+        let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        host.device
+            .store_mut()
+            .inject_faults(FaultPlan::none().dead_channel(0));
+        let reqs = vec![QueryRequest::new(model.random_feature(902), mid, db)
+            .k(2)
+            .min_coverage(1.0)];
+        let err = host.query_batch(&reqs).unwrap_err();
+        match err {
+            ProtoError::Device(msg) => {
+                assert!(
+                    msg.contains("insufficient coverage"),
+                    "unexpected device error: {msg}"
+                );
+            }
+            other => panic!("expected a device error, got {other:?}"),
+        }
+        // The rejected batch published nothing.
+        let err = host.get_results(QueryId(0)).unwrap_err();
+        assert!(matches!(err, ProtoError::Device(_)));
+    }
+
+    #[test]
     fn device_errors_are_frames_not_panics() {
         let mut device = Device::new(DeepStoreConfig::small());
         // Unknown database.

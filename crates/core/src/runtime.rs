@@ -49,6 +49,8 @@ pub struct QueryRecord {
     pub completion: SimDuration,
     /// Whether the query cache served it.
     pub cache_hit: bool,
+    /// Whether the answer was degraded (scan coverage below 1.0).
+    pub degraded: bool,
     /// How many queries shared the batch that served it.
     pub batch_size: usize,
 }
@@ -77,6 +79,8 @@ pub struct RuntimeStats {
     pub completed: u64,
     /// Cache hits among them.
     pub cache_hits: u64,
+    /// Queries answered with degraded (partial-coverage) results.
+    pub degraded: u64,
     /// Makespan: first arrival to last completion.
     pub makespan: SimDuration,
     /// Queries per second over the makespan.
@@ -240,6 +244,7 @@ impl Runtime {
                     start: batch_start,
                     completion,
                     cache_hit: result.cache_hit,
+                    degraded: result.degraded,
                     batch_size: members.len(),
                 });
             }
@@ -284,6 +289,7 @@ impl Runtime {
         Ok(RuntimeStats {
             completed: self.records.len() as u64,
             cache_hits: self.records.iter().filter(|r| r.cache_hit).count() as u64,
+            degraded: self.records.iter().filter(|r| r.degraded).count() as u64,
             makespan,
             throughput_qps: self.records.len() as f64 / makespan.as_secs_f64().max(1e-12),
             mean_latency: SimDuration::from_nanos(total.as_nanos() / latencies.len() as u64),
@@ -481,6 +487,29 @@ mod tests {
             assert_eq!(ds.batches, 3);
             assert!(ds.stages.scan_ns > 0);
         }
+    }
+
+    #[test]
+    fn degraded_queries_are_recorded_in_schedule_stats() {
+        use deepstore_flash::fault::FaultPlan;
+        let model = zoo::tir().seeded(3);
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        // Two blocks on two channels: one dead channel halves coverage.
+        let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();
+        let db = store.write_db(&features).unwrap();
+        let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        store.inject_faults(FaultPlan::none().dead_channel(0));
+        let mut rt = Runtime::new(store);
+        for i in 0..3 {
+            rt.submit_at(
+                SimDuration::from_micros(i),
+                req(&model, 700 + i, mid, db, 2),
+            );
+        }
+        rt.run_to_completion().unwrap();
+        assert!(rt.records().iter().all(|r| r.degraded));
+        assert_eq!(rt.stats().unwrap().degraded, 3);
     }
 
     #[test]

@@ -58,6 +58,8 @@ pub struct DeviceStats {
     pub scan_groups: u64,
     /// Features skipped across all scans because their pages failed ECC.
     pub unreadable_skipped: u64,
+    /// Queries answered with less than full coverage (degraded top-K).
+    pub degraded_queries: u64,
     /// Per-stage simulated-time totals.
     pub stages: StageTotals,
     /// Flash event counts (page reads, programs, erases, ECC, GC, bus
@@ -154,6 +156,9 @@ pub struct ApiTelemetry {
     cache_misses: CounterId,
     scan_groups: CounterId,
     skipped: CounterId,
+    degraded: CounterId,
+    recovery_remapped: CounterId,
+    recovery_lost: CounterId,
     st_qc_lookup_ns: CounterId,
     st_flash_ns: CounterId,
     st_compute_ns: CounterId,
@@ -183,6 +188,9 @@ impl ApiTelemetry {
             cache_misses: registry.counter("api.cache_misses"),
             scan_groups: registry.counter("api.scan_groups"),
             skipped: registry.counter("api.unreadable_skipped"),
+            degraded: registry.counter("api.degraded_queries"),
+            recovery_remapped: registry.counter("api.recovery.pages_remapped"),
+            recovery_lost: registry.counter("api.recovery.pages_lost"),
             st_qc_lookup_ns: registry.counter("api.stage.qc_lookup_ns"),
             st_flash_ns: registry.counter("api.stage.flash_ns"),
             st_compute_ns: registry.counter("api.stage.compute_ns"),
@@ -259,6 +267,26 @@ impl ApiTelemetry {
         let _ = (elapsed_ns, cache_hit);
     }
 
+    /// One query was answered with less than full coverage.
+    #[inline]
+    pub fn on_degraded(&self) {
+        #[cfg(feature = "obs")]
+        self.registry.incr(self.degraded);
+    }
+
+    /// A post-batch recovery pass remapped and/or lost pages while
+    /// retiring permanently-failed blocks.
+    #[inline]
+    pub fn on_recovery(&self, pages_remapped: u64, pages_lost: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.add(self.recovery_remapped, pages_remapped);
+            self.registry.add(self.recovery_lost, pages_lost);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (pages_remapped, pages_lost);
+    }
+
     /// Queries served so far.
     #[must_use]
     pub fn queries(&self) -> u64 {
@@ -293,6 +321,12 @@ impl ApiTelemetry {
     #[must_use]
     pub fn skipped(&self) -> u64 {
         self.registry.counter_value(self.skipped)
+    }
+
+    /// Queries answered degraded (coverage < 1) so far.
+    #[must_use]
+    pub fn degraded_queries(&self) -> u64 {
+        self.registry.counter_value(self.degraded)
     }
 
     /// The per-stage simulated-time totals.
@@ -356,6 +390,24 @@ mod tests {
         } else {
             assert_eq!(t.queries(), 0);
             assert_eq!(t.stage_totals(), StageTotals::default());
+        }
+    }
+
+    #[test]
+    fn fault_hooks_count_degraded_queries_and_recovery() {
+        let t = ApiTelemetry::new();
+        t.on_degraded();
+        t.on_degraded();
+        t.on_recovery(8, 3);
+        t.on_recovery(0, 1);
+        if cfg!(feature = "obs") {
+            assert_eq!(t.degraded_queries(), 2);
+            let snap = t.snapshot();
+            assert_eq!(snap.counter("api.degraded_queries"), Some(2));
+            assert_eq!(snap.counter("api.recovery.pages_remapped"), Some(8));
+            assert_eq!(snap.counter("api.recovery.pages_lost"), Some(4));
+        } else {
+            assert_eq!(t.degraded_queries(), 0);
         }
     }
 

@@ -5,12 +5,14 @@
 //! pages must be erased (at block granularity) before being programmed, and
 //! each block tracks an erase count for wear-leveling statistics.
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultOutcome, FaultPlan, ReadFaultStats};
 use crate::geometry::{PageAddr, SsdGeometry};
 use crate::obs::{FlashEventCounts, FlashMetrics};
+use crate::timing::ReadRetryPolicy;
 use crate::{FlashError, Result};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// State of a single page. Pages start (and return to, after erase) the
 /// `Erased` state implicitly by being absent from the state map.
@@ -38,6 +40,14 @@ pub struct FlashArray {
     erase_counts: HashMap<u64, u64>,
     /// Injected read faults.
     faults: FaultPlan,
+    /// Read-retry ladder consulted when a read fails ECC transiently.
+    retry: ReadRetryPolicy,
+    /// Blocks (dense block index) whose pages failed permanently with a
+    /// remap source, awaiting retirement by the recovery pipeline.
+    /// A `BTreeSet` under a mutex: reads run on `&self` from concurrent
+    /// shard workers, and the ordered set keeps the drain order
+    /// deterministic regardless of which worker recorded the failure.
+    pending_retire: Mutex<BTreeSet<u64>>,
     /// Statistics.
     reads: AtomicU64,
     programs: u64,
@@ -54,6 +64,13 @@ impl Clone for FlashArray {
             states: self.states.clone(),
             erase_counts: self.erase_counts.clone(),
             faults: self.faults.clone(),
+            retry: self.retry.clone(),
+            pending_retire: Mutex::new(
+                self.pending_retire
+                    .lock()
+                    .expect("pending-retire lock poisoned")
+                    .clone(),
+            ),
             reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
             programs: self.programs,
             erases: self.erases,
@@ -71,6 +88,8 @@ impl FlashArray {
             states: HashMap::new(),
             erase_counts: HashMap::new(),
             faults: FaultPlan::none(),
+            retry: ReadRetryPolicy::paper_default(),
+            pending_retire: Mutex::new(BTreeSet::new()),
             reads: AtomicU64::new(0),
             programs: 0,
             erases: 0,
@@ -111,32 +130,158 @@ impl FlashArray {
         Ok(())
     }
 
-    /// Installs a fault plan; subsequent reads of failing pages return
-    /// [`FlashError::UncorrectableEcc`].
+    /// Installs a fault plan; subsequent reads consult its layers.
+    /// Transient faults are recovered by the read-retry ladder; pages
+    /// that fail permanently return [`FlashError::UncorrectableEcc`].
     pub fn inject_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Sets the read-retry ladder (how many attempts a read gets).
+    pub fn set_read_retry(&mut self, retry: ReadRetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active read-retry ladder.
+    pub fn read_retry(&self) -> &ReadRetryPolicy {
+        &self.retry
     }
 
     /// Reads a programmed page. Takes `&self` so concurrent shard workers
     /// can read different channels of one array simultaneously.
     ///
+    /// Equivalent to [`FlashArray::read_with_stats`] with the fault
+    /// statistics discarded: retries still run (and still count in the
+    /// [`FlashMetrics`] hooks), the caller just doesn't attribute them.
+    ///
     /// # Errors
     ///
     /// * [`FlashError::AddressOutOfRange`] for an invalid address.
     /// * [`FlashError::ReadUnwritten`] if the page was never programmed.
-    /// * [`FlashError::UncorrectableEcc`] if a fault plan marks the page.
+    /// * [`FlashError::UncorrectableEcc`] if the fault plan fails the
+    ///   page beyond the retry budget.
     pub fn read(&self, addr: PageAddr) -> Result<&[u8]> {
+        let mut stats = ReadFaultStats::new();
+        self.read_with_stats(addr, &mut stats)
+    }
+
+    /// [`FlashArray::read`] with per-read fault attribution: retry
+    /// rounds, recoveries and permanent failures are recorded into
+    /// `stats` (functional counts — identical with `obs` on and off).
+    ///
+    /// The layered fault pipeline, per attempt `a` (0-based):
+    ///
+    /// 1. [`FaultPlan::outcome`] decides `Ok` / `Transient` / `Permanent`
+    ///    deterministically from `(plan, page, a, block wear)`.
+    /// 2. `Transient` burns one retry from the [`ReadRetryPolicy`]
+    ///    budget; the caller charges the escalating ladder cost via
+    ///    [`crate::stream::retry_stall`].
+    /// 3. `Permanent` aborts the ladder immediately (the controller
+    ///    recognizes a hard-failure signature — retrying cannot help).
+    ///    If the page is *not* in an outage domain its block is queued
+    ///    for retirement: the recovery pipeline will remap the data and
+    ///    retire the block. Outage-domain pages have no remap source
+    ///    and count as lost.
+    ///
+    /// Failed attempts never advance the page-read operation counter —
+    /// only a successful read moves data over the bus.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashArray::read`].
+    pub fn read_with_stats(&self, addr: PageAddr, stats: &mut ReadFaultStats) -> Result<&[u8]> {
         self.geometry.check(addr)?;
-        if self.faults.fails(&self.geometry, addr) {
-            self.metrics.on_ecc_failure();
-            return Err(FlashError::UncorrectableEcc(addr));
+        let mut attempt = 0u32;
+        if !self.faults.is_empty() {
+            let wear = self.erase_count(addr);
+            let max_attempts = self.retry.max_attempts.max(1);
+            loop {
+                match self.faults.outcome(&self.geometry, addr, attempt, wear) {
+                    FaultOutcome::Ok => break,
+                    FaultOutcome::Transient => {
+                        self.metrics.on_ecc_failure();
+                        if attempt + 1 >= max_attempts {
+                            // Retry budget exhausted. The fault is still
+                            // transient, so the block is NOT retired — a
+                            // later read (or a bigger budget) may recover.
+                            return Err(FlashError::UncorrectableEcc(addr));
+                        }
+                        stats.on_retry(attempt as usize);
+                        self.metrics.on_read_retries(1);
+                        attempt += 1;
+                    }
+                    FaultOutcome::Permanent => {
+                        self.metrics.on_ecc_failure();
+                        if self.faults.in_outage_domain(addr) {
+                            stats.lost += 1;
+                        } else {
+                            stats.remappable += 1;
+                            let block = self.geometry.page_index(addr)
+                                / self.geometry.pages_per_block as u64;
+                            self.pending_retire
+                                .lock()
+                                .expect("pending-retire lock poisoned")
+                                .insert(block);
+                        }
+                        return Err(FlashError::UncorrectableEcc(addr));
+                    }
+                }
+            }
         }
         let idx = self.geometry.page_index(addr);
         if self.states.get(&idx) != Some(&PageState::Programmed) {
             return Err(FlashError::ReadUnwritten(addr));
         }
+        if attempt > 0 {
+            stats.recovered += 1;
+            self.metrics.on_read_recovered();
+        }
         self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(self.data.get(&idx).expect("programmed page has data"))
+    }
+
+    /// The last-gasp soft-decode path: recovers a permanently-failing
+    /// page's bytes for remapping. Real controllers run a much slower
+    /// soft-decision LDPC decode that usually succeeds exactly once;
+    /// functionally the bytes are the array's stored payload. Returns
+    /// `None` when there is no remap source: the page sits in an outage
+    /// domain (the die cannot be addressed at all) or was never
+    /// programmed.
+    pub fn recover_page_bytes(&self, addr: PageAddr) -> Option<Vec<u8>> {
+        if self.geometry.check(addr).is_err() || self.faults.in_outage_domain(addr) {
+            return None;
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.states.get(&idx) != Some(&PageState::Programmed) {
+            return None;
+        }
+        self.data.get(&idx).cloned()
+    }
+
+    /// Drains the queue of blocks awaiting retirement, in ascending
+    /// dense-block-index order (deterministic regardless of which scan
+    /// worker observed the failure first).
+    pub fn take_pending_retirements(&mut self) -> Vec<u64> {
+        let mut queue = self
+            .pending_retire
+            .lock()
+            .expect("pending-retire lock poisoned");
+        let drained: Vec<u64> = queue.iter().copied().collect();
+        queue.clear();
+        drained
+    }
+
+    /// Number of blocks currently awaiting retirement.
+    pub fn pending_retirements(&self) -> usize {
+        self.pending_retire
+            .lock()
+            .expect("pending-retire lock poisoned")
+            .len()
     }
 
     /// True if the page is currently programmed.
@@ -207,6 +352,12 @@ impl FlashArray {
             gc_blocks_reclaimed: self.metrics.gc_blocks_reclaimed(),
             bus_wait_ns: self.metrics.bus_wait_ns(),
             bus_transfers: self.metrics.bus_transfers(),
+            read_retries: self.metrics.read_retries(),
+            read_retry_ns: self.metrics.read_retry_ns(),
+            reads_recovered: self.metrics.reads_recovered(),
+            remapped_pages: self.metrics.remapped_pages(),
+            retired_blocks: self.metrics.retired_blocks(),
+            lost_pages: self.metrics.lost_pages(),
         }
     }
 }
@@ -321,5 +472,110 @@ mod tests {
         let _ = a.read(PageAddr::zero()).unwrap();
         a.erase_block(PageAddr::zero()).unwrap();
         assert_eq!(a.op_counts(), (1, 1, 1));
+    }
+
+    /// A fault plan where every page is transient-faulty and fails
+    /// exactly one attempt: deterministic retry behaviour everywhere.
+    fn all_transient_once() -> FaultPlan {
+        FaultPlan::none()
+            .transient(1.0, 5)
+            .transient_max_failures(1)
+    }
+
+    #[test]
+    fn transient_fault_recovers_via_retry() {
+        let mut a = array();
+        a.program(PageAddr::zero(), b"wobbly bits").unwrap();
+        a.inject_faults(all_transient_once());
+        let mut stats = ReadFaultStats::new();
+        let page = a.read_with_stats(PageAddr::zero(), &mut stats).unwrap();
+        assert_eq!(&page[..11], b"wobbly bits");
+        assert_eq!(stats.retries_by_round, vec![1]);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!((stats.remappable, stats.lost), (0, 0));
+        // Failed attempts do not advance the page-read counter.
+        assert_eq!(a.op_counts().0, 1);
+        #[cfg(feature = "obs")]
+        {
+            assert_eq!(a.metrics().read_retries(), 1);
+            assert_eq!(a.metrics().reads_recovered(), 1);
+            assert_eq!(a.metrics().ecc_failures(), 1);
+        }
+    }
+
+    #[test]
+    fn transient_fault_exhausts_budget_without_retirement() {
+        let mut a = array();
+        a.program(PageAddr::zero(), &[1]).unwrap();
+        a.inject_faults(all_transient_once());
+        a.set_read_retry(ReadRetryPolicy::disabled());
+        let mut stats = ReadFaultStats::new();
+        assert!(matches!(
+            a.read_with_stats(PageAddr::zero(), &mut stats),
+            Err(FlashError::UncorrectableEcc(_))
+        ));
+        // Transient exhaustion is not a permanent failure: nothing
+        // queues for retirement and nothing counts as remappable.
+        assert_eq!(stats.total_retries(), 0);
+        assert_eq!((stats.remappable, stats.lost), (0, 0));
+        assert_eq!(a.pending_retirements(), 0);
+        // Restoring the budget recovers the read.
+        a.set_read_retry(ReadRetryPolicy::paper_default());
+        assert!(a.read(PageAddr::zero()).is_ok());
+    }
+
+    #[test]
+    fn permanent_fault_queues_block_for_retirement() {
+        let mut a = array();
+        let g = *a.geometry();
+        a.program(PageAddr::zero(), b"doomed").unwrap();
+        a.inject_faults(FaultPlan::none().fail_page(&g, PageAddr::zero()));
+        let mut stats = ReadFaultStats::new();
+        assert!(a.read_with_stats(PageAddr::zero(), &mut stats).is_err());
+        assert_eq!(stats.remappable, 1);
+        assert_eq!(a.pending_retirements(), 1);
+        // The last-gasp path still recovers the bytes for remapping.
+        let bytes = a.recover_page_bytes(PageAddr::zero()).unwrap();
+        assert_eq!(&bytes[..6], b"doomed");
+        // Draining is deterministic and idempotent.
+        assert_eq!(a.take_pending_retirements(), vec![0]);
+        assert!(a.take_pending_retirements().is_empty());
+    }
+
+    #[test]
+    fn outage_fault_is_lost_not_remappable() {
+        let mut a = array();
+        a.program(PageAddr::zero(), &[7]).unwrap();
+        a.inject_faults(FaultPlan::none().dead_channel(0));
+        let mut stats = ReadFaultStats::new();
+        assert!(matches!(
+            a.read_with_stats(PageAddr::zero(), &mut stats),
+            Err(FlashError::UncorrectableEcc(_))
+        ));
+        assert_eq!((stats.remappable, stats.lost), (0, 1));
+        assert_eq!(a.pending_retirements(), 0);
+        assert!(a.recover_page_bytes(PageAddr::zero()).is_none());
+    }
+
+    #[test]
+    fn wear_threshold_fails_cycled_blocks() {
+        let mut a = array();
+        a.inject_faults(FaultPlan::none().wear_threshold(2));
+        a.program(PageAddr::zero(), &[1]).unwrap();
+        assert!(a.read(PageAddr::zero()).is_ok());
+        a.erase_block(PageAddr::zero()).unwrap();
+        a.erase_block(PageAddr::zero()).unwrap();
+        a.program(PageAddr::zero(), &[2]).unwrap();
+        let mut stats = ReadFaultStats::new();
+        assert!(a.read_with_stats(PageAddr::zero(), &mut stats).is_err());
+        assert_eq!(stats.remappable, 1);
+        assert_eq!(a.pending_retirements(), 1);
+        // A fresh block is unaffected by the wear layer.
+        let fresh = PageAddr {
+            block: 3,
+            ..PageAddr::zero()
+        };
+        a.program(fresh, &[3]).unwrap();
+        assert!(a.read(fresh).is_ok());
     }
 }

@@ -9,7 +9,7 @@
 use crate::array::FlashArray;
 use crate::geometry::{PageAddr, SsdGeometry};
 use crate::{FlashError, Result};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// A logical block address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,6 +55,9 @@ pub struct BlockFtl {
     wear: HashMap<PhysicalBlock, u64>,
     /// Blocks whose mapping was dropped but which have not been erased yet.
     invalidated: Vec<PhysicalBlock>,
+    /// Bad blocks taken out of service: never allocated again, never
+    /// returned to the free list by GC.
+    retired: BTreeSet<PhysicalBlock>,
     next_logical: u64,
     gc_runs: u64,
 }
@@ -89,6 +92,7 @@ impl BlockFtl {
             free,
             wear: HashMap::new(),
             invalidated: Vec::new(),
+            retired: BTreeSet::new(),
             next_logical: 0,
             gc_runs: 0,
         }
@@ -120,7 +124,15 @@ impl BlockFtl {
         if self.free.is_empty() {
             self.collect_garbage(array)?;
         }
-        let phys = self.free.pop_front().ok_or(FlashError::OutOfSpace)?;
+        // Retired blocks can reach the free list only through pre-existing
+        // state (a block retired while free); skip them here as the second
+        // line of defence.
+        let phys = loop {
+            let candidate = self.free.pop_front().ok_or(FlashError::OutOfSpace)?;
+            if !self.retired.contains(&candidate) {
+                break candidate;
+            }
+        };
         let logical = LogicalBlock(self.next_logical);
         self.next_logical += 1;
         self.map.insert(logical, phys);
@@ -181,9 +193,40 @@ impl BlockFtl {
             .filter(|b| !rebuilt.contains(b) && !self.map.values().any(|m| m == b))
             .collect();
         rebuilt.extend(worn_free);
+        // Retired blocks must never re-enter circulation, whichever path
+        // put them in the candidate set (pre-retirement free-list entries
+        // or the worn-block sweep above).
+        rebuilt.retain(|b| !self.retired.contains(b));
         rebuilt.sort_by_key(|b| (self.wear.get(b).copied().unwrap_or(0), *b));
         self.free = rebuilt.into();
         Ok(reclaimed)
+    }
+
+    /// Retires a bad block: it is removed from the free list, dropped
+    /// from any logical mapping, and never handed out by
+    /// [`BlockFtl::allocate`] or returned by GC again.
+    ///
+    /// Returns the logical block that mapped to it, if any (the caller
+    /// remaps that logical block's data elsewhere).
+    pub fn retire(&mut self, block: PhysicalBlock) -> Option<LogicalBlock> {
+        self.retired.insert(block);
+        self.free.retain(|b| *b != block);
+        self.invalidated.retain(|b| *b != block);
+        let logical = self.map.iter().find(|(_, p)| **p == block).map(|(l, _)| *l);
+        if let Some(l) = logical {
+            self.map.remove(&l);
+        }
+        logical
+    }
+
+    /// Number of blocks retired so far.
+    pub fn retired_blocks(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// True if `block` has been retired.
+    pub fn is_retired(&self, block: PhysicalBlock) -> bool {
+        self.retired.contains(&block)
     }
 
     /// Erase count recorded for a physical block.
@@ -301,5 +344,97 @@ mod tests {
             ftl.collect_garbage(&mut array),
             Err(FlashError::OutOfSpace)
         ));
+    }
+
+    #[test]
+    fn retired_block_is_never_allocated_again() {
+        let (mut ftl, mut array) = setup();
+        let (l, bad) = ftl.allocate(&mut array).unwrap();
+        assert_eq!(ftl.retire(bad), Some(l));
+        assert!(ftl.is_retired(bad));
+        assert_eq!(ftl.retired_blocks(), 1);
+        assert!(ftl.translate(l).is_err(), "retirement drops the mapping");
+        // Drain the entire drive: the retired block never reappears.
+        let mut seen = Vec::new();
+        while let Ok((_, p)) = ftl.allocate(&mut array) {
+            assert_ne!(p, bad, "allocator handed out a retired block");
+            seen.push(p);
+        }
+        let total = array.geometry().channels
+            * array.geometry().chips_per_channel
+            * array.geometry().planes_per_chip
+            * array.geometry().blocks_per_plane;
+        assert_eq!(seen.len(), total - 1);
+    }
+
+    #[test]
+    fn retired_block_survives_gc_rebuild() {
+        let (mut ftl, mut array) = setup();
+        // Allocate everything, retire one mapped block, invalidate the
+        // rest; GC's wear-ordered rebuild must not resurrect the retiree.
+        let total = ftl.free_blocks();
+        let mut logicals = Vec::new();
+        for _ in 0..total {
+            logicals.push(ftl.allocate(&mut array).unwrap());
+        }
+        let (bad_l, bad_p) = logicals[3];
+        assert_eq!(ftl.retire(bad_p), Some(bad_l));
+        for &(l, p) in &logicals {
+            if p != bad_p {
+                ftl.invalidate(l).unwrap();
+            }
+        }
+        let reclaimed = ftl.collect_garbage(&mut array).unwrap();
+        assert_eq!(reclaimed, total - 1);
+        assert_eq!(ftl.gc_runs(), 1);
+        assert_eq!(ftl.free_blocks(), total - 1);
+        // Every allocatable block excludes the retiree, forever.
+        for _ in 0..(total - 1) {
+            let (_, p) = ftl.allocate(&mut array).unwrap();
+            assert_ne!(p, bad_p);
+        }
+        assert!(matches!(
+            ftl.allocate(&mut array),
+            Err(FlashError::OutOfSpace)
+        ));
+    }
+
+    #[test]
+    fn retiring_a_free_block_removes_it_from_the_free_list() {
+        let (mut ftl, mut array) = setup();
+        let before = ftl.free_blocks();
+        // Retire a block that is still on the free list.
+        let victim = PhysicalBlock {
+            channel: 0,
+            chip: 0,
+            plane: 0,
+            block: 0,
+        };
+        assert_eq!(ftl.retire(victim), None);
+        assert_eq!(ftl.free_blocks(), before - 1);
+        let (_, p) = ftl.allocate(&mut array).unwrap();
+        assert_ne!(p, victim);
+    }
+
+    #[test]
+    fn gc_stats_stay_consistent_after_retirement() {
+        let (mut ftl, mut array) = setup();
+        let (l0, p0) = ftl.allocate(&mut array).unwrap();
+        let (l1, _) = ftl.allocate(&mut array).unwrap();
+        ftl.retire(p0);
+        ftl.invalidate(l1).unwrap();
+        ftl.collect_garbage(&mut array).unwrap();
+        // The retired block was never erased by GC: its wear is untouched
+        // and the reclaim count only covers the invalidated block.
+        assert_eq!(ftl.wear_of(p0), 0);
+        assert_eq!(ftl.gc_runs(), 1);
+        #[cfg(feature = "obs")]
+        {
+            assert_eq!(array.metrics().gc_runs(), 1);
+            assert_eq!(array.metrics().gc_blocks_reclaimed(), 1);
+        }
+        // Invalidating the retired logical block is an error (mapping
+        // is already gone).
+        assert!(ftl.invalidate(l0).is_err());
     }
 }

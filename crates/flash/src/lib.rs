@@ -46,7 +46,7 @@ pub mod trace;
 
 pub use geometry::{PageAddr, SsdGeometry};
 pub use obs::{FlashEventCounts, FlashMetrics};
-pub use timing::{FlashTiming, SimDuration};
+pub use timing::{FlashTiming, ReadRetryPolicy, SimDuration};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

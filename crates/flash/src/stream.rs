@@ -16,7 +16,7 @@
 //! completion timestamps (used by the FLASH_DFV prefetch-queue model of
 //! §4.4).
 
-use crate::timing::SimDuration;
+use crate::timing::{FlashTiming, SimDuration};
 use crate::SsdConfig;
 
 /// Detailed outcome of streaming one shard's pages: the total stream
@@ -252,6 +252,22 @@ pub fn all_channels_stream(cfg: &SsdConfig, pages_per_channel: &[u64]) -> SimDur
         .fold(SimDuration::ZERO, SimDuration::max)
 }
 
+/// Simulated stall a scan pass pays for its read retries.
+///
+/// `retries_by_round[r]` counts reads whose round-`r` attempt (0-based)
+/// failed and went another round; retry `r+1` costs
+/// [`crate::timing::ReadRetryPolicy::cost_of`]`(r + 1)`. Retries on
+/// different planes could in principle overlap, but a retrying read
+/// monopolizes its plane's page buffer, so charging the full serial cost
+/// models the §2.2 single-buffered-plane constraint conservatively.
+pub fn retry_stall(timing: &FlashTiming, retries_by_round: &[u64]) -> SimDuration {
+    retries_by_round
+        .iter()
+        .enumerate()
+        .map(|(r, &n)| timing.read_retry.cost_of(r as u32 + 1) * n)
+        .sum()
+}
+
 /// Splits `total_pages` evenly over `channels` channels (striped layout).
 pub fn stripe_pages(total_pages: u64, channels: usize) -> Vec<u64> {
     let base = total_pages / channels as u64;
@@ -406,6 +422,21 @@ mod tests {
         assert!(d.bus_wait > SimDuration::ZERO, "{d:?}");
         // A single page never waits for the bus.
         assert_eq!(s.stream_pages_detailed(1).bus_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_stall_charges_the_escalating_ladder() {
+        let t = cfg().timing;
+        assert_eq!(retry_stall(&t, &[]), SimDuration::ZERO);
+        assert_eq!(retry_stall(&t, &[0, 0, 0]), SimDuration::ZERO);
+        // 3 first-round retries at 60us + 1 second-round at 80us.
+        assert_eq!(
+            retry_stall(&t, &[3, 1]),
+            SimDuration::from_micros(3 * 60 + 80)
+        );
+        let mut off = cfg().timing;
+        off.read_retry = crate::timing::ReadRetryPolicy::disabled();
+        assert_eq!(retry_stall(&off, &[5, 5]), SimDuration::ZERO);
     }
 
     #[test]

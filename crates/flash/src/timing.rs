@@ -138,6 +138,60 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// The read-retry ladder: how many attempts a page read gets and what
+/// each retry costs in simulated time.
+///
+/// NAND read-retry re-senses the page at shifted reference voltages;
+/// each successive retry tries a more aggressive (and slower) recovery
+/// mode, so the ladder's cost escalates linearly: retry `k` (1-based)
+/// costs `first_retry + step × (k − 1)` on top of the normal page read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadRetryPolicy {
+    /// Total attempts a read gets (1 = no retries).
+    pub max_attempts: u32,
+    /// Simulated cost of the first retry.
+    pub first_retry: SimDuration,
+    /// Additional cost of each subsequent retry.
+    pub step: SimDuration,
+}
+
+impl ReadRetryPolicy {
+    /// Default ladder: 4 attempts, 60 µs for the first retry, 20 µs
+    /// steeper per round (roughly an extra array read plus transfer at
+    /// each shifted-voltage re-sense).
+    pub fn paper_default() -> Self {
+        ReadRetryPolicy {
+            max_attempts: 4,
+            first_retry: SimDuration::from_micros(60),
+            step: SimDuration::from_micros(20),
+        }
+    }
+
+    /// A policy with retries disabled (single attempt).
+    pub fn disabled() -> Self {
+        ReadRetryPolicy {
+            max_attempts: 1,
+            first_retry: SimDuration::ZERO,
+            step: SimDuration::ZERO,
+        }
+    }
+
+    /// Simulated cost of retry `k` (1-based). `k = 0` costs nothing
+    /// (the initial attempt is part of the normal read).
+    pub fn cost_of(&self, k: u32) -> SimDuration {
+        if k == 0 {
+            return SimDuration::ZERO;
+        }
+        self.first_retry + self.step * u64::from(k - 1)
+    }
+}
+
+impl Default for ReadRetryPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
 /// Flash and interconnect timing parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlashTiming {
@@ -162,6 +216,8 @@ pub struct FlashTiming {
     /// Fixed per-command overhead on the channel bus (command/address
     /// cycles), applied once per page transfer.
     pub bus_command_overhead: SimDuration,
+    /// The read-retry ladder for ECC failures.
+    pub read_retry: ReadRetryPolicy,
 }
 
 impl FlashTiming {
@@ -176,6 +232,7 @@ impl FlashTiming {
             external_bytes_per_sec: 3.2e9,
             dram_bytes_per_sec: 20e9,
             bus_command_overhead: SimDuration::from_nanos(200),
+            read_retry: ReadRetryPolicy::paper_default(),
         }
     }
 
@@ -260,6 +317,18 @@ mod tests {
             t.with_read_latency_ratio(1, 8).array_read,
             SimDuration::from_nanos(53_000 / 8)
         );
+    }
+
+    #[test]
+    fn retry_ladder_escalates() {
+        let p = ReadRetryPolicy::paper_default();
+        assert_eq!(p.cost_of(0), SimDuration::ZERO);
+        assert_eq!(p.cost_of(1), SimDuration::from_micros(60));
+        assert_eq!(p.cost_of(2), SimDuration::from_micros(80));
+        assert_eq!(p.cost_of(3), SimDuration::from_micros(100));
+        let off = ReadRetryPolicy::disabled();
+        assert_eq!(off.max_attempts, 1);
+        assert_eq!(off.cost_of(1), SimDuration::ZERO);
     }
 
     #[test]
