@@ -1,0 +1,268 @@
+//! `BENCH_serve.json` emitter: open-loop serving latency vs load.
+//!
+//! Calibrates the engine's sequential query rate, then sweeps offered
+//! arrival rates around it (0.25x to 2x), running the concurrent
+//! serving front end at each rate with an open-loop Poisson load over
+//! a Zipfian mix with noisy duplicates. For every rate it records
+//! completion counts, rejections, and p50/p99/p999 latency measured
+//! from each query's *scheduled* arrival, plus the server's coalescing
+//! counters. Saturation throughput is the best achieved completion
+//! rate across the sweep.
+//!
+//! Modes:
+//! * default — in-process channel transport (deterministic accept
+//!   path, no sockets).
+//! * `--tcp` — loopback TCP transport, exercising the real listener
+//!   and stream framing (the CI serve-smoke configuration).
+//! * `--smoke` — shrink the database and per-rate query counts for CI.
+//!
+//! Exits non-zero unless the sweep covers >= 4 rates and the lowest
+//! rate completed every query with a finite, positive p999.
+
+use deepstore_bench::report::results_dir;
+use deepstore_core::proto::{CommandChannel, ProtoError};
+use deepstore_core::serve::{channel_transport, serve, ServeConfig, TcpClient, TcpTransport};
+use deepstore_core::{AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, ModelId, QueryRequest};
+use deepstore_nn::{zoo, Model, ModelGraph, Tensor};
+use deepstore_workloads::loadgen::{
+    plan, run_open_loop, ArrivalProcess, LoadPlanConfig, LoadReport, LoadTarget,
+};
+use deepstore_workloads::TraceDistribution;
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 61;
+const CONNECTIONS: usize = 6;
+const QUEUE_DEPTH: usize = 32;
+
+struct Sizes {
+    features: u64,
+    calib_queries: usize,
+    rate_multipliers: &'static [f64],
+    /// Seconds of offered load per rate point.
+    window_secs: f64,
+}
+
+const SMOKE: Sizes = Sizes {
+    features: 96,
+    calib_queries: 24,
+    rate_multipliers: &[0.25, 0.5, 1.0, 1.5],
+    window_secs: 1.0,
+};
+
+const FULL: Sizes = Sizes {
+    features: 256,
+    calib_queries: 48,
+    rate_multipliers: &[0.25, 0.5, 1.0, 1.5, 2.0],
+    window_secs: 3.0,
+};
+
+#[derive(Serialize)]
+struct ServePoint {
+    offered_qps: f64,
+    achieved_qps: f64,
+    offered: u64,
+    completed: u64,
+    rejected_overloaded: u64,
+    rejected_quota: u64,
+    errors: u64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    max_ms: f64,
+    engine_batches: u64,
+    coalesced_queries: u64,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    version: u32,
+    workload: String,
+    transport: String,
+    features: u64,
+    connections: usize,
+    queue_depth: usize,
+    calibrated_seq_qps: f64,
+    saturation_qps: f64,
+    points: Vec<ServePoint>,
+}
+
+fn fresh_store(model: &Model, features: u64) -> (DeepStore, ModelId, DbId) {
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let db_features: Vec<Tensor> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&db_features).expect("write_db");
+    let mid = store
+        .load_model(&ModelGraph::from_model(model))
+        .expect("load_model");
+    (store, mid, db)
+}
+
+/// Sequential closed-loop rate of the bare engine: the yardstick the
+/// arrival-rate sweep is scaled against.
+fn calibrate(model: &Model, sizes: &Sizes) -> f64 {
+    let (mut store, mid, db) = fresh_store(model, sizes.features);
+    // Warm one pass.
+    let warm = store
+        .query(QueryRequest::new(model.random_feature(90_000), mid, db).k(4))
+        .expect("warm query");
+    store.results(warm).expect("warm results");
+    let start = Instant::now();
+    for i in 0..sizes.calib_queries {
+        let qid = store
+            .query(QueryRequest::new(model.random_feature(91_000 + i as u64), mid, db).k(4))
+            .expect("calibration query");
+        store.results(qid).expect("calibration results");
+    }
+    sizes.calib_queries as f64 / start.elapsed().as_secs_f64()
+}
+
+fn rate_point<C, F>(
+    connect: F,
+    model: &Model,
+    qps: f64,
+    sizes: &Sizes,
+    mid: ModelId,
+    db: DbId,
+) -> LoadReport
+where
+    C: CommandChannel,
+    F: Fn() -> Result<C, ProtoError> + Sync,
+{
+    let queries = ((qps * sizes.window_secs) as usize).clamp(24, 2_000);
+    let offered = plan(&LoadPlanConfig {
+        queries,
+        qps,
+        arrivals: ArrivalProcess::Poisson,
+        dim: model.feature_len(),
+        pool_size: 32,
+        clusters: 8,
+        distribution: TraceDistribution::Zipfian { alpha: 0.7 },
+        duplicate_rate: 0.2,
+        seed: SEED,
+    });
+    run_open_loop(
+        connect,
+        CONNECTIONS,
+        &offered,
+        LoadTarget {
+            model: mid,
+            db,
+            k: 4,
+            level: AcceleratorLevel::Ssd,
+        },
+    )
+    .expect("open-loop run failed")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let sizes = if smoke { SMOKE } else { FULL };
+
+    let model = zoo::textqa().seeded(SEED);
+    let seq_qps = calibrate(&model, &sizes);
+    println!("== serving sweep ({} textqa features) ==", sizes.features);
+    println!("  calibrated sequential rate: {seq_qps:>9.0} q/s");
+
+    let mut points = Vec::new();
+    for &mult in sizes.rate_multipliers {
+        let qps = seq_qps * mult;
+        let (store, mid, db) = fresh_store(&model, sizes.features);
+        let cfg = ServeConfig {
+            queue_depth: QUEUE_DEPTH,
+            ..ServeConfig::default()
+        };
+        let (report, stats) = if tcp {
+            let transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");
+            let handle = serve(transport, store, cfg);
+            let endpoint = handle.endpoint().to_string();
+            let report = rate_point(
+                || TcpClient::connect(&endpoint),
+                &model,
+                qps,
+                &sizes,
+                mid,
+                db,
+            );
+            let (_store, stats) = handle.shutdown();
+            (report, stats)
+        } else {
+            let (transport, connector) = channel_transport();
+            let handle = serve(transport, store, cfg);
+            let report = rate_point(|| connector.connect(), &model, qps, &sizes, mid, db);
+            let (_store, stats) = handle.shutdown();
+            (report, stats)
+        };
+        println!(
+            "  offered {:>8.0} q/s ({mult:>4.2}x): achieved {:>8.0} q/s  p50 {:>8.3} ms  \
+             p99 {:>8.3} ms  p999 {:>8.3} ms  ({} completed, {} rejected)",
+            report.offered_qps,
+            report.achieved_qps,
+            report.p50_ms,
+            report.p99_ms,
+            report.p999_ms,
+            report.completed,
+            report.rejected_overloaded + report.rejected_quota,
+        );
+        points.push(ServePoint {
+            offered_qps: report.offered_qps,
+            achieved_qps: report.achieved_qps,
+            offered: report.offered,
+            completed: report.completed,
+            rejected_overloaded: report.rejected_overloaded,
+            rejected_quota: report.rejected_quota,
+            errors: report.errors,
+            mean_ms: report.mean_ms,
+            p50_ms: report.p50_ms,
+            p99_ms: report.p99_ms,
+            p999_ms: report.p999_ms,
+            max_ms: report.max_ms,
+            engine_batches: stats.engine_batches,
+            coalesced_queries: stats.coalesced_queries,
+        });
+    }
+
+    let saturation_qps = points.iter().fold(0.0f64, |m, p| m.max(p.achieved_qps));
+    println!("  saturation throughput: {saturation_qps:>9.0} q/s");
+
+    let report = ServeBench {
+        version: 1,
+        workload: "textqa".into(),
+        transport: if tcp { "tcp" } else { "channel" }.into(),
+        features: sizes.features,
+        connections: CONNECTIONS,
+        queue_depth: QUEUE_DEPTH,
+        calibrated_seq_qps: seq_qps,
+        saturation_qps,
+        points,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("[written {}]", path.display());
+
+    // SLO gates: the sweep must be wide enough to see saturation, and
+    // at the lowest rate the server must complete everything with a
+    // measurable, finite tail.
+    assert!(
+        report.points.len() >= 4,
+        "sweep too narrow: {} rates",
+        report.points.len()
+    );
+    let lowest = &report.points[0];
+    assert_eq!(
+        lowest.completed, lowest.offered,
+        "dropped queries at the lowest rate"
+    );
+    assert!(
+        lowest.p999_ms > 0.0 && lowest.p999_ms.is_finite(),
+        "p999 not finite/positive at the lowest rate: {}",
+        lowest.p999_ms
+    );
+    assert!(saturation_qps > 0.0, "no completions anywhere in the sweep");
+    println!("  SLO gates passed");
+}

@@ -6,12 +6,17 @@ use deepstore_core::accel::scan;
 use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
 use deepstore_core::proto::{Device, HostClient};
 use deepstore_core::runtime::Runtime;
+use deepstore_core::serve::{serve, QuotaConfig, ServeConfig, TcpClient, TcpTransport};
 use deepstore_core::{DeepStore, QueryRequest, ScanWorkload};
 use deepstore_flash::SimDuration;
 use deepstore_nn::{zoo, ModelGraph};
+use deepstore_workloads::loadgen::{
+    plan, run_open_loop, ArrivalProcess, LoadPlanConfig, LoadTarget,
+};
 use deepstore_workloads::replay::QueryTrace;
 use deepstore_workloads::{QueryStream, TraceDistribution, APP_NAMES};
 use std::error::Error;
+use std::time::Duration;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -31,6 +36,15 @@ commands:
                                           generate a Poisson query trace
   replay     --trace <file> [--features N] [--parallelism P]
              [--batch-window-us W]        replay a trace through the runtime
+  serve      [--app <name>] [--features N] [--port P] [--addr-file <file>]
+             [--duration-ms MS] [--queue-depth D] [--quota-qps F]
+             [--quota-burst F] [--batch-window-us W] [--parallelism P]
+             [--seed S]                   serve a store over loopback TCP
+  loadgen    (--addr H:P | --addr-file <file>) [--app <name>] [--qps F]
+             [--queries N] [--arrivals poisson|fixed] [--connections C]
+             [--alpha F] [--dup-rate F] [--k K] [--db N] [--model N]
+             [--level ssd|channel|chip] [--seed S]
+                                          open-loop load against a server
 
 `--parallelism` sets the scan worker-thread count (0 = one per host
 core). It changes host wall-clock time only; results and simulated
@@ -52,6 +66,17 @@ fault path: read retries, recovered reads, remapped/lost pages, retired
 blocks and degraded queries.
 `replay --batch-window-us` lets the runtime coalesce queries arriving
 within the window into shared passes (0 or omitted = serial).
+`serve` builds a drive from the app's model, binds a TCP listener
+(`--port 0` picks a free port; `--addr-file` writes the bound address)
+and serves concurrent clients, coalescing co-pending queries into
+shared flash passes. `--duration-ms 0` serves until killed. Admission
+control: `--queue-depth` bounds the pending queue (full = typed
+Overloaded rejection), `--quota-qps`/`--quota-burst` arm per-tenant
+token buckets keyed by the hello client id.
+`loadgen` offers an open-loop arrival schedule (latency is measured
+from each query's *scheduled* arrival, so queueing under overload
+counts) and prints p50/p99/p999 plus rejection counts. `--db`/`--model`
+default to 1: the ids `serve` assigns to its first database and model.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -72,6 +97,8 @@ pub fn run(argv: &[String]) -> CmdResult {
         "stats" => cmd_stats(rest),
         "trace" => cmd_trace(rest),
         "replay" => cmd_replay(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         other => Err(ArgError(format!("unknown command `{other}`")).into()),
     }
 }
@@ -446,6 +473,177 @@ fn cmd_replay(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&[
+        "app",
+        "features",
+        "port",
+        "addr-file",
+        "duration-ms",
+        "queue-depth",
+        "quota-qps",
+        "quota-burst",
+        "batch-window-us",
+        "parallelism",
+        "seed",
+    ])?;
+    let app_name = flags.str_or("app", "textqa");
+    let features: u64 = flags.num_or("features", 64)?;
+    let port: u16 = flags.num_or("port", 0)?;
+    let duration_ms: u64 = flags.num_or("duration-ms", 0)?;
+    let queue_depth: usize = flags.num_or("queue-depth", 64)?;
+    let quota_qps: f64 = flags.num_or("quota-qps", 0.0)?;
+    let quota_burst: f64 = flags.num_or("quota-burst", 0.0)?;
+    let batch_window_us: u64 = flags.num_or("batch-window-us", 0)?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(seed);
+    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&fs)?;
+    let mid = store.load_model(&ModelGraph::from_model(&model))?;
+
+    let cfg = ServeConfig {
+        queue_depth,
+        batch_window: (batch_window_us > 0).then(|| Duration::from_micros(batch_window_us)),
+        quota: (quota_qps > 0.0).then(|| QuotaConfig {
+            burst: if quota_burst > 0.0 {
+                quota_burst
+            } else {
+                quota_qps.max(1.0)
+            },
+            refill_per_sec: quota_qps,
+        }),
+        ..ServeConfig::default()
+    };
+    let transport = TcpTransport::bind(&format!("127.0.0.1:{port}"))
+        .map_err(|e| ArgError(format!("cannot bind port {port}: {e}")))?;
+    let handle = serve(transport, store, cfg);
+    println!(
+        "serving `{app_name}` ({features} features, db {}, model {}) on {}",
+        db.0,
+        mid.0,
+        handle.endpoint()
+    );
+    if let Some(path) = flags.opt("addr-file") {
+        std::fs::write(path, handle.endpoint())?;
+    }
+    if duration_ms == 0 {
+        println!("(serving until killed; pass --duration-ms to bound)");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    let (_store, stats) = handle.shutdown();
+    println!(
+        "served {} connections, {} frames, {} queries admitted",
+        stats.connections, stats.frames, stats.queries_admitted
+    );
+    println!(
+        "  rejected   : {} overloaded, {} over quota, {} malformed frames",
+        stats.rejected_overloaded, stats.rejected_quota, stats.malformed_frames
+    );
+    println!(
+        "  coalescing : {} queries shared {} engine passes",
+        stats.coalesced_queries, stats.engine_batches
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&[
+        "addr",
+        "addr-file",
+        "app",
+        "qps",
+        "queries",
+        "arrivals",
+        "connections",
+        "alpha",
+        "dup-rate",
+        "k",
+        "db",
+        "model",
+        "level",
+        "seed",
+    ])?;
+    let addr = match (flags.opt("addr"), flags.opt("addr-file")) {
+        (Some(a), _) => a.to_string(),
+        (None, Some(path)) => std::fs::read_to_string(path)?.trim().to_string(),
+        (None, None) => return Err(ArgError("need --addr or --addr-file".into()).into()),
+    };
+    let app_name = flags.str_or("app", "textqa");
+    let qps: f64 = flags.num_or("qps", 100.0)?;
+    let queries: usize = flags.num_or("queries", 200)?;
+    let arrivals = match flags.str_or("arrivals", "poisson") {
+        "poisson" => ArrivalProcess::Poisson,
+        "fixed" => ArrivalProcess::Fixed,
+        other => {
+            return Err(ArgError(format!(
+                "unknown arrival process `{other}` (expected poisson|fixed)"
+            ))
+            .into())
+        }
+    };
+    let connections: usize = flags.num_or("connections", 4)?;
+    let alpha: f64 = flags.num_or("alpha", 0.7)?;
+    let dup_rate: f64 = flags.num_or("dup-rate", 0.2)?;
+    let k: usize = flags.num_or("k", 5)?;
+    let db: u64 = flags.num_or("db", 1)?;
+    let model_id: u64 = flags.num_or("model", 1)?;
+    let level = parse_level(flags.str_or("level", "ssd"))?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+
+    let model =
+        zoo::by_name(app_name).ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?;
+    let offered = plan(&LoadPlanConfig {
+        queries,
+        qps,
+        arrivals,
+        dim: model.feature_len(),
+        pool_size: 32,
+        clusters: 8,
+        distribution: TraceDistribution::Zipfian { alpha },
+        duplicate_rate: dup_rate,
+        seed,
+    });
+    let report = run_open_loop(
+        || TcpClient::connect(&addr),
+        connections,
+        &offered,
+        LoadTarget {
+            model: deepstore_core::ModelId(model_id),
+            db: deepstore_core::DbId(db),
+            k,
+            level,
+        },
+    )
+    .map_err(|e| ArgError(format!("load generation against {addr} failed: {e}")))?;
+    println!(
+        "offered {} `{app_name}` queries at {:.0} q/s over {connections} connections to {addr}:",
+        report.offered, report.offered_qps
+    );
+    println!(
+        "  completed  : {} ({:.0} q/s achieved over {:.2} s)",
+        report.completed, report.achieved_qps, report.duration_secs
+    );
+    println!(
+        "  rejected   : {} overloaded, {} over quota, {} errors",
+        report.rejected_overloaded, report.rejected_quota, report.errors
+    );
+    println!(
+        "  latency    : mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms  max {:.3} ms",
+        report.mean_ms, report.p50_ms, report.p99_ms, report.p999_ms, report.max_ms
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,6 +861,80 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_then_loadgen_over_loopback() {
+        let addr_file = std::env::temp_dir().join("deepstore_cli_test_serve_addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let addr_s = addr_file.to_str().unwrap().to_string();
+        let server_args = argv(&[
+            "serve",
+            "--app",
+            "textqa",
+            "--features",
+            "32",
+            "--port",
+            "0",
+            "--addr-file",
+            &addr_s,
+            "--duration-ms",
+            "2500",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args).map_err(|e| e.to_string()));
+        // Wait for the server to publish its bound address.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !addr_file.exists() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        run(&argv(&[
+            "loadgen",
+            "--addr-file",
+            &addr_s,
+            "--qps",
+            "400",
+            "--queries",
+            "20",
+            "--connections",
+            "2",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        // Fixed arrivals against an explicit --addr work too.
+        let addr = std::fs::read_to_string(&addr_file).unwrap();
+        run(&argv(&[
+            "loadgen",
+            "--addr",
+            addr.trim(),
+            "--qps",
+            "400",
+            "--queries",
+            "10",
+            "--arrivals",
+            "fixed",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&addr_file).ok();
+    }
+
+    #[test]
+    fn loadgen_flag_validation() {
+        assert!(run(&argv(&["loadgen"])).is_err()); // no addr
+        assert!(run(&argv(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--arrivals",
+            "bursty"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["serve", "--app", "nope"])).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! deepstore-cli query --app tir --features 256 --k 5 --level channel
 //! deepstore-cli trace --queries 200 --qps 5 --out /tmp/trace.json
 //! deepstore-cli replay --trace /tmp/trace.json --features 128
+//! deepstore-cli serve --app textqa --port 4096 --duration-ms 0
+//! deepstore-cli loadgen --addr 127.0.0.1:4096 --qps 500 --queries 1000
 //! ```
 
 mod args;

@@ -43,6 +43,24 @@ pub enum DeepStoreError {
     },
     /// A flash/FTL-level failure (bad address, ECC, capacity, …).
     Flash(FlashError),
+    /// The serving front end's bounded pending queue was full; the
+    /// request was rejected without being enqueued. Retry after
+    /// backing off.
+    Overloaded {
+        /// Capacity of the pending queue that was full.
+        queue_depth: u64,
+    },
+    /// The per-tenant token bucket for `client` had no tokens left;
+    /// the request was rejected before admission.
+    QuotaExceeded {
+        /// The client id (from the `hello` handshake) whose quota ran
+        /// out.
+        client: String,
+    },
+    /// A device-side failure reported over the wire that has no
+    /// structured local counterpart (e.g. a flash error carried as
+    /// prose in a response frame).
+    Remote(String),
 }
 
 impl fmt::Display for DeepStoreError {
@@ -61,6 +79,16 @@ impl fmt::Display for DeepStoreError {
                 )
             }
             DeepStoreError::Flash(e) => write!(f, "{e}"),
+            DeepStoreError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "server overloaded: pending queue (depth {queue_depth}) is full"
+                )
+            }
+            DeepStoreError::QuotaExceeded { client } => {
+                write!(f, "quota exceeded for client `{client}`")
+            }
+            DeepStoreError::Remote(e) => write!(f, "remote device error: {e}"),
         }
     }
 }
@@ -122,6 +150,20 @@ mod tests {
         assert_eq!(e, DeepStoreError::Flash(FlashError::UnknownDb(9)));
         assert!(e.source().is_some());
         assert!(DeepStoreError::UnknownQuery(QueryId(1)).source().is_none());
+    }
+
+    #[test]
+    fn serving_rejections_display() {
+        let o = DeepStoreError::Overloaded { queue_depth: 8 };
+        assert!(o.to_string().contains("overloaded"));
+        assert!(o.to_string().contains('8'));
+        let q = DeepStoreError::QuotaExceeded {
+            client: "tenant-a".into(),
+        };
+        assert!(q.to_string().contains("tenant-a"));
+        let r = DeepStoreError::Remote("ecc storm".into());
+        assert!(r.to_string().contains("ecc storm"));
+        assert_ne!(o, q);
     }
 
     #[test]

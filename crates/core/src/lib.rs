@@ -50,6 +50,7 @@ pub mod error;
 pub mod proto;
 pub mod qcache;
 pub mod runtime;
+pub mod serve;
 pub mod telemetry;
 
 pub use accel::{scan, scan_batch, ScanTiming, ScanWorkload, ShardTiming};
@@ -59,4 +60,8 @@ pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
 pub use error::{DeepStoreError, Result};
 pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};
+pub use serve::{
+    channel_transport, serve, ChannelClient, ChannelConnector, QuotaConfig, ServeClock,
+    ServeConfig, ServerHandle, ServerStats, TcpClient, TcpTransport, Transport,
+};
 pub use telemetry::{DeviceStats, StageTotals};

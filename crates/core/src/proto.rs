@@ -29,11 +29,13 @@
 use crate::api::{DeepStore, ModelId, QueryId, QueryRequest, QueryResult};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::DbId;
+use crate::error::DeepStoreError;
 use crate::qcache::QueryCacheConfig;
 use crate::telemetry::DeviceStats;
 use deepstore_nn::{ModelGraph, Tensor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::io::{Read, Write};
 
 /// Protocol magic ("DSTR").
 pub const MAGIC: [u8; 4] = *b"DSTR";
@@ -41,9 +43,14 @@ pub const MAGIC: [u8; 4] = *b"DSTR";
 pub const VERSION: u8 = 1;
 /// Frame header length: magic(4) + version(1) + opcode(1) + len(4).
 pub const HEADER_LEN: usize = 10;
+/// Largest payload a peer may declare. A stream reader that trusted the
+/// length prefix verbatim could be made to allocate 4 GiB by a single
+/// corrupt header; anything above this cap is rejected as
+/// [`ProtoError::FrameTooLarge`] before allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
 
 /// Errors produced by the protocol layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProtoError {
     /// The frame was shorter than its header or declared length.
     Truncated,
@@ -55,8 +62,43 @@ pub enum ProtoError {
     UnknownOpcode(u8),
     /// The payload failed to deserialize.
     BadPayload(String),
-    /// The device rejected the command.
-    Device(String),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The peer disconnected: at a frame boundary after a request was
+    /// sent, or mid-frame at any time.
+    ConnectionClosed,
+    /// A transport-level I/O failure.
+    Io(String),
+    /// The device rejected the command (structured; see [`WireError`]).
+    Device(WireError),
+}
+
+impl ProtoError {
+    /// The structured device-side error, when this is a device
+    /// rejection. Lets callers that think in engine terms (load
+    /// generators, retry loops) recover a [`DeepStoreError`] from a
+    /// wire-level failure.
+    pub fn device_error(&self) -> Option<DeepStoreError> {
+        match self {
+            ProtoError::Device(w) => Some(w.clone().into()),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an admission-control rejection (overload or
+    /// quota) — transient by design, safe to retry after backoff.
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::Device(WireError::Overloaded { .. })
+                | ProtoError::Device(WireError::QuotaExceeded { .. })
+        )
+    }
 }
 
 impl fmt::Display for ProtoError {
@@ -67,12 +109,134 @@ impl fmt::Display for ProtoError {
             ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
             ProtoError::BadPayload(e) => write!(f, "bad payload: {e}"),
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            ProtoError::ConnectionClosed => write!(f, "connection closed"),
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
             ProtoError::Device(e) => write!(f, "device error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ProtoError {}
+
+/// A device-side error as carried in a [`Response::Error`] frame: the
+/// serializable mirror of [`DeepStoreError`], plus the serving-layer
+/// rejections. Structured variants round-trip losslessly; flash/FTL
+/// failures travel as prose ([`WireError::Device`]) because their
+/// payload types are not wire types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireError {
+    /// Mirror of [`DeepStoreError::UnknownModel`].
+    UnknownModel(u64),
+    /// Mirror of [`DeepStoreError::UnknownQuery`].
+    UnknownQuery(u64),
+    /// Mirror of [`DeepStoreError::LevelUnsupported`].
+    LevelUnsupported {
+        /// Name of the model that has no mapping at this level.
+        model: String,
+        /// The accelerator level that was requested.
+        level: AcceleratorLevel,
+    },
+    /// Mirror of [`DeepStoreError::InsufficientCoverage`].
+    InsufficientCoverage {
+        /// The coverage fraction the request demanded.
+        required: f64,
+        /// The coverage fraction the scan actually achieved.
+        achieved: f64,
+    },
+    /// The server's bounded pending queue was full (admission control).
+    Overloaded {
+        /// Capacity of the pending queue that was full.
+        queue_depth: u64,
+    },
+    /// The per-tenant token bucket was empty (admission control).
+    QuotaExceeded {
+        /// The client id whose quota ran out.
+        client: String,
+    },
+    /// Any other device-side failure, carried as prose (flash/FTL
+    /// errors, model-graph parse failures).
+    Device(String),
+    /// The request frame itself was malformed (framing or payload).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownModel(id) => write!(f, "unknown model id {id}"),
+            WireError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            WireError::LevelUnsupported { model, level } => {
+                write!(f, "model `{model}` has no {level}-level mapping")
+            }
+            WireError::InsufficientCoverage { required, achieved } => {
+                write!(
+                    f,
+                    "insufficient coverage: scan reached {achieved:.4} of the \
+                     database, request requires {required:.4}"
+                )
+            }
+            WireError::Overloaded { queue_depth } => {
+                write!(
+                    f,
+                    "server overloaded: pending queue (depth {queue_depth}) is full"
+                )
+            }
+            WireError::QuotaExceeded { client } => {
+                write!(f, "quota exceeded for client `{client}`")
+            }
+            WireError::Device(e) => f.write_str(e),
+            WireError::Malformed(e) => write!(f, "malformed request: {e}"),
+        }
+    }
+}
+
+impl From<&DeepStoreError> for WireError {
+    fn from(e: &DeepStoreError) -> Self {
+        match e {
+            DeepStoreError::UnknownModel(id) => WireError::UnknownModel(id.0),
+            DeepStoreError::UnknownQuery(id) => WireError::UnknownQuery(id.0),
+            DeepStoreError::LevelUnsupported { model, level } => WireError::LevelUnsupported {
+                model: model.clone(),
+                level: *level,
+            },
+            DeepStoreError::InsufficientCoverage { required, achieved } => {
+                WireError::InsufficientCoverage {
+                    required: *required,
+                    achieved: *achieved,
+                }
+            }
+            DeepStoreError::Overloaded { queue_depth } => WireError::Overloaded {
+                queue_depth: *queue_depth,
+            },
+            DeepStoreError::QuotaExceeded { client } => WireError::QuotaExceeded {
+                client: client.clone(),
+            },
+            DeepStoreError::Flash(e) => WireError::Device(e.to_string()),
+            DeepStoreError::Remote(e) => WireError::Device(e.clone()),
+        }
+    }
+}
+
+impl From<WireError> for DeepStoreError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::UnknownModel(id) => DeepStoreError::UnknownModel(ModelId(id)),
+            WireError::UnknownQuery(id) => DeepStoreError::UnknownQuery(QueryId(id)),
+            WireError::LevelUnsupported { model, level } => {
+                DeepStoreError::LevelUnsupported { model, level }
+            }
+            WireError::InsufficientCoverage { required, achieved } => {
+                DeepStoreError::InsufficientCoverage { required, achieved }
+            }
+            WireError::Overloaded { queue_depth } => DeepStoreError::Overloaded { queue_depth },
+            WireError::QuotaExceeded { client } => DeepStoreError::QuotaExceeded { client },
+            WireError::Device(e) | WireError::Malformed(e) => DeepStoreError::Remote(e),
+        }
+    }
+}
 
 /// Host→device commands (the Table 2 call set).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +301,13 @@ pub enum Command {
     /// `getStats`: fetch the device's telemetry snapshot (pipeline
     /// counters, per-stage latency totals, flash event counts).
     Stats,
+    /// `hello`: the serving handshake. Identifies the tenant for
+    /// per-client quota accounting; connections that skip it are billed
+    /// to a per-connection anonymous id.
+    Hello {
+        /// The client/tenant id to bill subsequent queries to.
+        client: String,
+    },
 }
 
 impl Command {
@@ -151,6 +322,17 @@ impl Command {
             Command::GetResults { .. } => 0x07,
             Command::QueryBatch { .. } => 0x08,
             Command::Stats => 0x09,
+            Command::Hello { .. } => 0x0A,
+        }
+    }
+
+    /// How many queries this command admits (the admission-control
+    /// cost; non-query commands are free).
+    pub fn query_cost(&self) -> u64 {
+        match self {
+            Command::Query { .. } => 1,
+            Command::QueryBatch { requests } => requests.len() as u64,
+            _ => 0,
         }
     }
 }
@@ -176,8 +358,25 @@ pub enum Response {
     Results(Box<QueryResult>),
     /// `getStats` payload.
     Stats(Box<DeviceStats>),
+    /// `hello` accepted; echoes the registered client id.
+    HelloAck {
+        /// The client id quota accounting will bill.
+        client: String,
+    },
+    /// Rejected by admission control: the pending queue was full. The
+    /// request was not enqueued; retry after backing off.
+    Overloaded {
+        /// Capacity of the pending queue that was full.
+        queue_depth: u64,
+    },
+    /// Rejected by admission control: the client's token bucket was
+    /// empty.
+    QuotaExceeded {
+        /// The client id whose quota ran out.
+        client: String,
+    },
     /// The command failed on the device.
-    Error(String),
+    Error(WireError),
 }
 
 fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
@@ -202,10 +401,90 @@ fn unframe(bytes: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
     }
     let opcode = bytes[5];
     let len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge {
+            len: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
+    }
     let payload = bytes
         .get(HEADER_LEN..HEADER_LEN + len)
         .ok_or(ProtoError::Truncated)?;
     Ok((opcode, payload))
+}
+
+fn io_err(e: std::io::Error) -> ProtoError {
+    ProtoError::Io(e.to_string())
+}
+
+fn read_exact_frame(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::ConnectionClosed
+        } else {
+            io_err(e)
+        }
+    })
+}
+
+/// Completes a frame whose first header byte has already been read
+/// (transports poll for the first byte with a short timeout, then
+/// commit to the whole frame).
+pub(crate) fn read_frame_after(first: u8, r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    read_exact_frame(r, &mut header[1..])?;
+    if header[..4] != MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::BadVersion(header[4]));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge {
+            len: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
+    }
+    let mut out = vec![0u8; HEADER_LEN + len];
+    out[..HEADER_LEN].copy_from_slice(&header);
+    read_exact_frame(r, &mut out[HEADER_LEN..])?;
+    Ok(out)
+}
+
+/// Reads one whole frame from a byte stream, validating the header and
+/// the [`MAX_FRAME_LEN`] cap before allocating the payload.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary; a
+/// disconnect mid-frame is [`ProtoError::ConnectionClosed`].
+///
+/// # Errors
+///
+/// Any framing violation ([`ProtoError::BadMagic`],
+/// [`ProtoError::BadVersion`], [`ProtoError::FrameTooLarge`]), a
+/// mid-frame EOF, or a transport failure ([`ProtoError::Io`]).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    read_frame_after(first[0], r).map(Some)
+}
+
+/// Writes one frame to a byte stream and flushes it.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Io`] on any transport failure.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), ProtoError> {
+    w.write_all(frame).map_err(io_err)?;
+    w.flush().map_err(io_err)
 }
 
 /// Serializes a command into a wire frame.
@@ -221,7 +500,7 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
 /// Returns a [`ProtoError`] describing any framing or payload problem.
 pub fn decode_command(bytes: &[u8]) -> Result<Command, ProtoError> {
     let (opcode, payload) = unframe(bytes)?;
-    if !(0x01..=0x09).contains(&opcode) {
+    if !(0x01..=0x0A).contains(&opcode) {
         return Err(ProtoError::UnknownOpcode(opcode));
     }
     let cmd: Command =
@@ -263,8 +542,14 @@ pub struct Device {
 impl Device {
     /// Creates a device.
     pub fn new(cfg: DeepStoreConfig) -> Self {
+        Device::with_store(DeepStore::new(cfg))
+    }
+
+    /// Wraps an already-populated store (the serving front end builds
+    /// the store first, then puts the protocol in front of it).
+    pub fn with_store(store: DeepStore) -> Self {
         Device {
-            store: DeepStore::new(cfg),
+            store,
             frames_handled: 0,
         }
     }
@@ -272,6 +557,12 @@ impl Device {
     /// Direct access to the underlying store (diagnostics/tests).
     pub fn store_mut(&mut self) -> &mut DeepStore {
         &mut self.store
+    }
+
+    /// Unwraps the device back into its store (post-shutdown
+    /// inspection).
+    pub fn into_store(self) -> DeepStore {
+        self.store
     }
 
     /// Command frames processed so far.
@@ -286,12 +577,12 @@ impl Device {
         self.frames_handled += 1;
         let resp = match decode_command(frame_bytes) {
             Ok(cmd) => self.dispatch(cmd),
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => Response::Error(WireError::Malformed(e.to_string())),
         };
         encode_response(&resp)
     }
 
-    fn dispatch(&mut self, cmd: Command) -> Response {
+    pub(crate) fn dispatch(&mut self, cmd: Command) -> Response {
         let result = match cmd {
             Command::WriteDb { features } => {
                 self.store.write_db(&features).map(Response::DbCreated)
@@ -305,7 +596,7 @@ impl Device {
             }
             Command::LoadModel { graph } => match ModelGraph::from_bytes(&graph) {
                 Ok(g) => self.store.load_model(&g).map(Response::ModelLoaded),
-                Err(e) => return Response::Error(e.to_string()),
+                Err(e) => return Response::Error(WireError::Device(e.to_string())),
             },
             Command::SetQc { config } => {
                 self.store.set_qc(config);
@@ -330,28 +621,102 @@ impl Device {
                 .results(query)
                 .map(|r| Response::Results(Box::new(r))),
             Command::Stats => Ok(Response::Stats(Box::new(self.store.stats()))),
+            // A bare device accepts any tenant; the serving front end
+            // intercepts `hello` for quota accounting before dispatch.
+            Command::Hello { client } => Ok(Response::HelloAck { client }),
         };
-        result.unwrap_or_else(|e| Response::Error(e.to_string()))
+        result.unwrap_or_else(|e| Response::Error(WireError::from(&e)))
     }
 }
 
-/// Host-side wrapper: the Table 2 API expressed over the wire protocol.
+/// How a [`HostClient`] moves frames: directly into a borrowed
+/// [`Device`], or across a real transport (the serving front end's
+/// channel and TCP clients in [`mod@crate::serve`] implement this too).
+pub trait CommandChannel {
+    /// Sends one command frame and returns the matching response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] if the transport fails before a
+    /// response frame arrives.
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, ProtoError>;
+}
+
+/// The in-process channel: commands dispatch synchronously on a
+/// borrowed [`Device`] (the pre-serving, single-caller shape).
 #[derive(Debug)]
-pub struct HostClient<'a> {
+pub struct DirectChannel<'a> {
     device: &'a mut Device,
 }
 
-impl<'a> HostClient<'a> {
-    /// Attaches to a device.
+impl CommandChannel for DirectChannel<'_> {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, ProtoError> {
+        Ok(self.device.handle(frame))
+    }
+}
+
+/// Host-side wrapper: the Table 2 API expressed over the wire protocol,
+/// generic over how frames reach the device ([`CommandChannel`]).
+#[derive(Debug)]
+pub struct HostClient<C: CommandChannel> {
+    chan: C,
+}
+
+impl<'a> HostClient<DirectChannel<'a>> {
+    /// Attaches directly to an in-process device.
     pub fn new(device: &'a mut Device) -> Self {
-        HostClient { device }
+        HostClient {
+            chan: DirectChannel { device },
+        }
+    }
+
+    /// The borrowed device (diagnostics/tests).
+    pub fn device_mut(&mut self) -> &mut Device {
+        self.chan.device
+    }
+}
+
+impl<C: CommandChannel> HostClient<C> {
+    /// Wraps an arbitrary command channel (a served connection).
+    pub fn over(chan: C) -> Self {
+        HostClient { chan }
+    }
+
+    /// The underlying channel.
+    pub fn channel_mut(&mut self) -> &mut C {
+        &mut self.chan
     }
 
     fn round_trip(&mut self, cmd: &Command) -> Result<Response, ProtoError> {
-        let resp_bytes = self.device.handle(&encode_command(cmd));
+        let resp_bytes = self.chan.exchange(&encode_command(cmd))?;
+        // Every rejection shape becomes a typed error here, so callers
+        // (load generators included) can survive rejection frames and
+        // recover the structured `DeepStoreError` via `device_error()`.
         match decode_response(&resp_bytes)? {
             Response::Error(e) => Err(ProtoError::Device(e)),
+            Response::Overloaded { queue_depth } => {
+                Err(ProtoError::Device(WireError::Overloaded { queue_depth }))
+            }
+            Response::QuotaExceeded { client } => {
+                Err(ProtoError::Device(WireError::QuotaExceeded { client }))
+            }
             other => Ok(other),
+        }
+    }
+
+    /// The serving handshake: registers `client` as the tenant id for
+    /// quota accounting on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the server rejects the
+    /// handshake.
+    pub fn hello(&mut self, client: &str) -> Result<(), ProtoError> {
+        match self.round_trip(&Command::Hello {
+            client: client.to_string(),
+        })? {
+            Response::HelloAck { .. } => Ok(()),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
 
@@ -658,7 +1023,7 @@ mod tests {
 
         // Kill one channel: part of the database becomes unreadable and
         // results come back degraded, with coverage on the wire.
-        host.device
+        host.device_mut()
             .store_mut()
             .inject_faults(FaultPlan::none().dead_channel(0));
         let reqs = vec![QueryRequest::new(model.random_feature(901), mid, db).k(2)];
@@ -683,22 +1048,25 @@ mod tests {
         let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
         let db = host.write_db(&features).unwrap();
         let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
-        host.device
+        host.device_mut()
             .store_mut()
             .inject_faults(FaultPlan::none().dead_channel(0));
         let reqs = vec![QueryRequest::new(model.random_feature(902), mid, db)
             .k(2)
             .min_coverage(1.0)];
         let err = host.query_batch(&reqs).unwrap_err();
-        match err {
-            ProtoError::Device(msg) => {
-                assert!(
-                    msg.contains("insufficient coverage"),
-                    "unexpected device error: {msg}"
-                );
+        match &err {
+            ProtoError::Device(WireError::InsufficientCoverage { required, achieved }) => {
+                assert_eq!(*required, 1.0);
+                assert!(*achieved < 1.0);
             }
-            other => panic!("expected a device error, got {other:?}"),
+            other => panic!("expected a typed coverage error, got {other:?}"),
         }
+        // The wire error converts back into the engine's error type.
+        assert!(matches!(
+            err.device_error(),
+            Some(DeepStoreError::InsufficientCoverage { required, .. }) if required == 1.0
+        ));
         // The rejected batch published nothing.
         let err = host.get_results(QueryId(0)).unwrap_err();
         assert!(matches!(err, ProtoError::Device(_)));
@@ -731,10 +1099,129 @@ mod tests {
         let mut host = HostClient::new(&mut device);
         let err = host.read_db(DbId(42), 0, 1).unwrap_err();
         assert!(matches!(err, ProtoError::Device(_)));
+        assert!(matches!(
+            err.device_error(),
+            Some(DeepStoreError::Remote(_))
+        ));
+        assert!(!err.is_rejection());
         // Unweighted model rejected through the wire too.
         let err = host
             .load_model(&ModelGraph::from_model(&zoo::tir()))
             .unwrap_err();
         assert!(matches!(err, ProtoError::Device(_)));
+        // Structured errors come back as their engine variants, not prose.
+        let err = host.get_results(QueryId(77)).unwrap_err();
+        assert_eq!(
+            err.device_error(),
+            Some(DeepStoreError::UnknownQuery(QueryId(77)))
+        );
+    }
+
+    #[test]
+    fn hello_handshake_roundtrips() {
+        let mut device = Device::new(DeepStoreConfig::small());
+        let mut host = HostClient::new(&mut device);
+        host.hello("tenant-a").unwrap();
+        let cmd = Command::Hello {
+            client: "tenant-a".into(),
+        };
+        let bytes = encode_command(&cmd);
+        assert_eq!(bytes[5], 0x0A);
+        assert_eq!(decode_command(&bytes).unwrap(), cmd);
+    }
+
+    #[test]
+    fn rejection_frames_roundtrip_and_surface_typed() {
+        let frames = vec![
+            Response::HelloAck { client: "t".into() },
+            Response::Overloaded { queue_depth: 4 },
+            Response::QuotaExceeded { client: "t".into() },
+            Response::Error(WireError::InsufficientCoverage {
+                required: 0.9,
+                achieved: 0.25,
+            }),
+            Response::Error(WireError::Malformed("bad magic".into())),
+        ];
+        for resp in frames {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+        // A rejection frame surfaces as a typed, retryable error with a
+        // structured engine-side equivalent.
+        struct Canned(Vec<u8>);
+        impl CommandChannel for Canned {
+            fn exchange(&mut self, _frame: &[u8]) -> Result<Vec<u8>, ProtoError> {
+                Ok(self.0.clone())
+            }
+        }
+        let overloaded = encode_response(&Response::Overloaded { queue_depth: 8 });
+        let mut host = HostClient::over(Canned(overloaded));
+        let err = host.stats().unwrap_err();
+        assert!(err.is_rejection());
+        assert_eq!(
+            err.device_error(),
+            Some(DeepStoreError::Overloaded { queue_depth: 8 })
+        );
+    }
+
+    #[test]
+    fn wire_errors_mirror_engine_errors() {
+        let cases = vec![
+            DeepStoreError::UnknownModel(ModelId(4)),
+            DeepStoreError::UnknownQuery(QueryId(9)),
+            DeepStoreError::LevelUnsupported {
+                model: "reid".into(),
+                level: AcceleratorLevel::Chip,
+            },
+            DeepStoreError::InsufficientCoverage {
+                required: 0.75,
+                achieved: 0.5,
+            },
+            DeepStoreError::Overloaded { queue_depth: 2 },
+            DeepStoreError::QuotaExceeded { client: "t".into() },
+        ];
+        for e in cases {
+            let wire = WireError::from(&e);
+            assert_eq!(DeepStoreError::from(wire), e, "lossless mirror");
+        }
+        // Flash errors degrade to prose but keep their message.
+        let flash = DeepStoreError::Flash(deepstore_flash::FlashError::UnknownDb(3));
+        let wire = WireError::from(&flash);
+        assert!(matches!(&wire, WireError::Device(msg) if msg.contains('3')));
+    }
+
+    #[test]
+    fn stream_framing_reads_and_caps() {
+        use std::io::Cursor;
+        let frame = encode_command(&Command::Stats);
+        // Two frames back to back, then clean EOF.
+        let mut stream = Cursor::new([frame.clone(), frame.clone()].concat());
+        assert_eq!(proto_read(&mut stream), Some(frame.clone()));
+        assert_eq!(proto_read(&mut stream), Some(frame.clone()));
+        assert_eq!(read_frame(&mut stream).unwrap(), None);
+        // Mid-frame EOF at every split point is a typed disconnect.
+        for cut in 1..frame.len() {
+            let mut partial = Cursor::new(frame[..cut].to_vec());
+            assert_eq!(
+                read_frame(&mut partial).unwrap_err(),
+                ProtoError::ConnectionClosed,
+                "cut at {cut}"
+            );
+        }
+        // An oversized length prefix is rejected before allocation.
+        let mut huge = frame.clone();
+        huge[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut stream = Cursor::new(huge);
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        // write_frame + read_frame round-trip through a buffer.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), Some(frame));
+    }
+
+    fn proto_read(stream: &mut impl std::io::Read) -> Option<Vec<u8>> {
+        read_frame(stream).unwrap()
     }
 }

@@ -1,0 +1,1138 @@
+//! Concurrent serving front end: many clients, one engine.
+//!
+//! Everything below [`proto`](crate::proto) is single-threaded by
+//! design — the embedded cores run one command at a time. This module
+//! adds the host-side piece the paper assumes but never shows: a server
+//! that multiplexes many independent client connections onto one
+//! [`DeepStore`] engine. Three ideas carry the design:
+//!
+//! * **Transport trait.** Connections arrive through a [`Transport`]
+//!   that yields [`Connection`]s. Two implementations ship: an
+//!   in-process channel pair ([`channel_transport`]) used by the
+//!   deterministic equivalence tests, and a real TCP listener
+//!   ([`TcpTransport`]) used by `deepstore serve` and the serving
+//!   benchmark. The server code is identical over both.
+//!
+//! * **The server owns the batch window.** Query commands from
+//!   different clients that are co-pending in the job queue are merged
+//!   into one [`DeepStore::query_batch`] call, which shares a single
+//!   flash pass per `(db, model, level)` group. Because `query_batch`
+//!   guarantees per-request results identical to sequential issuance
+//!   regardless of grouping, merging arbitrary clients' requests
+//!   preserves bit-identical answers — the property
+//!   `tests/serve_equivalence.rs` checks against armed fault plans.
+//!
+//! * **Admission control before the queue.** A bounded pending queue
+//!   rejects with a typed `Overloaded` frame when full (backpressure,
+//!   never a hang), and optional per-tenant token buckets — keyed by
+//!   the client id from the `hello` handshake — reject with
+//!   `QuotaExceeded`. Buckets refill on a [`ServeClock`] that tests
+//!   can drive manually, making refill deterministic on simulated
+//!   time.
+
+use crate::api::{DeepStore, QueryRequest};
+use crate::proto::{
+    decode_command, encode_response, read_frame, read_frame_after, write_frame, Command, Device,
+    ProtoError, Response, WireError,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Transport abstraction
+// ---------------------------------------------------------------------------
+
+/// One accepted client connection, as seen by the server.
+///
+/// Implementations move whole protocol frames; framing errors surface
+/// as typed [`ProtoError`]s so the connection loop can answer with a
+/// `Malformed` frame instead of wedging.
+pub trait Connection: Send + 'static {
+    /// Wait up to `timeout` for the next frame. `Ok(None)` means no
+    /// frame arrived yet (poll again); `Err(ProtoError::ConnectionClosed)`
+    /// means the peer went away at a frame boundary.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ProtoError>;
+    /// Send one complete frame to the peer.
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtoError>;
+    /// A human-readable peer label, used as the client id until the
+    /// peer introduces itself with `hello`.
+    fn peer(&self) -> String;
+}
+
+/// A listener that yields [`Connection`]s.
+pub trait Transport: Send + 'static {
+    /// The connection type this transport accepts.
+    type Conn: Connection;
+    /// Wait up to `timeout` for the next incoming connection.
+    /// `Ok(None)` means none arrived yet.
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Option<Self::Conn>, ProtoError>;
+    /// Where this transport listens (e.g. `127.0.0.1:4096` or
+    /// `channel`).
+    fn endpoint(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel transport
+// ---------------------------------------------------------------------------
+
+/// Server side of the in-process transport: a stream of freshly
+/// connected [`ChannelServerConn`]s.
+pub struct ChannelTransport {
+    rx: Receiver<ChannelServerConn>,
+}
+
+/// Client-side connector for the in-process transport. Cloneable;
+/// each [`connect`](ChannelConnector::connect) yields an independent
+/// full-duplex connection.
+#[derive(Clone)]
+pub struct ChannelConnector {
+    tx: Sender<ChannelServerConn>,
+    next: Arc<AtomicU64>,
+}
+
+/// The server half of one in-process connection.
+pub struct ChannelServerConn {
+    rx: Receiver<Vec<u8>>,
+    tx: Sender<Vec<u8>>,
+    peer: String,
+}
+
+/// The client half of one in-process connection. Implements
+/// [`CommandChannel`](crate::proto::CommandChannel), so it plugs
+/// straight into [`HostClient::over`](crate::proto::HostClient::over).
+pub struct ChannelClient {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Create a paired in-process transport: the [`ChannelTransport`] goes
+/// to [`serve`], the [`ChannelConnector`] to clients.
+pub fn channel_transport() -> (ChannelTransport, ChannelConnector) {
+    let (tx, rx) = mpsc::channel();
+    (
+        ChannelTransport { rx },
+        ChannelConnector {
+            tx,
+            next: Arc::new(AtomicU64::new(0)),
+        },
+    )
+}
+
+impl ChannelConnector {
+    /// Open a new connection to the server. Fails with
+    /// [`ProtoError::ConnectionClosed`] if the server is gone.
+    pub fn connect(&self) -> Result<ChannelClient, ProtoError> {
+        let (c2s_tx, c2s_rx) = mpsc::channel();
+        let (s2c_tx, s2c_rx) = mpsc::channel();
+        let n = self.next.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .send(ChannelServerConn {
+                rx: c2s_rx,
+                tx: s2c_tx,
+                peer: format!("chan-{n}"),
+            })
+            .map_err(|_| ProtoError::ConnectionClosed)?;
+        Ok(ChannelClient {
+            tx: c2s_tx,
+            rx: s2c_rx,
+        })
+    }
+}
+
+impl ChannelClient {
+    /// Send a raw frame without waiting for a reply. Exists so the
+    /// protocol fuzz tests can deliver deliberately malformed bytes.
+    pub fn send_frame(&self, frame: &[u8]) -> Result<(), ProtoError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| ProtoError::ConnectionClosed)
+    }
+
+    /// Receive the next raw response frame.
+    pub fn recv_frame(&self) -> Result<Vec<u8>, ProtoError> {
+        self.rx.recv().map_err(|_| ProtoError::ConnectionClosed)
+    }
+}
+
+impl crate::proto::CommandChannel for ChannelClient {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, ProtoError> {
+        self.send_frame(frame)?;
+        self.recv_frame()
+    }
+}
+
+impl Connection for ChannelServerConn {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ProtoError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtoError::ConnectionClosed),
+        }
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtoError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| ProtoError::ConnectionClosed)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl Transport for ChannelTransport {
+    type Conn = ChannelServerConn;
+
+    fn accept_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<ChannelServerConn>, ProtoError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(conn) => Ok(Some(conn)),
+            // Disconnected just means every connector was dropped; keep
+            // polling so the server stays up until shutdown.
+            Err(_) => Ok(None),
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        "channel".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// A real TCP listener transport for [`serve`].
+pub struct TcpTransport {
+    listener: TcpListener,
+    endpoint: String,
+}
+
+/// The server half of one accepted TCP connection.
+pub struct TcpServerConn {
+    stream: TcpStream,
+    peer: String,
+}
+
+/// A blocking TCP client channel. Implements
+/// [`CommandChannel`](crate::proto::CommandChannel) for use with
+/// [`HostClient::over`](crate::proto::HostClient::over).
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Bind a listener. Use port `0` to let the OS pick; the chosen
+    /// address is reported by [`endpoint`](Transport::endpoint).
+    pub fn bind(addr: &str) -> Result<Self, ProtoError> {
+        let listener = TcpListener::bind(addr).map_err(io_proto)?;
+        listener.set_nonblocking(true).map_err(io_proto)?;
+        let endpoint = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(TcpTransport { listener, endpoint })
+    }
+}
+
+fn io_proto(e: std::io::Error) -> ProtoError {
+    ProtoError::Io(e.to_string())
+}
+
+impl Transport for TcpTransport {
+    type Conn = TcpServerConn;
+
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Option<TcpServerConn>, ProtoError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    // Accepted sockets may inherit the listener's
+                    // non-blocking mode; connection I/O is blocking
+                    // with explicit read timeouts. Nagle off: the
+                    // protocol is small request/reply frames, and
+                    // batching them behind delayed ACKs costs tens of
+                    // milliseconds of artificial tail latency.
+                    stream.set_nonblocking(false).map_err(io_proto)?;
+                    stream.set_nodelay(true).map_err(io_proto)?;
+                    return Ok(Some(TcpServerConn {
+                        stream,
+                        peer: peer.to_string(),
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(io_proto(e)),
+            }
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        self.endpoint.clone()
+    }
+}
+
+impl Connection for TcpServerConn {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>, ProtoError> {
+        // Poll for the first byte with a short timeout, then allow the
+        // rest of the frame a generous one: a slow sender mid-frame is
+        // not the same as an idle connection.
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(io_proto)?;
+        let mut first = [0u8; 1];
+        match self.stream.read(&mut first) {
+            Ok(0) => return Err(ProtoError::ConnectionClosed),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return Ok(None),
+            Err(e) => return Err(io_proto(e)),
+        }
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(io_proto)?;
+        read_frame_after(first[0], &mut self.stream).map(Some)
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<(), ProtoError> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl TcpClient {
+    /// Connect to a serving endpoint (`host:port`).
+    pub fn connect(addr: &str) -> Result<Self, ProtoError> {
+        let stream = TcpStream::connect(addr).map_err(io_proto)?;
+        stream.set_nodelay(true).map_err(io_proto)?;
+        Ok(TcpClient { stream })
+    }
+}
+
+impl crate::proto::CommandChannel for TcpClient {
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, ProtoError> {
+        write_frame(&mut self.stream, frame)?;
+        match read_frame(&mut self.stream)? {
+            Some(resp) => Ok(resp),
+            None => Err(ProtoError::ConnectionClosed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clock and per-tenant token buckets
+// ---------------------------------------------------------------------------
+
+/// The clock quota refill runs on. Production uses wall time; tests
+/// use a manually advanced counter so refill is deterministic.
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Wall-clock time measured from the given epoch.
+    Wall(Instant),
+    /// Simulated time: a shared nanosecond counter the test advances.
+    Manual(Arc<AtomicU64>),
+}
+
+impl ServeClock {
+    /// A wall clock starting now.
+    pub fn wall() -> Self {
+        ServeClock::Wall(Instant::now())
+    }
+
+    /// A manual clock plus the handle that advances it (store
+    /// nanoseconds with `SeqCst`).
+    pub fn manual() -> (Self, Arc<AtomicU64>) {
+        let handle = Arc::new(AtomicU64::new(0));
+        (ServeClock::Manual(handle.clone()), handle)
+    }
+
+    /// Current time in nanoseconds since the clock's epoch.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            ServeClock::Wall(epoch) => epoch.elapsed().as_nanos() as u64,
+            ServeClock::Manual(t) => t.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Per-tenant quota: every client id gets a token bucket holding up to
+/// `burst` tokens, refilled continuously at `refill_per_sec`. Each
+/// query costs one token (a batch of n costs n); non-query commands
+/// are free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Bucket capacity: the largest burst a tenant can issue at once.
+    pub burst: f64,
+    /// Continuous refill rate, tokens per second.
+    pub refill_per_sec: f64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_ns: u64,
+}
+
+/// The token-bucket table, one bucket per client id. Public so the
+/// admission-control unit tests can drive it on simulated time.
+#[derive(Debug)]
+pub struct TokenBuckets {
+    cfg: QuotaConfig,
+    buckets: HashMap<String, Bucket>,
+}
+
+impl TokenBuckets {
+    /// An empty table; buckets are created full on first use.
+    pub fn new(cfg: QuotaConfig) -> Self {
+        TokenBuckets {
+            cfg,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Try to charge `cost` tokens to `client` at time `now_ns`.
+    /// Refills the bucket for the elapsed time first. Returns whether
+    /// the charge succeeded; a failed charge takes nothing.
+    pub fn try_take(&mut self, client: &str, cost: u64, now_ns: u64) -> bool {
+        let bucket = self
+            .buckets
+            .entry(client.to_string())
+            .or_insert_with(|| Bucket {
+                tokens: self.cfg.burst,
+                last_ns: now_ns,
+            });
+        let dt = now_ns.saturating_sub(bucket.last_ns) as f64 / 1e9;
+        bucket.tokens = (bucket.tokens + dt * self.cfg.refill_per_sec).min(self.cfg.burst);
+        bucket.last_ns = now_ns;
+        let cost = cost as f64;
+        if bucket.tokens + 1e-9 >= cost {
+            bucket.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration and statistics
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the bounded pending-job queue. A full queue rejects
+    /// with `Overloaded` instead of blocking the connection thread.
+    pub queue_depth: usize,
+    /// How long the engine holds the first job of a batch open to let
+    /// co-pending queries join the same flash pass. `None` coalesces
+    /// only jobs that are already queued.
+    pub batch_window: Option<Duration>,
+    /// Per-tenant quotas; `None` admits everyone.
+    pub quota: Option<QuotaConfig>,
+    /// Poll interval for idle connections and the accept loop; bounds
+    /// shutdown latency.
+    pub poll: Duration,
+    /// Artificial per-engine-pass service delay. Test-only knob that
+    /// makes backpressure deterministic by slowing the consumer.
+    pub engine_delay: Option<Duration>,
+    /// The clock quota refill runs on.
+    pub clock: ServeClock,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 64,
+            batch_window: None,
+            quota: None,
+            poll: Duration::from_millis(2),
+            engine_delay: None,
+            clock: ServeClock::wall(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    queries_admitted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_quota: AtomicU64,
+    malformed_frames: AtomicU64,
+    engine_batches: AtomicU64,
+    coalesced_queries: AtomicU64,
+}
+
+/// A snapshot of the server's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted over the transport.
+    pub connections: u64,
+    /// Frames received across all connections.
+    pub frames: u64,
+    /// Individual queries admitted past admission control.
+    pub queries_admitted: u64,
+    /// Commands rejected because the pending queue was full.
+    pub rejected_overloaded: u64,
+    /// Commands rejected by per-tenant quota.
+    pub rejected_quota: u64,
+    /// Frames that failed to decode (answered with `Malformed`).
+    pub malformed_frames: u64,
+    /// Engine passes executed (each drains one job batch).
+    pub engine_batches: u64,
+    /// Queries that ran inside a merged multi-client flash pass.
+    pub coalesced_queries: u64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::SeqCst),
+            frames: self.frames.load(Ordering::SeqCst),
+            queries_admitted: self.queries_admitted.load(Ordering::SeqCst),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::SeqCst),
+            rejected_quota: self.rejected_quota.load(Ordering::SeqCst),
+            malformed_frames: self.malformed_frames.load(Ordering::SeqCst),
+            engine_batches: self.engine_batches.load(Ordering::SeqCst),
+            coalesced_queries: self.coalesced_queries.load(Ordering::SeqCst),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct Job {
+    cmd: Command,
+    reply: Sender<Response>,
+}
+
+struct Shared {
+    jobs: SyncSender<Job>,
+    quota: Option<Mutex<TokenBuckets>>,
+    clock: ServeClock,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    poll: Duration,
+    queue_depth: usize,
+}
+
+impl Shared {
+    /// Run admission control and enqueue; on rejection, the typed
+    /// rejection frame to send instead.
+    fn admit(&self, client: &str, job: Job) -> Result<(), Response> {
+        let cost = job.cmd.query_cost();
+        if cost > 0 {
+            if let Some(quota) = &self.quota {
+                let now = self.clock.now_ns();
+                let mut buckets = quota.lock().expect("quota lock poisoned");
+                if !buckets.try_take(client, cost, now) {
+                    self.stats.rejected_quota.fetch_add(1, Ordering::SeqCst);
+                    return Err(Response::QuotaExceeded {
+                        client: client.to_string(),
+                    });
+                }
+            }
+        }
+        match self.jobs.try_send(job) {
+            Ok(()) => {
+                self.stats
+                    .queries_admitted
+                    .fetch_add(cost, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::SeqCst);
+                Err(Response::Overloaded {
+                    queue_depth: self.queue_depth as u64,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Response::Error(WireError::Device(
+                "server is shutting down".to_string(),
+            ))),
+        }
+    }
+}
+
+fn conn_loop<C: Connection>(mut conn: C, shared: Arc<Shared>) {
+    let mut client = conn.peer();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match conn.recv_timeout(shared.poll) {
+            Ok(None) => continue,
+            Ok(Some(frame)) => frame,
+            Err(ProtoError::ConnectionClosed) => return,
+            Err(e) => {
+                // A framing error mid-stream leaves the byte stream
+                // unsynchronized: answer with a typed error, then hang
+                // up rather than misparse everything that follows.
+                shared.stats.malformed_frames.fetch_add(1, Ordering::SeqCst);
+                let resp = Response::Error(WireError::Malformed(e.to_string()));
+                let _ = conn.send(&encode_response(&resp));
+                return;
+            }
+        };
+        shared.stats.frames.fetch_add(1, Ordering::SeqCst);
+        let resp = match decode_command(&frame) {
+            Err(e) => {
+                shared.stats.malformed_frames.fetch_add(1, Ordering::SeqCst);
+                Response::Error(WireError::Malformed(e.to_string()))
+            }
+            Ok(Command::Hello { client: id }) => {
+                client = id.clone();
+                Response::HelloAck { client: id }
+            }
+            Ok(cmd) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                match shared.admit(
+                    &client,
+                    Job {
+                        cmd,
+                        reply: reply_tx,
+                    },
+                ) {
+                    Err(rejection) => rejection,
+                    Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+                        Response::Error(WireError::Device("server dropped the request".to_string()))
+                    }),
+                }
+            }
+        };
+        if conn.send(&encode_response(&resp)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Drain the job queue until every sender is gone, merging co-pending
+/// query jobs into shared flash passes. Returns the device so the
+/// caller can recover the store after shutdown.
+fn engine_loop(
+    rx: Receiver<Job>,
+    mut device: Device,
+    cfg: ServeConfig,
+    stats: Arc<StatsInner>,
+) -> Device {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            jobs.push(job);
+        }
+        if let Some(window) = cfg.batch_window {
+            let deadline = Instant::now() + window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(delay) = cfg.engine_delay {
+            thread::sleep(delay);
+        }
+        stats.engine_batches.fetch_add(1, Ordering::SeqCst);
+
+        let mut replies: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
+        let query_jobs: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.cmd.query_cost() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if query_jobs.len() >= 2 {
+            // Merge every co-pending query into one engine batch; the
+            // engine groups by (db, model, level) internally and
+            // answers each request exactly as if issued alone.
+            let mut all: Vec<QueryRequest> = Vec::new();
+            let mut spans: Vec<(usize, usize, usize, bool)> = Vec::new();
+            for &i in &query_jobs {
+                match &jobs[i].cmd {
+                    Command::Query {
+                        qfv,
+                        k,
+                        model,
+                        db,
+                        level,
+                    } => {
+                        spans.push((i, all.len(), 1, true));
+                        all.push(
+                            QueryRequest::new(qfv.clone(), *model, *db)
+                                .k(*k)
+                                .level(*level),
+                        );
+                    }
+                    Command::QueryBatch { requests } => {
+                        spans.push((i, all.len(), requests.len(), false));
+                        all.extend(requests.iter().cloned());
+                    }
+                    _ => unreachable!("query_cost > 0 only for query commands"),
+                }
+            }
+            if let Ok(ids) = device.store_mut().query_batch(&all) {
+                stats
+                    .coalesced_queries
+                    .fetch_add(all.len() as u64, Ordering::SeqCst);
+                for (i, start, len, single) in spans {
+                    replies[i] = Some(if single {
+                        Response::QuerySubmitted(ids[start])
+                    } else {
+                        Response::BatchSubmitted(ids[start..start + len].to_vec())
+                    });
+                }
+            }
+            // On a merged-batch error fall through: each job is
+            // dispatched alone below, so only the offending client
+            // sees its (typed) error.
+        }
+        for (i, job) in jobs.into_iter().enumerate() {
+            let resp = match replies[i].take() {
+                Some(resp) => resp,
+                None => device.dispatch(job.cmd),
+            };
+            let _ = job.reply.send(resp);
+        }
+    }
+    device
+}
+
+/// A running server. Dropping the handle shuts the server down;
+/// [`shutdown`](ServerHandle::shutdown) does so explicitly and hands
+/// back the engine.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    engine: Option<thread::JoinHandle<Device>>,
+    stats: Arc<StatsInner>,
+    endpoint: String,
+}
+
+impl ServerHandle {
+    /// Where the server listens (e.g. `127.0.0.1:43017`).
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// A live snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, let in-flight jobs drain (every admitted job is
+    /// answered before its connection closes), and recover the store.
+    pub fn shutdown(mut self) -> (DeepStore, ServerStats) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let device = self
+            .engine
+            .take()
+            .expect("engine thread taken twice")
+            .join()
+            .expect("engine thread panicked");
+        let stats = self.stats.snapshot();
+        (device.into_store(), stats)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+/// Start serving `store` over `transport`.
+///
+/// Each accepted connection gets its own thread running a
+/// receive/decode/admit/reply loop; one engine thread owns the
+/// [`Device`] and executes admitted jobs, merging co-pending queries
+/// into shared flash passes. Shutdown order guarantees draining: the
+/// flag stops connection threads at a frame boundary (after their
+/// in-flight reply), the accept thread joins them, and only then do
+/// the queue's senders drop — so the engine sees and answers every
+/// admitted job before exiting.
+pub fn serve<T: Transport>(mut transport: T, store: DeepStore, cfg: ServeConfig) -> ServerHandle {
+    let stats = Arc::new(StatsInner::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let endpoint = transport.endpoint();
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel(cfg.queue_depth);
+
+    let engine_stats = stats.clone();
+    let engine_cfg = cfg.clone();
+    let device = Device::with_store(store);
+    let engine = thread::spawn(move || engine_loop(jobs_rx, device, engine_cfg, engine_stats));
+
+    let shared = Arc::new(Shared {
+        jobs: jobs_tx,
+        quota: cfg.quota.map(|q| Mutex::new(TokenBuckets::new(q))),
+        clock: cfg.clock.clone(),
+        stats: stats.clone(),
+        shutdown: shutdown.clone(),
+        poll: cfg.poll,
+        queue_depth: cfg.queue_depth,
+    });
+    let accept_shutdown = shutdown.clone();
+    let accept = thread::spawn(move || {
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            match transport.accept_timeout(shared.poll) {
+                Ok(Some(conn)) => {
+                    shared.stats.connections.fetch_add(1, Ordering::SeqCst);
+                    let conn_shared = shared.clone();
+                    conns.push(thread::spawn(move || conn_loop(conn, conn_shared)));
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        drop(transport);
+        drop(shared);
+        for conn in conns {
+            let _ = conn.join();
+        }
+    });
+
+    ServerHandle {
+        shutdown,
+        accept: Some(accept),
+        engine: Some(engine),
+        stats,
+        endpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::QueryId;
+    use crate::config::{AcceleratorLevel, DeepStoreConfig};
+    use crate::proto::HostClient;
+    use deepstore_nn::{zoo, ModelGraph, Tensor};
+
+    fn seeded_store(n: usize) -> (DeepStore, Vec<Tensor>) {
+        let model = zoo::textqa().seeded(3);
+        let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i as u64)).collect();
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        store.write_db(&features).unwrap();
+        store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        (store, features)
+    }
+
+    fn probe(i: u64) -> Tensor {
+        zoo::textqa().seeded(3).random_feature(10_000 + i)
+    }
+
+    #[test]
+    fn token_bucket_refill_is_deterministic_on_simulated_time() {
+        let mut buckets = TokenBuckets::new(QuotaConfig {
+            burst: 2.0,
+            refill_per_sec: 1.0,
+        });
+        // Burst of 2 at t=0, third rejected.
+        assert!(buckets.try_take("a", 1, 0));
+        assert!(buckets.try_take("a", 1, 0));
+        assert!(!buckets.try_take("a", 1, 0));
+        // Half a second refills half a token: still rejected.
+        assert!(!buckets.try_take("a", 1, 500_000_000));
+        // The next half second completes the token — and the sequence
+        // is identical every run because time is simulated.
+        assert!(buckets.try_take("a", 1, 1_000_000_000));
+        assert!(!buckets.try_take("a", 1, 1_000_000_000));
+        // Refill caps at burst: a long sleep does not bank extra.
+        assert!(buckets.try_take("a", 2, 60_000_000_000));
+        assert!(!buckets.try_take("a", 1, 60_000_000_000));
+        // Tenants are independent.
+        assert!(buckets.try_take("b", 2, 60_000_000_000));
+    }
+
+    #[test]
+    fn queue_full_returns_overloaded_not_a_hang() {
+        let (jobs, _rx) = mpsc::sync_channel(1);
+        let shared = Shared {
+            jobs,
+            quota: None,
+            clock: ServeClock::wall(),
+            stats: Arc::new(StatsInner::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            poll: Duration::from_millis(1),
+            queue_depth: 1,
+        };
+        let job = |cmd: Command| {
+            let (tx, _rx2) = mpsc::channel();
+            Job { cmd, reply: tx }
+        };
+        // _rx never drains, so the second admit must reject — not block.
+        assert!(shared.admit("a", job(Command::Stats)).is_ok());
+        match shared.admit("a", job(Command::Stats)) {
+            Err(Response::Overloaded { queue_depth }) => assert_eq!(queue_depth, 1),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(shared.stats.snapshot().rejected_overloaded, 1);
+    }
+
+    #[test]
+    fn quota_rejection_over_the_wire_is_deterministic() {
+        let (store, _) = seeded_store(16);
+        let (clock, _time) = ServeClock::manual();
+        let (transport, connector) = channel_transport();
+        let handle = serve(
+            transport,
+            store,
+            ServeConfig {
+                quota: Some(QuotaConfig {
+                    burst: 2.0,
+                    refill_per_sec: 0.0,
+                }),
+                clock,
+                ..ServeConfig::default()
+            },
+        );
+
+        let mut host = HostClient::over(connector.connect().unwrap());
+        host.hello("tenant-a").unwrap();
+        let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
+        for i in 0..2 {
+            host.query(&probe(i), 3, mid, db, AcceleratorLevel::Ssd)
+                .unwrap();
+        }
+        // Third query: bucket empty, refill zero — always rejected.
+        let err = host
+            .query(&probe(2), 3, mid, db, AcceleratorLevel::Ssd)
+            .unwrap_err();
+        assert!(err.is_rejection());
+        assert_eq!(
+            err.device_error(),
+            Some(crate::error::DeepStoreError::QuotaExceeded {
+                client: "tenant-a".to_string()
+            })
+        );
+        // A different tenant still has its full burst.
+        let mut other = HostClient::over(connector.connect().unwrap());
+        other.hello("tenant-b").unwrap();
+        other
+            .query(&probe(3), 3, mid, db, AcceleratorLevel::Ssd)
+            .unwrap();
+
+        let (_store, stats) = handle.shutdown();
+        assert_eq!(stats.rejected_quota, 1);
+        assert_eq!(stats.queries_admitted, 3);
+    }
+
+    #[test]
+    fn overload_backpressure_answers_every_request() {
+        let (store, _) = seeded_store(16);
+        let (transport, connector) = channel_transport();
+        let handle = serve(
+            transport,
+            store,
+            ServeConfig {
+                queue_depth: 1,
+                engine_delay: Some(Duration::from_millis(40)),
+                ..ServeConfig::default()
+            },
+        );
+        let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
+        let mut workers = Vec::new();
+        for c in 0..4u64 {
+            let conn = connector.connect().unwrap();
+            workers.push(thread::spawn(move || {
+                let mut host = HostClient::over(conn);
+                host.hello(&format!("t{c}")).unwrap();
+                let mut ok = 0u64;
+                let mut rejected = 0u64;
+                for i in 0..4u64 {
+                    match host.query(&probe(c * 10 + i), 2, mid, db, AcceleratorLevel::Ssd) {
+                        Ok(_) => ok += 1,
+                        Err(e) => {
+                            assert!(e.is_rejection(), "unexpected error: {e:?}");
+                            rejected += 1;
+                        }
+                    }
+                }
+                (ok, rejected)
+            }));
+        }
+        let mut total_ok = 0;
+        let mut total_rejected = 0;
+        for w in workers {
+            let (ok, rejected) = w.join().unwrap();
+            total_ok += ok;
+            total_rejected += rejected;
+        }
+        // Every request was answered — success or a typed rejection,
+        // never a hang — and the slow engine forced real backpressure.
+        assert_eq!(total_ok + total_rejected, 16);
+        let (_store, stats) = handle.shutdown();
+        assert!(
+            stats.rejected_overloaded >= 1,
+            "expected backpressure, stats = {stats:?}"
+        );
+        assert_eq!(stats.rejected_overloaded, total_rejected);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let (store, _) = seeded_store(16);
+        let (transport, connector) = channel_transport();
+        let handle = serve(
+            transport,
+            store,
+            ServeConfig {
+                engine_delay: Some(Duration::from_millis(30)),
+                ..ServeConfig::default()
+            },
+        );
+        let conn = connector.connect().unwrap();
+        let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
+        let client = thread::spawn(move || {
+            let mut host = HostClient::over(conn);
+            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd)
+                .unwrap()
+        });
+        // Give the query time to be admitted, then shut down while the
+        // engine is still sleeping on it.
+        thread::sleep(Duration::from_millis(10));
+        let (mut store, stats) = handle.shutdown();
+        let qid: QueryId = client.join().unwrap();
+        assert_eq!(stats.queries_admitted, 1);
+        // The drained job really ran: its results are in the store.
+        let result = store.results(qid).unwrap();
+        assert_eq!(result.top_k.len(), 3);
+    }
+
+    #[test]
+    fn channel_transport_serves_a_full_session() {
+        let model = zoo::textqa().seeded(3);
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        let (transport, connector) = channel_transport();
+        let handle = serve(transport, store, ServeConfig::default());
+        assert_eq!(handle.endpoint(), "channel");
+
+        let mut host = HostClient::over(connector.connect().unwrap());
+        host.hello("session").unwrap();
+        let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let qid = host
+            .query(&probe(1), 4, mid, db, AcceleratorLevel::Channel)
+            .unwrap();
+        let result = host.get_results(qid).unwrap();
+        assert_eq!(result.top_k.len(), 4);
+
+        let (_store, stats) = handle.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert!(stats.frames >= 5);
+    }
+
+    #[test]
+    fn tcp_transport_serves_a_full_session() {
+        let model = zoo::textqa().seeded(3);
+        let mut store = DeepStore::new(DeepStoreConfig::small());
+        store.disable_qc();
+        let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let handle = serve(transport, store, ServeConfig::default());
+        let endpoint = handle.endpoint().to_string();
+
+        let mut host = HostClient::over(TcpClient::connect(&endpoint).unwrap());
+        host.hello("tcp-session").unwrap();
+        let features: Vec<Tensor> = (0..24).map(|i| model.random_feature(i)).collect();
+        let db = host.write_db(&features).unwrap();
+        let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let qid = host
+            .query(&probe(1), 4, mid, db, AcceleratorLevel::Ssd)
+            .unwrap();
+        let result = host.get_results(qid).unwrap();
+        assert_eq!(result.top_k.len(), 4);
+        drop(host);
+
+        let (_store, stats) = handle.shutdown();
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn merged_batch_failure_only_fails_the_offending_client() {
+        let (store, _) = seeded_store(16);
+        let (transport, connector) = channel_transport();
+        let handle = serve(
+            transport,
+            store,
+            ServeConfig {
+                // A window long enough that both clients' queries land
+                // in the same engine pass.
+                batch_window: Some(Duration::from_millis(50)),
+                ..ServeConfig::default()
+            },
+        );
+        let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
+        let good_conn = connector.connect().unwrap();
+        let bad_conn = connector.connect().unwrap();
+        let good = thread::spawn(move || {
+            let mut host = HostClient::over(good_conn);
+            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd)
+        });
+        let bad = thread::spawn(move || {
+            let mut host = HostClient::over(bad_conn);
+            // Unknown model: poisons the merged batch, which must fall
+            // back to per-client dispatch.
+            host.query(
+                &probe(1),
+                3,
+                crate::api::ModelId(999),
+                db,
+                AcceleratorLevel::Ssd,
+            )
+        });
+        let good_result = good.join().unwrap();
+        let bad_result = bad.join().unwrap();
+        assert!(good_result.is_ok(), "good client failed: {good_result:?}");
+        let err = bad_result.unwrap_err();
+        assert_eq!(
+            err.device_error(),
+            Some(crate::error::DeepStoreError::UnknownModel(
+                crate::api::ModelId(999)
+            ))
+        );
+        drop(handle);
+    }
+}

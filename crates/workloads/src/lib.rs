@@ -8,12 +8,19 @@
 //!   synthesizes by adding noise to the Flickr30K test queries.
 //! * [`gen`] — feature-database generation: deterministic, clusterable
 //!   synthetic feature vectors of the right dimensionality.
+//! * [`loadgen`] — open-loop load generation for the serving front end:
+//!   Poisson/fixed arrival schedules over the trace mixes, replayed
+//!   against a server with per-query SLO accounting.
 
 pub mod app;
 pub mod gen;
+pub mod loadgen;
 pub mod replay;
 pub mod trace;
 
 pub use app::{App, APP_NAMES};
+pub use loadgen::{
+    plan, run_open_loop, ArrivalProcess, LoadPlanConfig, LoadReport, LoadTarget, Offered,
+};
 pub use replay::QueryTrace;
 pub use trace::{QueryStream, TraceDistribution};
