@@ -28,20 +28,41 @@ impl Flags {
     ///
     /// Rejects positional tokens and flags missing a value.
     pub fn parse(args: &[String]) -> Result<Flags, ArgError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Like [`Flags::parse`], but the listed keys are boolean switches:
+    /// they take no value and parse as `"true"` (read them back with
+    /// [`Flags::switch`]). Everything else still requires a value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Flags::parse`].
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Flags, ArgError> {
         let mut values = HashMap::new();
         let mut it = args.iter();
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("unexpected argument `{tok}`")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
-            if values.insert(key.to_string(), value.clone()).is_some() {
+            let value = if switches.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?
+                    .clone()
+            };
+            if values.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
         }
         Ok(Flags { values })
+    }
+
+    /// Whether a boolean switch (from
+    /// [`Flags::parse_with_switches`]) was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     /// A string flag, or its default.
@@ -125,6 +146,18 @@ mod tests {
         assert!(f.required("k").is_err());
         assert!(f.expect_only(&["app"]).is_ok());
         assert!(f.expect_only(&["other"]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse_with_switches(&strings(&["--exact", "--k", "5"]), &["exact"]).unwrap();
+        assert!(f.switch("exact"));
+        assert!(!f.switch("other"));
+        assert_eq!(f.num_or("k", 0usize).unwrap(), 5);
+        // A switch given twice is still a duplicate.
+        assert!(Flags::parse_with_switches(&strings(&["--exact", "--exact"]), &["exact"]).is_err());
+        // Without the switch list, `--exact` would swallow `--k`.
+        assert!(Flags::parse(&strings(&["--exact"])).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ commands:
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
              [--parallelism P] [--batch-file <file>] [--trace <out.json>]
-             [--min-coverage F] [--dead-channel C]
+             [--min-coverage F] [--dead-channel C] [--exact]
                                           functional query on a small drive
   stats      [--app <name>] [--features N] [--k K] [--parallelism P]
                                           device telemetry after a mixed
@@ -39,7 +39,7 @@ commands:
   serve      [--app <name>] [--features N] [--port P] [--addr-file <file>]
              [--duration-ms MS] [--queue-depth D] [--quota-qps F]
              [--quota-burst F] [--batch-window-us W] [--parallelism P]
-             [--seed S]                   serve a store over loopback TCP
+             [--seed S] [--force-exact]   serve a store over loopback TCP
   loadgen    (--addr H:P | --addr-file <file>) [--app <name>] [--qps F]
              [--queries N] [--arrivals poisson|fixed] [--connections C]
              [--alpha F] [--dup-rate F] [--k K] [--db N] [--model N]
@@ -55,6 +55,10 @@ them as one batch: the device scores every probe in a single flash pass.
 `query --trace` writes the pipeline timeline as Chrome trace-event JSON
 (open in chrome://tracing or Perfetto); timestamps are simulated ns, so
 the file is byte-identical across runs.
+`query --exact` disables the int8 pruning cascade and scores every
+feature through the exact f32 path (results are bit-identical either
+way; the flag exists for perf comparisons). `serve --force-exact` does
+the same server-side for every served query.
 `query --dead-channel` injects a whole-channel outage before querying;
 features on the dead channel are skipped and results come back degraded
 with their coverage fraction. `query --min-coverage` (0..=1) rejects the
@@ -173,7 +177,7 @@ fn cmd_scan_time(args: &[String]) -> CmdResult {
 }
 
 fn cmd_query(args: &[String]) -> CmdResult {
-    let flags = Flags::parse(args)?;
+    let flags = Flags::parse_with_switches(args, &["exact"])?;
     flags.expect_only(&[
         "app",
         "features",
@@ -185,7 +189,9 @@ fn cmd_query(args: &[String]) -> CmdResult {
         "trace",
         "min-coverage",
         "dead-channel",
+        "exact",
     ])?;
+    let exact = flags.switch("exact");
     let app_name = flags.required("app")?;
     let features: u64 = flags.num_or("features", 128)?;
     let k: usize = flags.num_or("k", 5)?;
@@ -256,6 +262,9 @@ fn cmd_query(args: &[String]) -> CmdResult {
             if let Some(f) = min_coverage {
                 req = req.min_coverage(f);
             }
+            if exact {
+                req = req.exact();
+            }
             req
         })
         .collect();
@@ -322,9 +331,9 @@ fn cmd_stats(args: &[String]) -> CmdResult {
     // at the device's default QC), and one 4-probe batch sharing a
     // flash pass — all over the wire.
     let probe = model.random_feature(1000);
-    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel)?;
+    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel, false)?;
     host.get_results(qid)?;
-    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel)?;
+    let qid = host.query(&probe, k, mid, db, AcceleratorLevel::Channel, false)?;
     host.get_results(qid)?;
     let reqs: Vec<QueryRequest> = (0..4)
         .map(|i| QueryRequest::new(model.random_feature(2000 + i), mid, db).k(k))
@@ -358,6 +367,10 @@ fn cmd_stats(args: &[String]) -> CmdResult {
     println!(
         "  reliability: {} ecc failures, {} gc runs ({} blocks), {} features skipped",
         s.flash.ecc_failures, s.flash.gc_runs, s.flash.gc_blocks_reclaimed, s.unreadable_skipped
+    );
+    println!(
+        "  cascade    : {} feature decisions pruned, {} rescored",
+        s.pruned_features, s.rescored_features
     );
     println!(
         "  fault path : {} read retries ({} stalled), {} reads recovered",
@@ -474,7 +487,7 @@ fn cmd_replay(args: &[String]) -> CmdResult {
 }
 
 fn cmd_serve(args: &[String]) -> CmdResult {
-    let flags = Flags::parse(args)?;
+    let flags = Flags::parse_with_switches(args, &["force-exact"])?;
     flags.expect_only(&[
         "app",
         "features",
@@ -487,6 +500,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         "batch-window-us",
         "parallelism",
         "seed",
+        "force-exact",
     ])?;
     let app_name = flags.str_or("app", "textqa");
     let features: u64 = flags.num_or("features", 64)?;
@@ -518,6 +532,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
             },
             refill_per_sec: quota_qps,
         }),
+        force_exact: flags.switch("force-exact"),
         ..ServeConfig::default()
     };
     let transport = TcpTransport::bind(&format!("127.0.0.1:{port}"))

@@ -65,7 +65,7 @@
 
 use crate::accel::{scan as timing_scan, scan_batch, shard_timings, ScanWorkload};
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
-use crate::engine::{DbId, Engine, ObjectId};
+use crate::engine::{CascadeStats, DbId, Engine, ObjectId};
 use crate::error::{DeepStoreError, Result};
 use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
 use crate::telemetry::{merge_snapshots, ApiTelemetry, DeviceStats};
@@ -112,6 +112,14 @@ pub struct QueryRequest {
     /// [`DeepStoreError::InsufficientCoverage`] when coverage drops
     /// below `f`.
     pub min_coverage: Option<f64>,
+    /// Opt out of the int8 pruning cascade and score every feature
+    /// through the exact f32 path. `false` (the default) lets the scan
+    /// skip exact scoring for features whose quantized score upper
+    /// bound provably cannot reach the top-K. Results are
+    /// **bit-identical** either way (the cascade's recall is exactly
+    /// 1.0 by construction); the flag exists for performance studies
+    /// and as a belt-and-braces production escape hatch.
+    pub exact: bool,
 }
 
 impl QueryRequest {
@@ -124,6 +132,7 @@ impl QueryRequest {
             k: 1,
             level: AcceleratorLevel::Channel,
             min_coverage: None,
+            exact: false,
         }
     }
 
@@ -152,6 +161,14 @@ impl QueryRequest {
             "min_coverage must be in [0, 1]"
         );
         self.min_coverage = Some(fraction);
+        self
+    }
+
+    /// Disables the pruning cascade for this request: every feature is
+    /// scored through the exact f32 path. The ranking is identical
+    /// either way; only the amount of compute skipped changes.
+    pub fn exact(mut self) -> Self {
+        self.exact = true;
         self
     }
 }
@@ -517,15 +534,22 @@ impl DeepStore {
         let mut skipped = vec![0u64; requests.len()];
         let mut coverage = vec![1.0f64; requests.len()];
         for (g, ((db, _, level), members)) in groups.iter().enumerate() {
-            let batch: Vec<(&Model, &Tensor, usize)> = members
+            let batch: Vec<(&Model, &Tensor, usize, bool)> = members
                 .iter()
-                .map(|&i| (preps[i].0, &requests[i].qfv, requests[i].k))
+                .map(|&i| {
+                    (
+                        preps[i].0,
+                        &requests[i].qfv,
+                        requests[i].k,
+                        requests[i].exact,
+                    )
+                })
                 .collect();
             let workload = &preps[members[0]].1;
             let timing = scan_batch(*level, workload, cfg, members.len())
                 .expect("level support was validated above");
-            let (group_results, group_faults) =
-                self.engine.scan_top_k_batch_counted(*db, &batch)?;
+            let (group_results, group_faults, group_cascade) =
+                self.engine.scan_top_k_batch_with(*db, &batch)?;
             let group_skipped = group_faults.skipped;
             let num_features = self.engine.db_meta(*db)?.num_features;
             let group_coverage = if num_features == 0 {
@@ -595,6 +619,22 @@ impl DeepStore {
                     timing.compute.as_nanos(),
                     lane + 1,
                 );
+                // Cascade effectiveness for this group's pass, on its
+                // own lane inside the group block: how many per-request
+                // feature decisions skipped exact scoring vs were
+                // rescored. Zero-width counters would vanish in the
+                // viewer, so the span covers the compute window.
+                if group_cascade != CascadeStats::default() {
+                    t.span(
+                        "prune",
+                        "cascade",
+                        base,
+                        timing.compute.as_nanos(),
+                        lane + 400,
+                    )
+                    .arg_u64("pruned", group_cascade.pruned)
+                    .arg_u64("rescored", group_cascade.rescored);
+                }
                 let weights_ns = timing.weights.as_nanos();
                 t.span(
                     "weights",
@@ -734,6 +774,11 @@ impl DeepStore {
     /// counters read zero.
     #[must_use]
     pub fn stats(&self) -> DeviceStats {
+        let engine_metrics = self.engine.metrics_snapshot();
+        let pruned_features = engine_metrics.counter("scan.pruned_features").unwrap_or(0);
+        let rescored_features = engine_metrics
+            .counter("scan.rescored_features")
+            .unwrap_or(0);
         DeviceStats {
             queries: self.telemetry.queries(),
             batches: self.telemetry.batches(),
@@ -741,13 +786,12 @@ impl DeepStore {
             cache_misses: self.telemetry.cache_misses(),
             scan_groups: self.telemetry.scan_groups(),
             unreadable_skipped: self.engine.unreadable_skipped(),
+            pruned_features,
+            rescored_features,
             degraded_queries: self.telemetry.degraded_queries(),
             stages: self.telemetry.stage_totals(),
             flash: self.engine.flash_event_counts(),
-            metrics: merge_snapshots(vec![
-                self.engine.metrics_snapshot(),
-                self.telemetry.snapshot(),
-            ]),
+            metrics: merge_snapshots(vec![engine_metrics, self.telemetry.snapshot()]),
         }
     }
 

@@ -22,7 +22,9 @@ use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
 use deepstore_flash::obs::{FlashEventCounts, FlashMetrics};
 use deepstore_flash::{FlashError, Result as FlashResult};
-use deepstore_nn::{InferenceScratch, Model, MultiQueryScorer, Tensor};
+use deepstore_nn::{
+    quantize_feature, BoundScorer, FeatureQuant, InferenceScratch, Model, MultiQueryScorer, Tensor,
+};
 use deepstore_obs::MetricsSnapshot;
 use deepstore_systolic::topk::{ScoredFeature, TopKSorter};
 use serde::{Deserialize, Serialize};
@@ -66,6 +68,33 @@ pub struct ScanFaults {
     pub reads: ReadFaultStats,
 }
 
+/// Cascade outcome of one scan pass, summed across its shards in
+/// channel order (the counts are commutative sums over the physically
+/// determined shard plan, so they are identical at every `parallelism`
+/// setting). One unit is one per-request, per-feature admission
+/// decision: `pruned` decisions skipped the exact f32 path because the
+/// feature's int8 score upper bound fell *strictly* below that
+/// request's running top-K threshold; `rescored` decisions cleared (or
+/// tied) the bound check and went through exact scoring. Features
+/// scored before a request's sorter fills (no threshold yet), and
+/// requests the cascade does not apply to (exact opt-out, non-foldable
+/// model), count as neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Per-request feature decisions that skipped exact scoring.
+    pub pruned: u64,
+    /// Per-request feature decisions that passed the bound check and
+    /// were rescored exactly.
+    pub rescored: u64,
+}
+
+impl CascadeStats {
+    fn merge(&mut self, other: &CascadeStats) {
+        self.pruned += other.pruned;
+        self.rescored += other.rescored;
+    }
+}
+
 /// What one [`Engine::recover_faults`] pass accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -96,6 +125,12 @@ pub struct Engine {
     /// pages until they fill or the database is sealed; §4.7.2:
     /// "DeepStore buffers writes to ensure the alignment criteria").
     write_buffers: HashMap<DbId, Vec<u8>>,
+    /// Per-database int8 quantized sidecar, built at append time, one
+    /// entry per feature (§: pruning cascade). Kept in controller DRAM
+    /// next to [`DbMeta`]; scans use it to compute cheap score upper
+    /// bounds. Invariant: `quant[db].len() == dbs[db].num_features`,
+    /// maintained even through partial (out-of-space) appends.
+    quant: HashMap<DbId, Vec<FeatureQuant>>,
     /// Features skipped during scans because their pages failed ECC.
     /// Atomic so scans can run on `&self` (queries are read-only).
     /// Kept as the derived sum over all scans; per-query attribution
@@ -118,6 +153,7 @@ impl Engine {
             dbs: HashMap::new(),
             next_db: 1,
             write_buffers: HashMap::new(),
+            quant: HashMap::new(),
             unreadable_skipped: AtomicU64::new(0),
             metrics: ScanMetrics::new(),
         }
@@ -300,6 +336,7 @@ impl Engine {
             },
         );
         self.write_buffers.insert(db, Vec::new());
+        self.quant.insert(db, Vec::new());
         self.append_db(db, features)?;
         Ok(db)
     }
@@ -341,6 +378,10 @@ impl Engine {
                             self.flush_page(db, &buf[start..cursor])?;
                         }
                         self.dbs.get_mut(&db).expect("checked above").num_features += 1;
+                        self.quant
+                            .entry(db)
+                            .or_default()
+                            .push(quantize_feature(f.data()));
                     }
                     Ok(())
                 };
@@ -367,6 +408,10 @@ impl Engine {
                         self.flush_page(db, chunk)?;
                     }
                     self.dbs.get_mut(&db).expect("checked above").num_features += 1;
+                    self.quant
+                        .entry(db)
+                        .or_default()
+                        .push(quantize_feature(f.data()));
                 }
                 Ok(())
             }
@@ -618,9 +663,39 @@ impl Engine {
         query: &Tensor,
         k: usize,
     ) -> Result<(Vec<ScoredFeature>, ScanFaults)> {
+        self.scan_top_k_with(db, model, query, k, false)
+            .map(|(ranked, faults, _)| (ranked, faults))
+    }
+
+    /// [`Engine::scan_top_k_counted`] with explicit cascade control and
+    /// attribution: `exact = true` forces every feature through the
+    /// exact f32 path; `exact = false` (the default everywhere else)
+    /// lets the int8 bound-then-refine cascade skip exact scoring for
+    /// features that provably cannot enter the top-K. The returned
+    /// ranking is **bit-identical** in both modes — the cascade prunes
+    /// a feature only when its score upper bound falls strictly below
+    /// the shard's running K-th best score, and a pruned feature's
+    /// flash pages are still decoded, so fault accounting is identical
+    /// too. The cascade applies only when the model folds to a linear
+    /// functional of the feature (see [`deepstore_nn::BoundScorer`]);
+    /// otherwise every feature is rescored and the stats stay zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::scan_top_k`].
+    pub fn scan_top_k_with(
+        &self,
+        db: DbId,
+        model: &Model,
+        query: &Tensor,
+        k: usize,
+        exact: bool,
+    ) -> Result<(Vec<ScoredFeature>, ScanFaults, CascadeStats)> {
         let meta = self.db_meta(db)?;
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
+        let bounds = self.cascade_for(db, meta, model, query, exact);
+        let bounds = bounds.as_ref().map(|(bs, q)| (bs, *q));
 
         // Map: each worker owns one `InferenceScratch` and one feature
         // buffer, decodes features page-sequentially out of borrowed
@@ -628,9 +703,16 @@ impl Engine {
         // buffer for values straddling page boundaries), and scores
         // them with the allocation-free scratch path. After the first
         // feature of a shard, the loop performs zero heap allocations.
-        let scan_one = |shard: &[u64]| -> FlashResult<(TopKSorter, ScanFaults)> {
+        //
+        // The cascade check sits between decode and score: a pruned
+        // feature still costs its flash reads (the pass is
+        // page-sequential anyway, and identical fault accounting is
+        // part of the bit-identity contract) but skips the f32
+        // inference, which dominates scan compute.
+        let scan_one = |shard: &[u64]| -> FlashResult<(TopKSorter, ScanFaults, CascadeStats)> {
             let mut sorter = TopKSorter::new(k);
             let mut faults = ScanFaults::default();
+            let mut cascade = CascadeStats::default();
             let mut scratch = InferenceScratch::for_model(model);
             let mut feature: Vec<f32> = Vec::with_capacity(meta.feature_bytes / 4);
             let mut cached_page: Option<(usize, &[u8])> = None;
@@ -650,6 +732,15 @@ impl Engine {
                     }
                     Err(e) => return Err(e),
                 }
+                if let Some((bs, quants)) = bounds {
+                    if let Some(thr) = sorter.threshold() {
+                        if bs.upper_bound(&quants[idx as usize]) < thr {
+                            cascade.pruned += 1;
+                            continue;
+                        }
+                        cascade.rescored += 1;
+                    }
+                }
                 let score = model
                     .similarity_scratch(query, &feature, &mut scratch)
                     .map_err(|_| FlashError::SizeMismatch {
@@ -658,7 +749,7 @@ impl Engine {
                     })?;
                 sorter.offer(score, idx);
             }
-            Ok((sorter, faults))
+            Ok((sorter, faults, cascade))
         };
         let per_shard = run_sharded(&shards, workers, &scan_one);
 
@@ -667,16 +758,45 @@ impl Engine {
         // the lowest-channel error deterministically.
         let mut merged = TopKSorter::new(k);
         let mut faults = ScanFaults::default();
+        let mut cascade = CascadeStats::default();
         for shard_result in per_shard {
-            let (sorter, shard_faults) = shard_result?;
+            let (sorter, shard_faults, shard_cascade) = shard_result?;
             merged.merge(&sorter);
             faults.skipped += shard_faults.skipped;
             faults.reads.merge(&shard_faults.reads);
+            cascade.merge(&shard_cascade);
         }
         self.unreadable_skipped
             .fetch_add(faults.skipped, Ordering::Relaxed);
         self.metrics.on_scan(meta.num_features, faults.skipped);
-        Ok((merged.ranked(), faults))
+        self.metrics.on_cascade(cascade.pruned, cascade.rescored);
+        Ok((merged.ranked(), faults, cascade))
+    }
+
+    /// Builds the cascade's bound-scorer inputs for one request, or
+    /// `None` when the cascade does not apply: the request opted out
+    /// (`exact`), the model does not fold to a linear functional, the
+    /// query shape mismatches (the scan will surface the error), or the
+    /// sidecar does not cover the database (it always does for
+    /// databases written through [`Engine::write_db`]; the guard keeps
+    /// the scan well-defined regardless).
+    fn cascade_for(
+        &self,
+        db: DbId,
+        meta: &DbMeta,
+        model: &Model,
+        query: &Tensor,
+        exact: bool,
+    ) -> Option<(BoundScorer, &[FeatureQuant])> {
+        if exact || model.feature_bytes() != meta.feature_bytes {
+            return None;
+        }
+        let quants = self.quant.get(&db)?;
+        if quants.len() as u64 != meta.num_features {
+            return None;
+        }
+        let bs = BoundScorer::new(model, query)?;
+        Some((bs, quants.as_slice()))
     }
 
     /// Batched map-reduce scan: walks each shard's pages **once** and
@@ -724,9 +844,34 @@ impl Engine {
         db: DbId,
         requests: &[(&Model, &Tensor, usize)],
     ) -> Result<(Vec<Vec<ScoredFeature>>, ScanFaults)> {
+        let with: Vec<(&Model, &Tensor, usize, bool)> =
+            requests.iter().map(|&(m, q, k)| (m, q, k, false)).collect();
+        self.scan_top_k_batch_with(db, &with)
+            .map(|(ranked, faults, _)| (ranked, faults))
+    }
+
+    /// [`Engine::scan_top_k_batch_counted`] with per-request cascade
+    /// control (the `bool` is the request's `exact` opt-out) and
+    /// per-pass [`CascadeStats`]. Cascade semantics per decoded
+    /// feature: each request with an applicable bound and a full sorter
+    /// makes an admission decision; a model group runs its fused exact
+    /// scorer iff **any** member admits the feature (members whose
+    /// bound stayed below their threshold are still offered the exact
+    /// score, which their sorter rejects by construction — score ≤
+    /// bound < threshold — keeping per-request results bit-identical to
+    /// individual exact scans).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::scan_top_k_batch`].
+    pub fn scan_top_k_batch_with(
+        &self,
+        db: DbId,
+        requests: &[(&Model, &Tensor, usize, bool)],
+    ) -> Result<(Vec<Vec<ScoredFeature>>, ScanFaults, CascadeStats)> {
         let meta = self.db_meta(db)?;
         if requests.is_empty() {
-            return Ok((Vec::new(), ScanFaults::default()));
+            return Ok((Vec::new(), ScanFaults::default(), CascadeStats::default()));
         }
         let shards = self.shard_plan(meta);
         let workers = effective_workers(self.cfg.parallelism, shards.len());
@@ -734,19 +879,40 @@ impl Engine {
         // Group requests by model identity; each group shares one fused
         // scorer. Linear scan: batches are small (tens of queries).
         let mut groups: Vec<(&Model, Vec<usize>)> = Vec::new();
-        for (i, (model, _, _)) in requests.iter().enumerate() {
+        for (i, (model, _, _, _)) in requests.iter().enumerate() {
             match groups.iter_mut().find(|(m, _)| std::ptr::eq(*m, *model)) {
                 Some((_, ix)) => ix.push(i),
                 None => groups.push((model, vec![i])),
             }
         }
 
-        let scan_one = |shard: &[u64]| -> FlashResult<(Vec<TopKSorter>, ScanFaults)> {
+        // Cascade inputs, built once per pass and shared (read-only)
+        // across worker shards: the per-db int8 sidecar plus one folded
+        // bound scorer per applicable request.
+        let quants: Option<&[FeatureQuant]> = self
+            .quant
+            .get(&db)
+            .filter(|q| q.len() as u64 == meta.num_features)
+            .map(Vec::as_slice);
+        let bounds: Vec<Option<BoundScorer>> = requests
+            .iter()
+            .map(|&(model, query, _, exact)| {
+                if exact || quants.is_none() || model.feature_bytes() != meta.feature_bytes {
+                    None
+                } else {
+                    BoundScorer::new(model, query)
+                }
+            })
+            .collect();
+        let bounds = &bounds;
+
+        let scan_one = |shard: &[u64]| -> FlashResult<(Vec<TopKSorter>, ScanFaults, CascadeStats)> {
             let mut sorters: Vec<TopKSorter> = requests
                 .iter()
-                .map(|&(_, _, k)| TopKSorter::new(k))
+                .map(|&(_, _, k, _)| TopKSorter::new(k))
                 .collect();
             let mut faults = ScanFaults::default();
+            let mut cascade = CascadeStats::default();
             let mut scorers: Vec<MultiQueryScorer> = groups
                 .iter()
                 .map(|(model, ix)| {
@@ -776,6 +942,28 @@ impl Engine {
                     Err(e) => return Err(e),
                 }
                 for ((model, ix), scorer) in groups.iter().zip(&mut scorers) {
+                    // Admission: run the group's fused exact scorer iff
+                    // any member admits the feature. Every member's
+                    // decision is evaluated (no short-circuit) so the
+                    // cascade counters are a function of the offered
+                    // set alone, like the sorter contents.
+                    let mut admit = false;
+                    for &req_i in ix {
+                        match (&bounds[req_i], sorters[req_i].threshold(), quants) {
+                            (Some(bs), Some(thr), Some(q)) => {
+                                if bs.upper_bound(&q[idx as usize]) < thr {
+                                    cascade.pruned += 1;
+                                } else {
+                                    cascade.rescored += 1;
+                                    admit = true;
+                                }
+                            }
+                            _ => admit = true,
+                        }
+                    }
+                    if !admit {
+                        continue;
+                    }
                     scorer
                         .score_into(model, &feature, &mut scores)
                         .map_err(|_| FlashError::SizeMismatch {
@@ -787,28 +975,35 @@ impl Engine {
                     }
                 }
             }
-            Ok((sorters, faults))
+            Ok((sorters, faults, cascade))
         };
         let per_shard = run_sharded(&shards, workers, &scan_one);
 
         let mut merged: Vec<TopKSorter> = requests
             .iter()
-            .map(|&(_, _, k)| TopKSorter::new(k))
+            .map(|&(_, _, k, _)| TopKSorter::new(k))
             .collect();
         let mut faults = ScanFaults::default();
+        let mut cascade = CascadeStats::default();
         for shard_result in per_shard {
-            let (sorters, shard_faults) = shard_result?;
+            let (sorters, shard_faults, shard_cascade) = shard_result?;
             for (m, s) in merged.iter_mut().zip(&sorters) {
                 m.merge(s);
             }
             faults.skipped += shard_faults.skipped;
             faults.reads.merge(&shard_faults.reads);
+            cascade.merge(&shard_cascade);
         }
         self.unreadable_skipped
             .fetch_add(faults.skipped, Ordering::Relaxed);
         self.metrics
             .on_batch_scan(requests.len() as u64, meta.num_features, faults.skipped);
-        Ok((merged.into_iter().map(|m| m.ranked()).collect(), faults))
+        self.metrics.on_cascade(cascade.pruned, cascade.rescored);
+        Ok((
+            merged.into_iter().map(|m| m.ranked()).collect(),
+            faults,
+            cascade,
+        ))
     }
 
     /// Shard plan shared by the single and batched scans: each feature

@@ -21,7 +21,7 @@
 //! let model = zoo::textqa().seeded(1);
 //! let db = host.write_db(&(0..16).map(|i| model.random_feature(i)).collect::<Vec<_>>()).unwrap();
 //! let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
-//! let qid = host.query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Channel).unwrap();
+//! let qid = host.query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Channel, false).unwrap();
 //! let results = host.get_results(qid).unwrap();
 //! assert_eq!(results.top_k.len(), 3);
 //! ```
@@ -285,6 +285,11 @@ pub enum Command {
         db: DbId,
         /// Accelerator level to use (`accel_level`).
         level: AcceleratorLevel,
+        /// Bypass the pruning cascade (score every feature exactly).
+        /// The cascade is bit-identical to the exact path, so this only
+        /// trades compute for nothing — it exists as a measurement and
+        /// escape-hatch knob.
+        exact: bool,
     },
     /// `getResults`: fetch a completed query's results.
     GetResults {
@@ -608,10 +613,14 @@ impl Device {
                 model,
                 db,
                 level,
-            } => self
-                .store
-                .query(QueryRequest::new(qfv, model, db).k(k).level(level))
-                .map(Response::QuerySubmitted),
+                exact,
+            } => {
+                let mut req = QueryRequest::new(qfv, model, db).k(k).level(level);
+                if exact {
+                    req = req.exact();
+                }
+                self.store.query(req).map(Response::QuerySubmitted)
+            }
             Command::QueryBatch { requests } => self
                 .store
                 .query_batch(&requests)
@@ -801,6 +810,7 @@ impl<C: CommandChannel> HostClient<C> {
         model: ModelId,
         db: DbId,
         level: AcceleratorLevel,
+        exact: bool,
     ) -> Result<QueryId, ProtoError> {
         match self.round_trip(&Command::Query {
             qfv: qfv.clone(),
@@ -808,6 +818,7 @@ impl<C: CommandChannel> HostClient<C> {
             model,
             db,
             level,
+            exact,
         })? {
             Response::QuerySubmitted(q) => Ok(q),
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
@@ -885,6 +896,35 @@ mod tests {
     }
 
     #[test]
+    fn exact_flag_roundtrips_on_both_query_commands() {
+        let model = zoo::textqa().seeded(1);
+        // The bit survives encode/decode in both states, on the single
+        // query command and inside a batched request.
+        for exact in [false, true] {
+            let cmd = Command::Query {
+                qfv: model.random_feature(0),
+                k: 3,
+                model: ModelId(1),
+                db: DbId(1),
+                level: AcceleratorLevel::Channel,
+                exact,
+            };
+            let decoded = decode_command(&encode_command(&cmd)).unwrap();
+            assert_eq!(decoded, cmd);
+
+            let mut req = QueryRequest::new(model.random_feature(1), ModelId(1), DbId(1)).k(2);
+            if exact {
+                req = req.exact();
+            }
+            assert_eq!(req.exact, exact);
+            let cmd = Command::QueryBatch {
+                requests: vec![req],
+            };
+            assert_eq!(decode_command(&encode_command(&cmd)).unwrap(), cmd);
+        }
+    }
+
+    #[test]
     fn corrupt_frames_are_rejected() {
         let cmd = Command::GetResults { query: QueryId(1) };
         let good = encode_command(&cmd);
@@ -943,7 +983,7 @@ mod tests {
         let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
         let q = model.random_feature(0); // exact duplicate of feature 0
         let qid = host
-            .query(&q, 1, mid, db, AcceleratorLevel::Channel)
+            .query(&q, 1, mid, db, AcceleratorLevel::Channel, false)
             .unwrap();
         let r = host.get_results(qid).unwrap();
         assert_eq!(r.top_k[0].feature_index, 0);
@@ -985,6 +1025,7 @@ mod tests {
                 mid,
                 db,
                 AcceleratorLevel::Channel,
+                false,
             )
             .unwrap();
         let _ = host.get_results(qid).unwrap();

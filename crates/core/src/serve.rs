@@ -460,6 +460,12 @@ pub struct ServeConfig {
     pub engine_delay: Option<Duration>,
     /// The clock quota refill runs on.
     pub clock: ServeClock,
+    /// Force every served query onto the exact scoring path,
+    /// overriding the per-request cascade flag: the server rewrites
+    /// `exact = true` into each query before dispatch. Results are
+    /// bit-identical either way (the cascade's recall is exactly 1.0);
+    /// this is the operational escape hatch / measurement knob.
+    pub force_exact: bool,
 }
 
 impl Default for ServeConfig {
@@ -471,6 +477,7 @@ impl Default for ServeConfig {
             poll: Duration::from_millis(2),
             engine_delay: None,
             clock: ServeClock::wall(),
+            force_exact: false,
         }
     }
 }
@@ -686,17 +693,26 @@ fn engine_loop(
                         model,
                         db,
                         level,
+                        exact,
                     } => {
                         spans.push((i, all.len(), 1, true));
-                        all.push(
-                            QueryRequest::new(qfv.clone(), *model, *db)
-                                .k(*k)
-                                .level(*level),
-                        );
+                        let mut req = QueryRequest::new(qfv.clone(), *model, *db)
+                            .k(*k)
+                            .level(*level);
+                        if *exact || cfg.force_exact {
+                            req = req.exact();
+                        }
+                        all.push(req);
                     }
                     Command::QueryBatch { requests } => {
                         spans.push((i, all.len(), requests.len(), false));
-                        all.extend(requests.iter().cloned());
+                        all.extend(requests.iter().cloned().map(|r| {
+                            if cfg.force_exact {
+                                r.exact()
+                            } else {
+                                r
+                            }
+                        }));
                     }
                     _ => unreachable!("query_cost > 0 only for query commands"),
                 }
@@ -720,12 +736,42 @@ fn engine_loop(
         for (i, job) in jobs.into_iter().enumerate() {
             let resp = match replies[i].take() {
                 Some(resp) => resp,
-                None => device.dispatch(job.cmd),
+                None => device.dispatch(apply_force_exact(job.cmd, cfg.force_exact)),
             };
             let _ = job.reply.send(resp);
         }
     }
     device
+}
+
+/// Rewrites query commands onto the exact scoring path when the
+/// server's [`ServeConfig::force_exact`] knob is set; every other
+/// command (and `force = false`) passes through untouched.
+fn apply_force_exact(cmd: Command, force: bool) -> Command {
+    if !force {
+        return cmd;
+    }
+    match cmd {
+        Command::Query {
+            qfv,
+            k,
+            model,
+            db,
+            level,
+            exact: _,
+        } => Command::Query {
+            qfv,
+            k,
+            model,
+            db,
+            level,
+            exact: true,
+        },
+        Command::QueryBatch { requests } => Command::QueryBatch {
+            requests: requests.into_iter().map(QueryRequest::exact).collect(),
+        },
+        other => other,
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down;
@@ -932,12 +978,12 @@ mod tests {
         host.hello("tenant-a").unwrap();
         let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
         for i in 0..2 {
-            host.query(&probe(i), 3, mid, db, AcceleratorLevel::Ssd)
+            host.query(&probe(i), 3, mid, db, AcceleratorLevel::Ssd, false)
                 .unwrap();
         }
         // Third query: bucket empty, refill zero — always rejected.
         let err = host
-            .query(&probe(2), 3, mid, db, AcceleratorLevel::Ssd)
+            .query(&probe(2), 3, mid, db, AcceleratorLevel::Ssd, false)
             .unwrap_err();
         assert!(err.is_rejection());
         assert_eq!(
@@ -950,7 +996,7 @@ mod tests {
         let mut other = HostClient::over(connector.connect().unwrap());
         other.hello("tenant-b").unwrap();
         other
-            .query(&probe(3), 3, mid, db, AcceleratorLevel::Ssd)
+            .query(&probe(3), 3, mid, db, AcceleratorLevel::Ssd, false)
             .unwrap();
 
         let (_store, stats) = handle.shutdown();
@@ -981,7 +1027,7 @@ mod tests {
                 let mut ok = 0u64;
                 let mut rejected = 0u64;
                 for i in 0..4u64 {
-                    match host.query(&probe(c * 10 + i), 2, mid, db, AcceleratorLevel::Ssd) {
+                    match host.query(&probe(c * 10 + i), 2, mid, db, AcceleratorLevel::Ssd, false) {
                         Ok(_) => ok += 1,
                         Err(e) => {
                             assert!(e.is_rejection(), "unexpected error: {e:?}");
@@ -1026,7 +1072,7 @@ mod tests {
         let (mid, db) = (crate::api::ModelId(1), crate::engine::DbId(1));
         let client = thread::spawn(move || {
             let mut host = HostClient::over(conn);
-            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd)
+            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd, false)
                 .unwrap()
         });
         // Give the query time to be admitted, then shut down while the
@@ -1055,7 +1101,7 @@ mod tests {
         let db = host.write_db(&features).unwrap();
         let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
         let qid = host
-            .query(&probe(1), 4, mid, db, AcceleratorLevel::Channel)
+            .query(&probe(1), 4, mid, db, AcceleratorLevel::Channel, false)
             .unwrap();
         let result = host.get_results(qid).unwrap();
         assert_eq!(result.top_k.len(), 4);
@@ -1080,7 +1126,7 @@ mod tests {
         let db = host.write_db(&features).unwrap();
         let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
         let qid = host
-            .query(&probe(1), 4, mid, db, AcceleratorLevel::Ssd)
+            .query(&probe(1), 4, mid, db, AcceleratorLevel::Ssd, false)
             .unwrap();
         let result = host.get_results(qid).unwrap();
         assert_eq!(result.top_k.len(), 4);
@@ -1109,7 +1155,7 @@ mod tests {
         let bad_conn = connector.connect().unwrap();
         let good = thread::spawn(move || {
             let mut host = HostClient::over(good_conn);
-            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd)
+            host.query(&probe(0), 3, mid, db, AcceleratorLevel::Ssd, false)
         });
         let bad = thread::spawn(move || {
             let mut host = HostClient::over(bad_conn);
@@ -1121,6 +1167,7 @@ mod tests {
                 crate::api::ModelId(999),
                 db,
                 AcceleratorLevel::Ssd,
+                false,
             )
         });
         let good_result = good.join().unwrap();

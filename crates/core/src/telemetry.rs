@@ -58,6 +58,13 @@ pub struct DeviceStats {
     pub scan_groups: u64,
     /// Features skipped across all scans because their pages failed ECC.
     pub unreadable_skipped: u64,
+    /// Features the pruning cascade skipped exact scoring for (their
+    /// int8 upper bound fell strictly below the running top-K
+    /// threshold).
+    pub pruned_features: u64,
+    /// Features whose bound cleared (or tied) the threshold and were
+    /// rescored through the exact f32 path.
+    pub rescored_features: u64,
     /// Queries answered with less than full coverage (degraded top-K).
     pub degraded_queries: u64,
     /// Per-stage simulated-time totals.
@@ -81,6 +88,8 @@ pub struct ScanMetrics {
     batch_queries: CounterId,
     features_scanned: CounterId,
     features_skipped: CounterId,
+    features_pruned: CounterId,
+    features_rescored: CounterId,
     scan_features: HistogramId,
 }
 
@@ -101,6 +110,8 @@ impl ScanMetrics {
             batch_queries: registry.counter("engine.batch_queries"),
             features_scanned: registry.counter("engine.features_scanned"),
             features_skipped: registry.counter("engine.features_skipped"),
+            features_pruned: registry.counter("scan.pruned_features"),
+            features_rescored: registry.counter("scan.rescored_features"),
             scan_features: registry.histogram("engine.scan_features"),
             registry,
         }
@@ -135,6 +146,22 @@ impl ScanMetrics {
         }
         #[cfg(not(feature = "obs"))]
         let _ = (queries, features, skipped);
+    }
+
+    /// One scan pass's cascade outcome: `pruned` per-query feature
+    /// decisions skipped exact scoring, `rescored` cleared the bound
+    /// check and took the exact path. Recorded once per pass (the
+    /// engine sums per-shard counts first), keeping the hot path free
+    /// of telemetry.
+    #[inline]
+    pub fn on_cascade(&self, pruned: u64, rescored: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.add(self.features_pruned, pruned);
+            self.registry.add(self.features_rescored, rescored);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (pruned, rescored);
     }
 
     /// A deterministic snapshot of the engine's scan counters.

@@ -37,15 +37,28 @@ pub mod layer;
 pub mod metrics;
 pub mod model;
 pub mod multiquery;
+pub mod quant;
 pub mod scratch;
 pub mod tensor;
 pub mod zoo;
 
 pub use batch::Batch;
+
+/// Name of the compute-kernel backend this process dispatches to:
+/// `"avx"`, `"sse2"` or `"scalar"`. Selection is made once per process
+/// from CPU feature detection, overridable with
+/// `DEEPSTORE_FORCE_SCALAR=1`; all backends are bit-identical (see
+/// `kernels` module docs), so this only matters for performance
+/// reporting.
+#[must_use]
+pub fn kernel_backend() -> &'static str {
+    kernels::backend_name()
+}
 pub use graph::ModelGraph;
 pub use layer::{Activation, ElementWiseOp, Layer, LayerShape, MergeOp};
 pub use model::{Model, ModelBuilder};
 pub use multiquery::MultiQueryScorer;
+pub use quant::{quantize_feature, BoundScorer, FeatureQuant};
 pub use scratch::InferenceScratch;
 pub use tensor::Tensor;
 

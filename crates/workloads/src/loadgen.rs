@@ -250,8 +250,14 @@ where
                     if item.at > elapsed {
                         std::thread::sleep(item.at - elapsed);
                     }
-                    let submitted =
-                        host.query(&item.qfv, target.k, target.model, target.db, target.level);
+                    let submitted = host.query(
+                        &item.qfv,
+                        target.k,
+                        target.model,
+                        target.db,
+                        target.level,
+                        false,
+                    );
                     let done = submitted.and_then(|qid| host.get_results(qid));
                     match done {
                         Ok(_) => {

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model: deepstore::core::ModelId(1),
         db: deepstore::core::DbId(1),
         level: AcceleratorLevel::Channel,
+        exact: false,
     };
     let frame = encode_command(&probe_cmd);
     println!(
@@ -47,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mid,
         db,
         AcceleratorLevel::Channel,
+        false,
     )?;
     println!("query       -> {qid:?}");
     let results = host.get_results(qid)?;

@@ -1,0 +1,223 @@
+//! Equivalence harness for the int8 bound-then-refine pruning cascade.
+//!
+//! The cascade's contract has two halves, and both are checked here
+//! with randomized inputs:
+//!
+//! * **Bound soundness.** For any linear-foldable model, query and
+//!   feature, the int8 upper bound is ≥ the exact f32 similarity —
+//!   always, not statistically. This is what makes recall@K exactly
+//!   1.0 by construction: a feature is pruned only when its bound
+//!   (hence its score) falls strictly below the running K-th best.
+//! * **Bit-identity.** The cascade's ranked top-K — ids, scores,
+//!   order — equals the exact path's bit-for-bit, at every
+//!   `parallelism` setting (1/2/4/auto), with and without armed fault
+//!   plans degrading coverage. So do the fault counts: pruned
+//!   features still stream their flash pages.
+//!
+//! Run with `DEEPSTORE_FORCE_SCALAR=1` to exercise the scalar kernel
+//! dispatch arm; CI runs both.
+
+use deepstore_core::config::DeepStoreConfig;
+use deepstore_core::engine::{DbId, Engine};
+use deepstore_core::{DeepStore, QueryRequest};
+use deepstore_flash::fault::FaultPlan;
+use deepstore_nn::{
+    quantize_feature, zoo, Activation, BoundScorer, ElementWiseOp, MergeOp, Model, ModelBuilder,
+    ModelGraph, Tensor,
+};
+use proptest::prelude::*;
+
+/// Worker counts exercised against the serial cascade. `0` means "one
+/// worker per host core".
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 0];
+
+const MERGES: [MergeOp; 4] = [
+    MergeOp::Concat,
+    MergeOp::ElementWise(ElementWiseOp::Add),
+    MergeOp::ElementWise(ElementWiseOp::Sub),
+    MergeOp::ElementWise(ElementWiseOp::Mul),
+];
+
+/// A random linear-foldable similarity model: any merge, a stack of
+/// identity-activated dense layers.
+fn linear_model(merge: MergeOp, dims: &[usize], seed: u64) -> Model {
+    let mut b = ModelBuilder::new("lin", dims[0]).merge(merge);
+    let mut inp = match merge {
+        MergeOp::Concat => dims[0] * 2,
+        MergeOp::ElementWise(_) => dims[0],
+    };
+    for &out in &dims[1..] {
+        b = b.dense(inp, out, Activation::Identity);
+        inp = out;
+    }
+    b.build().seeded(seed)
+}
+
+/// Builds a sealed engine with `n` random features from `app`'s model.
+fn engine_with(app: &str, model_seed: u64, n: u64, parallelism: usize) -> (Engine, Model, DbId) {
+    let model = zoo::by_name(app)
+        .expect("known app")
+        .seeded_metric(model_seed);
+    let mut engine = Engine::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
+    let db = engine.write_db(&features).unwrap();
+    engine.seal_db(db).unwrap();
+    (engine, model, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Bound soundness over random linear models: merge type, depth,
+    /// weights, query and features are all randomized, and the int8
+    /// upper bound must dominate the exact score every time.
+    #[test]
+    fn int8_bound_dominates_exact_score(
+        (merge_idx, dims_idx, model_seed, q_seed) in (
+            0usize..4,
+            0usize..3,
+            0u64..1_000_000,
+            0u64..1_000_000,
+        )
+    ) {
+        let dims: &[usize] = [&[24usize, 6][..], &[16, 12, 5], &[10, 8, 8, 1]][dims_idx];
+        let model = linear_model(MERGES[merge_idx], dims, model_seed);
+        let query = model.random_feature(q_seed);
+        let bs = BoundScorer::new(&model, &query).expect("linear models fold");
+        for fi in 0..24u64 {
+            let item = model.random_feature(q_seed ^ (0xF00D + fi));
+            let fq = quantize_feature(item.data());
+            let exact = model.similarity(&query, &item).unwrap();
+            let ub = bs.upper_bound(&fq);
+            prop_assert!(
+                ub >= exact,
+                "bound {} < exact {} (merge {:?}, dims {:?}, feature {})",
+                ub, exact, MERGES[merge_idx], dims, fi
+            );
+        }
+    }
+
+    /// The cascade's top-K is bit-identical to the exact path at every
+    /// parallelism setting, and its prune/rescore counts are identical
+    /// across worker counts too (they are sums over the physically
+    /// determined shard plan).
+    #[test]
+    fn cascade_topk_matches_exact_bitwise(
+        (model_seed, n, k, q_seed) in (
+            0u64..1_000_000,
+            1u64..96,
+            0usize..12,
+            0u64..1_000_000,
+        )
+    ) {
+        let (mut engine, model, db) = engine_with("textqa", model_seed, n, 1);
+        let probe = model.random_feature(q_seed ^ 0x5EED);
+        let (exact, exact_faults, exact_stats) = engine
+            .scan_top_k_with(db, &model, &probe, k, true)
+            .unwrap();
+        // The exact path never consults the bound.
+        prop_assert_eq!(exact_stats.pruned, 0);
+        prop_assert_eq!(exact_stats.rescored, 0);
+
+        let mut baseline_stats = None;
+        for workers in WORKER_COUNTS {
+            engine.set_parallelism(workers);
+            let (cascade, faults, stats) = engine
+                .scan_top_k_with(db, &model, &probe, k, false)
+                .unwrap();
+            prop_assert_eq!(&exact, &cascade, "ranking diverged at parallelism {}", workers);
+            prop_assert_eq!(&exact_faults, &faults);
+            match baseline_stats {
+                None => baseline_stats = Some(stats),
+                Some(b) => prop_assert_eq!(
+                    b, stats,
+                    "cascade stats diverged at parallelism {}", workers
+                ),
+            }
+        }
+    }
+
+    /// Non-foldable models (tir has ReLU tails) fall back to the exact
+    /// path: identical results, zero cascade decisions.
+    #[test]
+    fn non_foldable_models_fall_back_to_exact(
+        (model_seed, n, q_seed) in (0u64..1_000_000, 1u64..32, 0u64..1_000_000)
+    ) {
+        let (engine, model, db) = engine_with("tir", model_seed, n, 1);
+        let probe = model.random_feature(q_seed ^ 0x7E57);
+        let (exact, _, _) = engine.scan_top_k_with(db, &model, &probe, 4, true).unwrap();
+        let (cascade, _, stats) = engine.scan_top_k_with(db, &model, &probe, 4, false).unwrap();
+        prop_assert_eq!(&exact, &cascade);
+        prop_assert_eq!(stats.pruned, 0);
+        prop_assert_eq!(stats.rescored, 0);
+    }
+
+    /// Armed fault plans: with uncorrectable reads degrading coverage,
+    /// the cascade still matches the exact path bit-for-bit — pruned
+    /// features stream their pages, so the skip accounting is shared —
+    /// at every worker count.
+    #[test]
+    fn cascade_matches_exact_under_armed_faults(
+        (model_seed, n, fault_seed) in (0u64..1_000_000, 16u64..96, 0u64..1_000_000)
+    ) {
+        let scan_at = |workers: usize, exact: bool| {
+            let (mut engine, model, db) = engine_with("textqa", model_seed, n, workers);
+            let geometry = engine.config().ssd.geometry;
+            engine.inject_faults(FaultPlan::random(&geometry, 0.10, fault_seed));
+            let probe = model.random_feature(model_seed ^ 0xFA017);
+            let (top, faults, stats) = engine
+                .scan_top_k_with(db, &model, &probe, 6, exact)
+                .unwrap();
+            (top, faults, stats, engine.unreadable_skipped())
+        };
+
+        let (exact_top, exact_faults, _, exact_skipped) = scan_at(1, true);
+        let mut baseline_stats = None;
+        for workers in WORKER_COUNTS {
+            let (top, faults, stats, skipped) = scan_at(workers, false);
+            prop_assert_eq!(&exact_top, &top, "ranking diverged at parallelism {}", workers);
+            prop_assert_eq!(&exact_faults, &faults);
+            prop_assert_eq!(exact_skipped, skipped);
+            match baseline_stats {
+                None => baseline_stats = Some(stats),
+                Some(b) => prop_assert_eq!(b, stats),
+            }
+        }
+    }
+}
+
+/// End-to-end through the public API: `QueryRequest::exact()` and the
+/// default cascade return identical hits, batches mix freely, and the
+/// device's stats surface the pruning it actually did.
+#[test]
+fn api_exact_and_cascade_requests_agree() {
+    let model = zoo::textqa().seeded_metric(7);
+    let mut store = DeepStore::new(DeepStoreConfig::small());
+    store.disable_qc();
+    let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&features).unwrap();
+    let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+
+    for probe_seed in [900u64, 901, 902] {
+        let probe = model.random_feature(probe_seed);
+        let reqs = vec![
+            QueryRequest::new(probe.clone(), mid, db).k(8),
+            QueryRequest::new(probe.clone(), mid, db).k(8).exact(),
+        ];
+        let ids = store.query_batch(&reqs).unwrap();
+        let cascade = store.results(ids[0]).unwrap();
+        let exact = store.results(ids[1]).unwrap();
+        assert_eq!(cascade.top_k, exact.top_k, "probe {probe_seed} diverged");
+    }
+
+    let stats = store.stats();
+    // With `obs` off the counters read zero; with it on, a 256-feature
+    // db at k=8 must have pruned something.
+    if stats.queries > 0 {
+        assert!(
+            stats.pruned_features > 0,
+            "cascade pruned nothing on a 256-feature db"
+        );
+        assert!(stats.rescored_features > 0 || stats.pruned_features > 0);
+    }
+}

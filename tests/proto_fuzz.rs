@@ -56,6 +56,7 @@ fn sample_commands() -> Vec<Command> {
             model: ModelId(1),
             db: DbId(1),
             level: AcceleratorLevel::Channel,
+            exact: false,
         },
         Command::GetResults { query: QueryId(12) },
         Command::QueryBatch {
@@ -126,7 +127,14 @@ fn every_response_frame_roundtrips() {
     let db = host.write_db(&features).unwrap();
     let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
     let qid = host
-        .query(&model.random_feature(99), 3, mid, db, AcceleratorLevel::Ssd)
+        .query(
+            &model.random_feature(99),
+            3,
+            mid,
+            db,
+            AcceleratorLevel::Ssd,
+            false,
+        )
         .unwrap();
     assert_eq!(host.get_results(qid).unwrap().top_k.len(), 3);
     assert!(host.stats().is_ok());
@@ -310,7 +318,14 @@ fn tcp_server_survives_partial_frames_and_disconnects() {
     let db = host.write_db(&features).unwrap();
     let mid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
     let qid = host
-        .query(&model.random_feature(50), 2, mid, db, AcceleratorLevel::Ssd)
+        .query(
+            &model.random_feature(50),
+            2,
+            mid,
+            db,
+            AcceleratorLevel::Ssd,
+            false,
+        )
         .unwrap();
     assert_eq!(host.get_results(qid).unwrap().top_k.len(), 2);
     drop(host);
@@ -351,6 +366,7 @@ proptest! {
             model: ModelId(1),
             db: DbId(1),
             level: AcceleratorLevel::Ssd,
+            exact: false,
         });
         let mut corrupted = frame.clone();
         let i = idx % frame.len();

@@ -35,7 +35,7 @@ fn full_session_over_the_wire_matches_direct_api() {
     let wdb = host.write_db(&features).unwrap();
     let wmid = host.load_model(&ModelGraph::from_model(&model)).unwrap();
     let wqid = host
-        .query(&probe, 5, wmid, wdb, AcceleratorLevel::Channel)
+        .query(&probe, 5, wmid, wdb, AcceleratorLevel::Channel, false)
         .unwrap();
     let wire_result = host.get_results(wqid).unwrap();
 
@@ -67,7 +67,8 @@ fn device_survives_command_reordering_and_bad_handles() {
             1,
             deepstore::core::ModelId(9),
             db,
-            AcceleratorLevel::Ssd
+            AcceleratorLevel::Ssd,
+            false
         ),
         Err(ProtoError::Device(_))
     ));

@@ -215,7 +215,7 @@ fn concurrent_run(scn: &Scenario, workers: usize) -> Result<Vec<Vec<Vec<Snap>>>,
                     let qids = if reqs.len() == 1 {
                         let r = &reqs[0];
                         vec![host
-                            .query(&r.qfv, r.k, r.model, r.db, r.level)
+                            .query(&r.qfv, r.k, r.model, r.db, r.level, r.exact)
                             .map_err(|e| format!("client {c} batch {b}: query failed: {e}"))?]
                     } else {
                         host.query_batch(reqs)
