@@ -10,7 +10,7 @@ fn bench_engine(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["textqa", "tir"] {
         let model = zoo::by_name(name).unwrap().seeded(3);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         let features: Vec<_> = (0..128).map(|i| model.random_feature(i)).collect();
         let db = store.write_db(&features).unwrap();
@@ -37,7 +37,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_scan");
     group.sample_size(10);
     let model = zoo::textqa().seeded(3);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let features: Vec<_> = (0..512).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();

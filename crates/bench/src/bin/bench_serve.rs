@@ -89,7 +89,7 @@ struct ServeBench {
 }
 
 fn fresh_store(model: &Model, features: u64) -> (DeepStore, ModelId, DbId) {
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     let db_features: Vec<Tensor> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&db_features).expect("write_db");
     let mid = store

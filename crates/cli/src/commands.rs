@@ -25,9 +25,18 @@ usage: deepstore-cli <command> [flags]
 commands:
   zoo                                     Table 1 model summary
   scan-time  --app <name> [--db-gib N]    timing model at paper scale
+  create     --image <path> [--app <name>] [--features N] [--seed S]
+             [--parallelism P]            build a persistent drive image:
+                                          write the app's database, load its
+                                          model, flush and close cleanly
+  open       --image <path> [--app <name>] [--k K] [--probe-seed S]
+             [--level ssd|channel|chip] [--db N] [--model N]
+                                          reopen a drive image in a fresh
+                                          process and run a probe query
   query      --app <name> [--features N] [--k K] [--level ssd|channel|chip]
              [--parallelism P] [--batch-file <file>] [--trace <out.json>]
              [--min-coverage F] [--dead-channel C] [--exact]
+             [--image <path> [--db N] [--model N]]
                                           functional query on a small drive
   stats      [--app <name>] [--features N] [--k K] [--parallelism P]
                                           device telemetry after a mixed
@@ -39,7 +48,8 @@ commands:
   serve      [--app <name>] [--features N] [--port P] [--addr-file <file>]
              [--duration-ms MS] [--queue-depth D] [--quota-qps F]
              [--quota-burst F] [--batch-window-us W] [--parallelism P]
-             [--seed S] [--force-exact]   serve a store over loopback TCP
+             [--seed S] [--force-exact] [--image <path>]
+                                          serve a store over loopback TCP
   loadgen    (--addr H:P | --addr-file <file>) [--app <name>] [--qps F]
              [--queries N] [--arrivals poisson|fixed] [--connections C]
              [--alpha F] [--dup-rate F] [--k K] [--db N] [--model N]
@@ -50,6 +60,16 @@ commands:
 core). It changes host wall-clock time only; results and simulated
 latencies are identical at every setting.
 
+`create` builds a single-file drive image at `--image` (the file must
+not already exist), populates it with `--features` vectors from the
+app's model, registers the model, flushes everything and closes the
+image cleanly. `open` reopens that image — in a different process,
+typically — reports whether the previous close was clean, and serves a
+probe query against the persisted database and model (ids default to 1,
+the ids `create` assigns). `query --image`/`serve --image` run those
+commands against a persisted image instead of building an in-memory
+drive; on a bounded `serve --image` run the image is closed cleanly at
+shutdown.
 `query --batch-file` reads whitespace-separated probe seeds and submits
 them as one batch: the device scores every probe in a single flash pass.
 `query --trace` writes the pipeline timeline as Chrome trace-event JSON
@@ -97,6 +117,8 @@ pub fn run(argv: &[String]) -> CmdResult {
     match cmd.as_str() {
         "zoo" => cmd_zoo(rest),
         "scan-time" => cmd_scan_time(rest),
+        "create" => cmd_create(rest),
+        "open" => cmd_open(rest),
         "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
         "trace" => cmd_trace(rest),
@@ -176,6 +198,92 @@ fn cmd_scan_time(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn cmd_create(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["image", "app", "features", "seed", "parallelism"])?;
+    let image = flags.required("image")?;
+    let app_name = flags.str_or("app", "textqa");
+    let features: u64 = flags.num_or("features", 128)?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(seed);
+    let mut store = DeepStore::create(
+        std::path::Path::new(image),
+        DeepStoreConfig::small().with_parallelism(parallelism),
+    )?;
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = store.write_db(&fs)?;
+    let mid = store.load_model(&ModelGraph::from_model(&model))?;
+    store.flush()?;
+    let counts = store.flash_op_counts();
+    println!(
+        "created image {image}: db {} ({features} `{app_name}` features), model {}",
+        db.0, mid.0
+    );
+    println!(
+        "  flash ops  : {} reads, {} programs, {} erases",
+        counts.reads, counts.programs, counts.erases
+    );
+    store.close()?;
+    println!("  closed cleanly; reopen with `open --image {image}`");
+    Ok(())
+}
+
+fn cmd_open(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["image", "app", "k", "probe-seed", "level", "db", "model"])?;
+    let image = flags.required("image")?;
+    let app_name = flags.str_or("app", "textqa");
+    let k: usize = flags.num_or("k", 5)?;
+    let probe_seed: u64 = flags.num_or("probe-seed", 42 ^ 0xBEEF)?;
+    let level = parse_level(flags.str_or("level", "channel"))?;
+    let db: u64 = flags.num_or("db", 1)?;
+    let model_id: u64 = flags.num_or("model", 1)?;
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(42);
+    let mut store = DeepStore::open(std::path::Path::new(image))?;
+    let counts = store.flash_op_counts();
+    println!(
+        "opened image {image} ({} backend, previous close {})",
+        store.backend(),
+        if store.opened_dirty() {
+            "interrupted — recovered last commit"
+        } else {
+            "clean"
+        }
+    );
+    println!(
+        "  flash ops  : {} reads, {} programs, {} erases (resumed)",
+        counts.reads, counts.programs, counts.erases
+    );
+    let req = QueryRequest::new(
+        model.random_feature(probe_seed),
+        deepstore_core::ModelId(model_id),
+        deepstore_core::DbId(db),
+    )
+    .k(k)
+    .level(level);
+    let qid = store.query(req)?;
+    let r = store.results(qid)?;
+    println!(
+        "probe {probe_seed}: top-{k} at the {level} level (simulated {}):",
+        r.elapsed
+    );
+    for (rank, hit) in r.top_k.iter().enumerate() {
+        println!(
+            "  #{rank}: feature {:>5}  score {:>9.4}  ObjectID 0x{:x}",
+            hit.feature_index, hit.score, hit.object_id.0
+        );
+    }
+    store.close()?;
+    Ok(())
+}
+
 fn cmd_query(args: &[String]) -> CmdResult {
     let flags = Flags::parse_with_switches(args, &["exact"])?;
     flags.expect_only(&[
@@ -190,6 +298,9 @@ fn cmd_query(args: &[String]) -> CmdResult {
         "min-coverage",
         "dead-channel",
         "exact",
+        "image",
+        "db",
+        "model",
     ])?;
     let exact = flags.switch("exact");
     let app_name = flags.required("app")?;
@@ -216,13 +327,27 @@ fn cmd_query(args: &[String]) -> CmdResult {
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
         .seeded_metric(seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    // Either reopen a persisted image (db/model ids default to the ones
+    // `create` assigns) or build a throwaway in-memory drive.
+    let (mut store, db, mid) = match flags.opt("image") {
+        Some(image) => {
+            let store = DeepStore::open(std::path::Path::new(image))?;
+            let db = deepstore_core::DbId(flags.num_or("db", 1)?);
+            let mid = deepstore_core::ModelId(flags.num_or("model", 1)?);
+            (store, db, mid)
+        }
+        None => {
+            let mut store =
+                DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
+            let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+            let db = store.write_db(&fs)?;
+            let mid = store.load_model(&ModelGraph::from_model(&model))?;
+            (store, db, mid)
+        }
+    };
     if flags.opt("trace").is_some() {
         store.enable_tracing();
     }
-    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
-    let db = store.write_db(&fs)?;
-    let mid = store.load_model(&ModelGraph::from_model(&model))?;
     if let Some(channel) = flags.opt("dead-channel") {
         let channel: usize = channel
             .parse()
@@ -268,11 +393,15 @@ fn cmd_query(args: &[String]) -> CmdResult {
             req
         })
         .collect();
+    let source = match flags.opt("image") {
+        Some(image) => format!("image {image}"),
+        None => format!("{features} features"),
+    };
     let ids = store.query_batch(&requests)?;
     for (qid, probe_seed) in ids.iter().zip(&probe_seeds) {
         let r = store.results(*qid)?;
         println!(
-            "probe {probe_seed}: top-{k} of {features} features at the {level} level (simulated {}):",
+            "probe {probe_seed}: top-{k} of {source} at the {level} level (simulated {}):",
             r.elapsed
         );
         if r.degraded {
@@ -444,7 +573,7 @@ fn cmd_replay(args: &[String]) -> CmdResult {
         .ok_or_else(|| ArgError(format!("no zoo model with feature length {dim}")))?
         .seeded(7);
 
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
     let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&fs)?;
     let mid = store.load_model(&ModelGraph::from_model(&model))?;
@@ -501,6 +630,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         "parallelism",
         "seed",
         "force-exact",
+        "image",
     ])?;
     let app_name = flags.str_or("app", "textqa");
     let features: u64 = flags.num_or("features", 64)?;
@@ -516,10 +646,23 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
         .seeded_metric(seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
-    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
-    let db = store.write_db(&fs)?;
-    let mid = store.load_model(&ModelGraph::from_model(&model))?;
+    // Serve either a persisted image (db/model 1 are the ones `create`
+    // assigns) or a freshly-built in-memory drive.
+    let (store, db, mid) = match flags.opt("image") {
+        Some(image) => (
+            DeepStore::open(std::path::Path::new(image))?,
+            deepstore_core::DbId(1),
+            deepstore_core::ModelId(1),
+        ),
+        None => {
+            let mut store =
+                DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
+            let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+            let db = store.write_db(&fs)?;
+            let mid = store.load_model(&ModelGraph::from_model(&model))?;
+            (store, db, mid)
+        }
+    };
 
     let cfg = ServeConfig {
         queue_depth,
@@ -535,11 +678,15 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         force_exact: flags.switch("force-exact"),
         ..ServeConfig::default()
     };
+    let source = match flags.opt("image") {
+        Some(image) => format!("image {image}"),
+        None => format!("`{app_name}` ({features} features)"),
+    };
     let transport = TcpTransport::bind(&format!("127.0.0.1:{port}"))
         .map_err(|e| ArgError(format!("cannot bind port {port}: {e}")))?;
     let handle = serve(transport, store, cfg);
     println!(
-        "serving `{app_name}` ({features} features, db {}, model {}) on {}",
+        "serving {source} (db {}, model {}) on {}",
         db.0,
         mid.0,
         handle.endpoint()
@@ -554,7 +701,11 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         }
     }
     std::thread::sleep(Duration::from_millis(duration_ms));
-    let (_store, stats) = handle.shutdown();
+    let (store, stats) = handle.shutdown();
+    if store.is_persistent() {
+        store.close()?;
+        println!("(image closed cleanly)");
+    }
     println!(
         "served {} connections, {} frames, {} queries admitted",
         stats.connections, stats.frames, stats.queries_admitted
@@ -950,6 +1101,38 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&argv(&["serve", "--app", "nope"])).is_err());
+    }
+
+    #[test]
+    fn create_open_query_image_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "deepstore_cli_test_image_{}.img",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let path_s = path.to_str().unwrap().to_string();
+        run(&argv(&[
+            "create",
+            "--image",
+            &path_s,
+            "--app",
+            "textqa",
+            "--features",
+            "48",
+        ]))
+        .unwrap();
+        // Creating over an existing image is refused.
+        assert!(run(&argv(&["create", "--image", &path_s])).is_err());
+        // Reopen and probe the persisted database.
+        run(&argv(&["open", "--image", &path_s, "--k", "3"])).unwrap();
+        // `query --image` serves from the image instead of building a drive.
+        run(&argv(&[
+            "query", "--image", &path_s, "--app", "textqa", "--k", "2",
+        ]))
+        .unwrap();
+        // Opening a missing image fails cleanly.
+        assert!(run(&argv(&["open", "--image", "/nonexistent/img"])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! ```no_run
 //! # use deepstore_core::{DeepStore, DeepStoreConfig, QueryRequest, AcceleratorLevel};
 //! # use deepstore_nn::{zoo, ModelGraph};
-//! # let mut store = DeepStore::new(DeepStoreConfig::small());
+//! # let mut store = DeepStore::in_memory(DeepStoreConfig::small());
 //! # let model = zoo::textqa().seeded(9);
 //! # let db = store.write_db(&[model.random_feature(0)]).unwrap();
 //! # let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -67,16 +67,18 @@ use crate::accel::{scan as timing_scan, scan_batch, shard_timings, ScanWorkload}
 use crate::config::{AcceleratorLevel, DeepStoreConfig};
 use crate::engine::{CascadeStats, DbId, Engine, ObjectId};
 use crate::error::{DeepStoreError, Result};
+use crate::persist::{ImageManifest, MANIFEST_VERSION};
 use crate::qcache::{lookup_time_for, QueryCache, QueryCacheConfig};
 use crate::telemetry::{merge_snapshots, ApiTelemetry, DeviceStats};
 use deepstore_flash::layout::DbLayout;
 use deepstore_flash::stream::retry_stall;
-use deepstore_flash::{FlashError, SimDuration};
+use deepstore_flash::{FlashError, FlashOpCounts, MmapStore, SimDuration};
 use deepstore_nn::{Model, ModelGraph, Tensor};
 use deepstore_obs::TraceRecorder;
 use deepstore_systolic::topk::ScoredFeature;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Identifies a loaded similarity model (returned by `loadModel`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -232,19 +234,182 @@ pub struct DeepStore {
     /// Simulated trace clock: successive batches lay out back-to-back
     /// on one reproducible timeline.
     trace_clock_ns: u64,
+    /// True when `open` found the image missing its clean-shutdown
+    /// marker (the owning process died between commits); state is the
+    /// last successful commit.
+    opened_dirty: bool,
 }
 
 impl DeepStore {
-    /// Creates a DeepStore device.
-    pub fn new(cfg: DeepStoreConfig) -> Self {
-        let qc = (cfg.qc_capacity > 0).then(|| {
+    /// Creates a volatile DeepStore device: page payloads live on the
+    /// heap and vanish with the process. [`DeepStore::flush`] and
+    /// [`DeepStore::close`] are no-ops.
+    ///
+    /// Setting the environment variable `DEEPSTORE_BACKEND=mmap` makes
+    /// this construct the device over an anonymous (immediately
+    /// unlinked) single-file mmap image instead — same semantics, file
+    /// lives and dies with the process — which lets an entire test
+    /// suite exercise the persistent read/write path unchanged.
+    pub fn in_memory(cfg: DeepStoreConfig) -> Self {
+        if std::env::var("DEEPSTORE_BACKEND").as_deref() == Ok("mmap") {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SCRATCH: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "deepstore-scratch-{}-{}.img",
+                std::process::id(),
+                SCRATCH.fetch_add(1, Ordering::Relaxed)
+            ));
+            if let Ok(store) = MmapStore::create(&path, cfg.ssd.geometry) {
+                // Unlink immediately: the mapping and fd keep the image
+                // alive; nothing is left behind on exit.
+                let _ = std::fs::remove_file(&path);
+                return Self::from_engine(Engine::with_store(cfg, Box::new(store)));
+            }
+        }
+        Self::from_engine(Engine::new(cfg))
+    }
+
+    /// Creates a persistent DeepStore device backed by a new single-file
+    /// mmap image at `path`, and commits an initial (empty) manifest so
+    /// the image is immediately openable.
+    ///
+    /// The file is sized sparsely to the configured geometry (a 1 TiB
+    /// drive costs no disk until pages are programmed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepStoreError::Flash`] wrapping [`FlashError::Image`]
+    /// if `path` already exists or the image cannot be created/mapped.
+    pub fn create(path: impl AsRef<Path>, cfg: DeepStoreConfig) -> Result<Self> {
+        let store =
+            MmapStore::create(path.as_ref(), cfg.ssd.geometry).map_err(DeepStoreError::from)?;
+        let mut store = Self::from_engine(Engine::with_store(cfg, Box::new(store)));
+        store.flush()?;
+        Ok(store)
+    }
+
+    /// Opens a persistent DeepStore device from an image previously
+    /// built by [`DeepStore::create`]: maps the page region, restores
+    /// the device state recorded by the last successful commit
+    /// (databases, models, FTL and flash counters, id counters), and
+    /// rebuilds the int8 cascade sidecars by decoding features straight
+    /// from the mapping. The query cache starts cold. The image is
+    /// marked in-use (dirty) until [`DeepStore::close`].
+    ///
+    /// Check [`DeepStore::opened_dirty`] to learn whether the previous
+    /// owner exited without a clean close — state is then the last
+    /// commit, and later uncommitted writes are gone.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeepStoreError::VersionMismatch`] if the image or its
+    ///   manifest was written by a different format version.
+    /// * [`DeepStoreError::Flash`] wrapping [`FlashError::Image`] for a
+    ///   missing/corrupt image.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let (store, manifest_bytes, clean) =
+            MmapStore::open(path.as_ref()).map_err(DeepStoreError::from)?;
+        let manifest = ImageManifest::decode(&manifest_bytes)?;
+        let qc = Self::fresh_qc(&manifest.cfg);
+        let engine = Engine::restore(
+            manifest.cfg,
+            Box::new(store),
+            &manifest.flash,
+            &manifest.ftl,
+            manifest.dbs,
+            manifest.write_buffers,
+            manifest.next_db,
+        );
+        let mut store = DeepStore {
+            engine,
+            models: manifest
+                .models
+                .into_iter()
+                .map(|(id, m)| (ModelId(id), m))
+                .collect(),
+            qc,
+            results: HashMap::new(),
+            next_model: manifest.next_model,
+            next_query: manifest.next_query,
+            telemetry: ApiTelemetry::new(),
+            tracer: None,
+            trace_clock_ns: 0,
+            opened_dirty: !clean,
+        };
+        // Mark the image in-use: a crash from here on is detected as a
+        // dirty open next time (the committed state stays authoritative
+        // either way).
+        store.flush()?;
+        Ok(store)
+    }
+
+    /// Commits all device state to the backing image with the
+    /// crash-safe ordering of [`deepstore_flash::image`]: page payloads
+    /// are synced, the manifest is written beside the live one, and the
+    /// header generation advances only after both are durable. A crash
+    /// at any point leaves the previous commit intact. No-op `Ok` on a
+    /// volatile (heap) device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeepStoreError::Flash`] wrapping [`FlashError::Image`]
+    /// if the commit fails; the previous commit stays authoritative.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.engine.is_persistent() {
+            return Ok(());
+        }
+        let manifest = self.build_manifest().encode();
+        self.engine.commit(&manifest, false)?;
+        Ok(())
+    }
+
+    /// Flushes and marks the image cleanly closed, consuming the
+    /// device. The next [`DeepStore::open`] reports
+    /// `opened_dirty() == false`. No-op `Ok` on a volatile device.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeepStore::flush`].
+    pub fn close(mut self) -> Result<()> {
+        if !self.engine.is_persistent() {
+            return Ok(());
+        }
+        let manifest = self.build_manifest().encode();
+        self.engine.commit(&manifest, true)?;
+        Ok(())
+    }
+
+    /// Which storage backend holds the page payloads (`"heap"` or
+    /// `"mmap"`).
+    pub fn backend(&self) -> &'static str {
+        self.engine.backend()
+    }
+
+    /// Whether committed state survives process exit.
+    pub fn is_persistent(&self) -> bool {
+        self.engine.is_persistent()
+    }
+
+    /// True when [`DeepStore::open`] found no clean-shutdown marker:
+    /// the previous owner crashed (or skipped [`DeepStore::close`]) and
+    /// the restored state is its last successful commit.
+    pub fn opened_dirty(&self) -> bool {
+        self.opened_dirty
+    }
+
+    fn fresh_qc(cfg: &DeepStoreConfig) -> Option<QueryCache> {
+        (cfg.qc_capacity > 0).then(|| {
             QueryCache::new(QueryCacheConfig {
                 capacity: cfg.qc_capacity,
                 ..QueryCacheConfig::paper_default()
             })
-        });
+        })
+    }
+
+    fn from_engine(engine: Engine) -> Self {
+        let qc = Self::fresh_qc(engine.config());
         DeepStore {
-            engine: Engine::new(cfg),
+            engine,
             models: HashMap::new(),
             qc,
             results: HashMap::new(),
@@ -253,6 +418,29 @@ impl DeepStore {
             telemetry: ApiTelemetry::new(),
             tracer: None,
             trace_clock_ns: 0,
+            opened_dirty: false,
+        }
+    }
+
+    /// Snapshots the device into the manifest a commit persists.
+    fn build_manifest(&self) -> ImageManifest {
+        let mut models: Vec<(u64, Model)> = self
+            .models
+            .iter()
+            .map(|(id, m)| (id.0, m.clone()))
+            .collect();
+        models.sort_by_key(|(id, _)| *id);
+        ImageManifest {
+            manifest_version: MANIFEST_VERSION,
+            cfg: self.engine.config().clone(),
+            flash: self.engine.flash_snapshot(),
+            ftl: self.engine.ftl_snapshot(),
+            dbs: self.engine.db_metas(),
+            write_buffers: self.engine.write_buffer_snapshot(),
+            next_db: self.engine.next_db_raw(),
+            models,
+            next_model: self.next_model,
+            next_query: self.next_query,
         }
     }
 
@@ -355,9 +543,10 @@ impl DeepStore {
         self.engine.unreadable_skipped()
     }
 
-    /// Flash operation counters `(reads, programs, erases)` — useful for
-    /// asserting how many page reads a scan issued.
-    pub fn flash_op_counts(&self) -> (u64, u64, u64) {
+    /// Flash operation counters — useful for asserting how many page
+    /// reads a scan issued. On a persistent device the counters resume
+    /// across close/open exactly where they left off.
+    pub fn flash_op_counts(&self) -> FlashOpCounts {
         self.engine.flash_op_counts()
     }
 
@@ -833,7 +1022,7 @@ mod tests {
     use deepstore_nn::zoo;
 
     fn setup(app: &str, n: u64) -> (DeepStore, Model, DbId, ModelId) {
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         let model = zoo::by_name(app).unwrap().seeded(42);
         let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
         let db = store.write_db(&features).unwrap();
@@ -1012,7 +1201,7 @@ mod tests {
 
     #[test]
     fn unweighted_model_rejected() {
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         let graph = ModelGraph::from_model(&zoo::tir());
         assert!(store.load_model(&graph).is_err());
     }
@@ -1103,6 +1292,70 @@ mod tests {
             let score = model.similarity(&q, &f[0]).unwrap();
             assert!((score - hit.score).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn create_close_open_roundtrips_device_state() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "deepstore-api-lifecycle-{}-{}.img",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let _cleanup = Cleanup(path.clone());
+
+        let mut cfg = DeepStoreConfig::small();
+        cfg.qc_capacity = 0; // cold cache on both sides of the reopen
+        let model = zoo::textqa().seeded(42);
+        let features: Vec<Tensor> = (0..48).map(|i| model.random_feature(i)).collect();
+        let q = model.random_feature(1000);
+
+        let mut store = DeepStore::create(&path, cfg.clone()).unwrap();
+        assert_eq!(store.backend(), "mmap");
+        assert!(store.is_persistent() && !store.opened_dirty());
+        let db = store.write_db(&features).unwrap();
+        let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
+        let qid = store
+            .query(QueryRequest::new(q.clone(), mid, db).k(5))
+            .unwrap();
+        let expected = store.results(qid).unwrap();
+        let counts = store.flash_op_counts();
+        store.close().unwrap();
+
+        let mut back = DeepStore::open(&path).unwrap();
+        assert!(!back.opened_dirty(), "closed cleanly");
+        assert_eq!(back.flash_op_counts(), counts);
+        // Same ids keep working; the ranked answer is bit-identical.
+        let qid = back.query(QueryRequest::new(q, mid, db).k(5)).unwrap();
+        let again = back.results(qid).unwrap();
+        assert_eq!(again.top_k, expected.top_k);
+        assert_eq!(again.elapsed, expected.elapsed);
+        // Creating over an existing image is refused.
+        assert!(matches!(
+            DeepStore::create(&path, cfg),
+            Err(DeepStoreError::Flash(FlashError::Image(_)))
+        ));
+        back.close().unwrap();
+    }
+
+    #[test]
+    fn in_memory_flush_and_close_are_noops() {
+        let (mut store, model, db, mid) = setup("tir", 8);
+        assert_eq!(store.backend(), "heap");
+        assert!(!store.is_persistent());
+        store.flush().unwrap();
+        let qid = store
+            .query(QueryRequest::new(model.random_feature(1), mid, db).k(2))
+            .unwrap();
+        assert!(store.results(qid).is_ok());
+        store.close().unwrap();
     }
 
     #[test]
@@ -1205,7 +1458,7 @@ mod tests {
     fn bad_request_fails_whole_batch_without_side_effects() {
         let (mut store, model, db, mid) = setup("tir", 8);
         store.disable_qc();
-        let (reads_before, _, _) = store.flash_op_counts();
+        let reads_before = store.flash_op_counts().reads;
         let reqs = vec![
             QueryRequest::new(model.random_feature(0), mid, db).k(2),
             QueryRequest::new(model.random_feature(1), ModelId(42), db).k(2),
@@ -1215,7 +1468,7 @@ mod tests {
             Err(DeepStoreError::UnknownModel(ModelId(42)))
         );
         // Validation rejected the batch before any scan ran.
-        let (reads_after, _, _) = store.flash_op_counts();
+        let reads_after = store.flash_op_counts().reads;
         assert_eq!(reads_before, reads_after);
     }
 }

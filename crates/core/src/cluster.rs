@@ -82,7 +82,7 @@ impl DeepStoreCluster {
     pub fn new(n: usize, cfg: DeepStoreConfig) -> Self {
         assert!(n > 0, "cluster needs at least one drive");
         DeepStoreCluster {
-            drives: (0..n).map(|_| DeepStore::new(cfg.clone())).collect(),
+            drives: (0..n).map(|_| DeepStore::in_memory(cfg.clone())).collect(),
             dbs: Vec::new(),
             models: Vec::new(),
         }

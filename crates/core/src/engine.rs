@@ -17,11 +17,13 @@ use crate::error::{DeepStoreError, Result};
 use crate::telemetry::ScanMetrics;
 use deepstore_flash::array::FlashArray;
 use deepstore_flash::fault::ReadFaultStats;
-use deepstore_flash::ftl::{BlockFtl, PhysicalBlock};
+use deepstore_flash::ftl::{BlockFtl, FtlSnapshot, PhysicalBlock};
 use deepstore_flash::geometry::PageAddr;
 use deepstore_flash::layout::Placement;
 use deepstore_flash::obs::{FlashEventCounts, FlashMetrics};
-use deepstore_flash::{FlashError, Result as FlashResult};
+use deepstore_flash::{
+    FlashError, FlashOpCounts, FlashStateSnapshot, HeapStore, PageStore, Result as FlashResult,
+};
 use deepstore_nn::{
     quantize_feature, BoundScorer, FeatureQuant, InferenceScratch, Model, MultiQueryScorer, Tensor,
 };
@@ -141,10 +143,23 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine over a fresh flash array.
+    /// Creates an engine over a fresh, volatile (heap-backed) flash
+    /// array.
     pub fn new(cfg: DeepStoreConfig) -> Self {
+        let page_bytes = cfg.ssd.geometry.page_bytes;
+        Engine::with_store(cfg, Box::new(HeapStore::new(page_bytes)))
+    }
+
+    /// Creates an engine over a fresh flash array whose page payloads
+    /// live in `store` — the storage-backend seam: a [`HeapStore`] gives
+    /// the classic volatile device, a
+    /// [`deepstore_flash::MmapStore`] a persistent single-file image.
+    /// The store must be empty (freshly created); use
+    /// [`Engine::restore`] to resurrect an engine from a previously
+    /// committed image.
+    pub fn with_store(cfg: DeepStoreConfig, store: Box<dyn PageStore>) -> Self {
         let geometry = cfg.ssd.geometry;
-        let mut array = FlashArray::new(geometry);
+        let mut array = FlashArray::with_store(geometry, store);
         array.set_read_retry(cfg.ssd.timing.read_retry.clone());
         Engine {
             cfg,
@@ -157,6 +172,116 @@ impl Engine {
             unreadable_skipped: AtomicU64::new(0),
             metrics: ScanMetrics::new(),
         }
+    }
+
+    /// Resurrects an engine from persisted state: `store` supplies the
+    /// page payloads (typically a just-opened
+    /// [`deepstore_flash::MmapStore`]) and the snapshots supply the
+    /// semantic state a manifest recorded at commit time. The read-retry
+    /// policy is re-derived from `cfg`; int8 quantized sidecars are
+    /// rebuilt by decoding every database's features straight out of the
+    /// store (via the counter-free peek path, so
+    /// [`Engine::flash_op_counts`] resumes exactly where the persisted
+    /// counters left off).
+    pub fn restore(
+        cfg: DeepStoreConfig,
+        store: Box<dyn PageStore>,
+        flash: &FlashStateSnapshot,
+        ftl: &FtlSnapshot,
+        dbs: Vec<DbMeta>,
+        write_buffers: Vec<(u64, Vec<u8>)>,
+        next_db: u64,
+    ) -> Self {
+        let geometry = cfg.ssd.geometry;
+        let mut array = FlashArray::with_store(geometry, store);
+        array.set_read_retry(cfg.ssd.timing.read_retry.clone());
+        array.restore_state(flash);
+        let ftl = BlockFtl::from_snapshot(geometry, ftl);
+        let mut engine = Engine {
+            cfg,
+            array,
+            ftl,
+            dbs: dbs.into_iter().map(|m| (m.db_id, m)).collect(),
+            next_db,
+            write_buffers: write_buffers
+                .into_iter()
+                .map(|(id, buf)| (DbId(id), buf))
+                .collect(),
+            quant: HashMap::new(),
+            unreadable_skipped: AtomicU64::new(0),
+            metrics: ScanMetrics::new(),
+        };
+        engine.rebuild_quant();
+        engine
+    }
+
+    /// Rebuilds every database's int8 quantized sidecar from the bytes
+    /// actually durable in the store (plus any unsealed write-buffer
+    /// tail), in ascending database order. Uses the counter-free
+    /// [`FlashArray::peek_page`] path so flash op counts don't move. A
+    /// database whose features cannot all be decoded (a page missing
+    /// from the programmed set) gets no sidecar — the scan's
+    /// `quant.len() == num_features` guard then simply disables the
+    /// cascade for it.
+    fn rebuild_quant(&mut self) {
+        let page_bytes = self.cfg.ssd.geometry.page_bytes;
+        let mut ids: Vec<DbId> = self.dbs.keys().copied().collect();
+        ids.sort_unstable();
+        let empty = Vec::new();
+        let mut rebuilt: Vec<(DbId, Vec<FeatureQuant>)> = Vec::with_capacity(ids.len());
+        for db in ids {
+            let meta = &self.dbs[&db];
+            let fb = meta.feature_bytes;
+            let buf = self.write_buffers.get(&db).unwrap_or(&empty);
+            // Logical byte stream: the durable pages in order, then the
+            // buffered tail (exactly where a seal would flush it).
+            let durable = meta.pages.len() * page_bytes;
+            let ppf = fb.div_ceil(page_bytes);
+            let mut bytes = vec![0u8; fb];
+            let mut floats = vec![0f32; fb / 4];
+            let mut quants = Vec::with_capacity(meta.num_features as usize);
+            'features: for idx in 0..meta.num_features {
+                let start = match self.cfg.placement {
+                    Placement::Packed => idx as usize * fb,
+                    Placement::PageAligned => idx as usize * ppf * page_bytes,
+                };
+                let mut off = 0usize;
+                while off < fb {
+                    let pos = start + off;
+                    if pos < durable {
+                        let in_page = pos % page_bytes;
+                        let take = (fb - off).min(page_bytes - in_page);
+                        let page = meta
+                            .pages
+                            .get(pos / page_bytes)
+                            .and_then(|&a| self.array.peek_page(a));
+                        match page {
+                            Some(p) => {
+                                bytes[off..off + take].copy_from_slice(&p[in_page..in_page + take]);
+                            }
+                            None => break 'features,
+                        }
+                        off += take;
+                    } else {
+                        let tail = pos - durable;
+                        let take = fb - off;
+                        if tail + take > buf.len() {
+                            break 'features;
+                        }
+                        bytes[off..off + take].copy_from_slice(&buf[tail..tail + take]);
+                        off += take;
+                    }
+                }
+                for (chunk, f) in bytes.chunks_exact(4).zip(&mut floats) {
+                    *f = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                quants.push(quantize_feature(&floats));
+            }
+            if quants.len() as u64 == meta.num_features {
+                rebuilt.push((db, quants));
+            }
+        }
+        self.quant = rebuilt.into_iter().collect();
     }
 
     /// Installs a read-fault plan on the underlying flash array (testing
@@ -289,11 +414,69 @@ impl Engine {
             .ok_or(DeepStoreError::Flash(FlashError::UnknownDb(db.0)))
     }
 
-    /// `(reads, programs, erases)` issued to the flash array so far.
-    /// Reads count one per page access — the batched scan's
+    /// Operation counters issued to the flash array so far. `reads`
+    /// counts one per page access — the batched scan's
     /// one-pass-per-shard guarantee is asserted against this counter.
-    pub fn flash_op_counts(&self) -> (u64, u64, u64) {
+    pub fn flash_op_counts(&self) -> FlashOpCounts {
         self.array.op_counts()
+    }
+
+    /// Which storage backend holds the page payloads (`"heap"` or
+    /// `"mmap"`).
+    pub fn backend(&self) -> &'static str {
+        self.array.backend()
+    }
+
+    /// Whether committed device state survives process exit.
+    pub fn is_persistent(&self) -> bool {
+        self.array.is_persistent()
+    }
+
+    /// Commits `manifest` to the persistent backend with the crash-safe
+    /// ordering documented in [`deepstore_flash::image`]. `clean` marks
+    /// the image cleanly closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::Image`] if the backend is volatile or the
+    /// commit fails (the previous commit stays authoritative).
+    pub fn commit(&mut self, manifest: &[u8], clean: bool) -> FlashResult<()> {
+        self.array.commit(manifest, clean)
+    }
+
+    /// Flash-array semantic state for a manifest.
+    pub fn flash_snapshot(&self) -> FlashStateSnapshot {
+        self.array.state_snapshot()
+    }
+
+    /// FTL allocation state for a manifest.
+    pub fn ftl_snapshot(&self) -> FtlSnapshot {
+        self.ftl.snapshot()
+    }
+
+    /// Every database's metadata, sorted by database id.
+    pub fn db_metas(&self) -> Vec<DbMeta> {
+        let mut metas: Vec<DbMeta> = self.dbs.values().cloned().collect();
+        metas.sort_by_key(|m| m.db_id);
+        metas
+    }
+
+    /// Non-empty unsealed write buffers as sorted `(db_id, bytes)`
+    /// pairs.
+    pub fn write_buffer_snapshot(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut bufs: Vec<(u64, Vec<u8>)> = self
+            .write_buffers
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(db, b)| (db.0, b.clone()))
+            .collect();
+        bufs.sort_by_key(|(id, _)| *id);
+        bufs
+    }
+
+    /// The next database id the engine would hand out.
+    pub fn next_db_raw(&self) -> u64 {
+        self.next_db
     }
 
     /// The flash array's telemetry hooks (ECC failures, GC, bus waits).
@@ -1330,10 +1513,10 @@ mod tests {
         e.seal_db(db).unwrap();
         let queries: Vec<Tensor> = (0..5u64).map(|i| model.random_feature(1000 + i)).collect();
 
-        let (r0, _, _) = e.flash_op_counts();
+        let r0 = e.flash_op_counts().reads;
         let reqs: Vec<(&Model, &Tensor, usize)> = queries.iter().map(|q| (&model, q, 7)).collect();
         let batch = e.scan_top_k_batch(db, &reqs).unwrap();
-        let (r1, _, _) = e.flash_op_counts();
+        let r1 = e.flash_op_counts().reads;
         let batch_reads = r1 - r0;
 
         // Bit-identical to sequential single-query scans, per request.
@@ -1341,7 +1524,7 @@ mod tests {
             let single = e.scan_top_k(db, &model, q, 7).unwrap();
             assert_eq!(got, &single);
         }
-        let (r2, _, _) = e.flash_op_counts();
+        let r2 = e.flash_op_counts().reads;
 
         // The batched pass touches each database page exactly once; the
         // five sequential scans above re-read everything five times.
@@ -1514,6 +1697,58 @@ mod tests {
         assert!(faults.reads.total_retries() > 0, "faults actually fired");
         assert!(faults.reads.recovered > 0);
         assert_eq!((faults.reads.remappable, faults.reads.lost), (0, 0));
+    }
+
+    #[test]
+    fn restore_from_image_resumes_counters_and_results() {
+        use deepstore_flash::MmapStore;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "deepstore-engine-restore-{}-{}.img",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let _cleanup = Cleanup(path.clone());
+
+        let cfg = DeepStoreConfig::small();
+        let store = MmapStore::create(&path, cfg.ssd.geometry).unwrap();
+        let mut e = Engine::with_store(cfg.clone(), Box::new(store));
+        let model = zoo::textqa().seeded(21);
+        let fs = features(&model, 120);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        let q = model.random_feature(9);
+        let expected = e.scan_top_k(db, &model, &q, 10).unwrap();
+        let counts = e.flash_op_counts();
+        let flash = e.flash_snapshot();
+        let ftl = e.ftl_snapshot();
+        let dbs = e.db_metas();
+        let bufs = e.write_buffer_snapshot();
+        assert!(bufs.is_empty(), "sealed db leaves no buffered bytes");
+        let next_db = e.next_db_raw();
+        e.commit(b"engine-level-manifest", false).unwrap();
+        drop(e);
+
+        let (store, manifest, clean) = MmapStore::open(&path).unwrap();
+        assert_eq!(manifest, b"engine-level-manifest");
+        assert!(!clean);
+        let e2 = Engine::restore(cfg, Box::new(store), &flash, &ftl, dbs, bufs, next_db);
+        // The counter-free quant rebuild leaves op counts exactly where
+        // the snapshot recorded them.
+        assert_eq!(e2.flash_op_counts(), counts);
+        assert_eq!(e2.next_db_raw(), next_db);
+        // Bit-identical scan, including cascade decisions, after reopen.
+        let (again, _, _) = e2.scan_top_k_with(db, &model, &q, 10, false).unwrap();
+        assert_eq!(again, expected);
+        assert_eq!(e2.backend(), "mmap");
+        assert!(e2.is_persistent());
     }
 
     #[test]

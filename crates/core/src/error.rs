@@ -43,6 +43,18 @@ pub enum DeepStoreError {
     },
     /// A flash/FTL-level failure (bad address, ECC, capacity, …).
     Flash(FlashError),
+    /// A persisted image or a wire peer speaks a different
+    /// format/protocol version than this build. Surfaced by
+    /// `DeepStore::open` for on-disk images and by the `hello`
+    /// handshake for remote connections; promoted out of
+    /// [`FlashError::VersionMismatch`] by the `From` impl so callers
+    /// match one variant for both paths.
+    VersionMismatch {
+        /// The version this build understands.
+        expected: u32,
+        /// The version found on disk or announced by the peer.
+        found: u32,
+    },
     /// The serving front end's bounded pending queue was full; the
     /// request was rejected without being enqueued. Retry after
     /// backing off.
@@ -79,6 +91,9 @@ impl fmt::Display for DeepStoreError {
                 )
             }
             DeepStoreError::Flash(e) => write!(f, "{e}"),
+            DeepStoreError::VersionMismatch { expected, found } => {
+                write!(f, "version mismatch: expected {expected}, found {found}")
+            }
             DeepStoreError::Overloaded { queue_depth } => {
                 write!(
                     f,
@@ -104,7 +119,14 @@ impl std::error::Error for DeepStoreError {
 
 impl From<FlashError> for DeepStoreError {
     fn from(e: FlashError) -> Self {
-        DeepStoreError::Flash(e)
+        match e {
+            // Promote version skew to the device-level variant so image
+            // and wire mismatches are matched uniformly.
+            FlashError::VersionMismatch { expected, found } => {
+                DeepStoreError::VersionMismatch { expected, found }
+            }
+            e => DeepStoreError::Flash(e),
+        }
     }
 }
 
@@ -150,6 +172,24 @@ mod tests {
         assert_eq!(e, DeepStoreError::Flash(FlashError::UnknownDb(9)));
         assert!(e.source().is_some());
         assert!(DeepStoreError::UnknownQuery(QueryId(1)).source().is_none());
+    }
+
+    #[test]
+    fn version_mismatch_promotes_from_flash() {
+        let e: DeepStoreError = FlashError::VersionMismatch {
+            expected: 1,
+            found: 3,
+        }
+        .into();
+        assert_eq!(
+            e,
+            DeepStoreError::VersionMismatch {
+                expected: 1,
+                found: 3,
+            }
+        );
+        assert!(e.to_string().contains("expected 1"));
+        assert!(e.to_string().contains("found 3"));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   real similarity scores, map-reduce top-K.
 //! * [`qcache`] — the similarity-based Query Cache (Algorithm 1).
 //! * [`api`] — the Table 2 programming interface ([`DeepStore`]).
+//! * [`persist`] — the manifest persisted inside a single-file mmap
+//!   flash image ([`DeepStore::create`] / [`DeepStore::open`]).
 //! * [`dse`] — the power-constrained design-space exploration.
 //!
 //! # Example
@@ -21,7 +23,7 @@
 //! use deepstore_core::{DeepStore, DeepStoreConfig, QueryRequest};
 //! use deepstore_nn::{zoo, ModelGraph};
 //!
-//! let mut store = DeepStore::new(DeepStoreConfig::small());
+//! let mut store = DeepStore::in_memory(DeepStoreConfig::small());
 //! let model = zoo::textqa().seeded(9);
 //! let features: Vec<_> = (0..32).map(|i| model.random_feature(i)).collect();
 //! let db = store.write_db(&features).unwrap();
@@ -47,6 +49,7 @@ pub mod config;
 pub mod dse;
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod proto;
 pub mod qcache;
 pub mod runtime;
@@ -59,6 +62,7 @@ pub use cluster::DeepStoreCluster;
 pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
 pub use error::{DeepStoreError, Result};
+pub use persist::{ImageManifest, MANIFEST_VERSION};
 pub use qcache::{QueryCache, QueryCacheConfig, ReplacementPolicy};
 pub use serve::{
     channel_transport, serve, ChannelClient, ChannelConnector, QuotaConfig, ServeClock,

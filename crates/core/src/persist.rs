@@ -1,0 +1,174 @@
+//! The device manifest persisted inside a single-file flash image.
+//!
+//! A persistent DeepStore device lives in one file (see
+//! [`deepstore_flash::image`]): a versioned header, the raw page region
+//! (the flash array's payload bytes, memory-mapped at runtime), and this
+//! manifest — everything *semantic* the device needs to come back after
+//! a reopen with bit-identical behavior: the configuration, the flash
+//! array's programmed-page/erase-count/op-counter state, the FTL's
+//! allocation state, every database's metadata and unsealed write
+//! buffer, the loaded models, and the id counters.
+//!
+//! The manifest is serialized as JSON. All map-like state is encoded as
+//! sorted `Vec<(key, value)>` pairs, which keeps the encoding
+//! deterministic (two flushes of the same state produce byte-identical
+//! manifests) and the format self-describing.
+//!
+//! What is deliberately **not** persisted:
+//!
+//! * int8 quantized sidecars — rebuilt on open by decoding features
+//!   straight from the mapped page region ([`crate::engine`]'s restore
+//!   path), which costs one pass over the database and no flash-counter
+//!   movement.
+//! * the query cache — it starts cold; cached answers are a pure
+//!   performance artifact.
+//! * pending query results and telemetry — results are consumed by
+//!   `getResults` within a session; counters restart at zero except the
+//!   flash op counters, which are part of the flash state proper.
+//! * fault plans and retry policy — injected faults are a per-session
+//!   experiment; the retry policy is re-derived from the persisted
+//!   configuration.
+
+use crate::config::DeepStoreConfig;
+use crate::engine::DbMeta;
+use crate::error::Result;
+use deepstore_flash::ftl::FtlSnapshot;
+use deepstore_flash::{FlashError, FlashStateSnapshot};
+use deepstore_nn::Model;
+use serde::{Deserialize, Serialize};
+
+/// Version of the manifest encoding. Bumped on any incompatible change;
+/// [`ImageManifest::decode`] rejects other versions with
+/// [`crate::DeepStoreError::VersionMismatch`]. Independent of the image
+/// *container* version ([`deepstore_flash::IMAGE_FORMAT_VERSION`]),
+/// which covers the header/page-region layout underneath.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Everything the device persists besides raw page payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageManifest {
+    /// Encoding version ([`MANIFEST_VERSION`]).
+    pub manifest_version: u32,
+    /// The device configuration the image was created with.
+    pub cfg: DeepStoreConfig,
+    /// Flash-array semantic state (programmed pages, erase counts,
+    /// retirement queue, op counters).
+    pub flash: FlashStateSnapshot,
+    /// FTL allocation state (map, free list in pop order, wear,
+    /// invalidated and retired blocks, counters).
+    pub ftl: FtlSnapshot,
+    /// Per-database metadata, sorted by database id.
+    pub dbs: Vec<DbMeta>,
+    /// Unsealed per-database write buffers as sorted
+    /// `(db_id, buffered_bytes)` pairs; empty buffers are omitted.
+    pub write_buffers: Vec<(u64, Vec<u8>)>,
+    /// Next database id to hand out.
+    pub next_db: u64,
+    /// Loaded models as sorted `(model_id, model)` pairs.
+    pub models: Vec<(u64, Model)>,
+    /// Next model id to hand out.
+    pub next_model: u64,
+    /// Next query id to hand out.
+    pub next_query: u64,
+}
+
+impl ImageManifest {
+    /// Serializes the manifest for [`deepstore_flash::PageStore::commit`].
+    ///
+    /// Deterministic: the same device state always encodes to the same
+    /// bytes (all collections are pre-sorted and structs serialize in
+    /// field order).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("manifest types serialize infallibly")
+    }
+
+    /// Parses a manifest previously produced by [`ImageManifest::encode`].
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::DeepStoreError::VersionMismatch`] if the manifest was
+    ///   written by a different encoding version.
+    /// * [`crate::DeepStoreError::Flash`] wrapping [`FlashError::Image`]
+    ///   if the bytes do not parse.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let manifest: ImageManifest = serde_json::from_slice(bytes)
+            .map_err(|e| FlashError::Image(format!("manifest parse: {e}")))?;
+        if manifest.manifest_version != MANIFEST_VERSION {
+            return Err(FlashError::VersionMismatch {
+                expected: MANIFEST_VERSION,
+                found: manifest.manifest_version,
+            }
+            .into());
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DeepStoreError;
+    use deepstore_flash::FlashOpCounts;
+
+    fn sample() -> ImageManifest {
+        ImageManifest {
+            manifest_version: MANIFEST_VERSION,
+            cfg: DeepStoreConfig::small(),
+            flash: FlashStateSnapshot {
+                programmed_runs: vec![(0, 16), (64, 8)],
+                erase_counts: vec![(0, 1), (4, 2)],
+                pending_retire: vec![7],
+                op_counts: FlashOpCounts {
+                    reads: 10,
+                    programs: 24,
+                    erases: 3,
+                },
+            },
+            ftl: FtlSnapshot {
+                map: Vec::new(),
+                free: Vec::new(),
+                wear: Vec::new(),
+                invalidated: Vec::new(),
+                retired: Vec::new(),
+                next_logical: 5,
+                gc_runs: 1,
+            },
+            dbs: Vec::new(),
+            write_buffers: vec![(1, vec![1, 2, 3])],
+            next_db: 2,
+            models: Vec::new(),
+            next_model: 1,
+            next_query: 9,
+        }
+    }
+
+    #[test]
+    fn roundtrips_losslessly_and_deterministically() {
+        let m = sample();
+        let bytes = m.encode();
+        assert_eq!(bytes, m.encode(), "encoding must be deterministic");
+        let back = ImageManifest::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_future_versions_with_typed_error() {
+        let mut m = sample();
+        m.manifest_version = MANIFEST_VERSION + 7;
+        let err = ImageManifest::decode(&m.encode()).unwrap_err();
+        assert_eq!(
+            err,
+            DeepStoreError::VersionMismatch {
+                expected: MANIFEST_VERSION,
+                found: MANIFEST_VERSION + 7,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_image_error() {
+        let err = ImageManifest::decode(b"not json at all").unwrap_err();
+        assert!(matches!(err, DeepStoreError::Flash(FlashError::Image(_))));
+    }
+}

@@ -39,8 +39,14 @@ use std::io::{Read, Write};
 
 /// Protocol magic ("DSTR").
 pub const MAGIC: [u8; 4] = *b"DSTR";
-/// Protocol version.
+/// Protocol version carried in every frame header.
 pub const VERSION: u8 = 1;
+/// Application-level protocol version negotiated by the `hello`
+/// handshake ([`Command::Hello`]/[`Response::HelloAck`]). Independent of
+/// the frame-header [`VERSION`]: the header byte gates frame *parsing*,
+/// this gates command *semantics*. A peer announcing a different value
+/// is rejected with [`WireError::VersionMismatch`].
+pub const PROTOCOL_VERSION: u32 = 1;
 /// Frame header length: magic(4) + version(1) + opcode(1) + len(4).
 pub const HEADER_LEN: usize = 10;
 /// Largest payload a peer may declare. A stream reader that trusted the
@@ -156,6 +162,15 @@ pub enum WireError {
         /// The client id whose quota ran out.
         client: String,
     },
+    /// Mirror of [`crate::DeepStoreError::VersionMismatch`]: the peer
+    /// (or a persisted image behind the device) speaks a different
+    /// format/protocol version than this build.
+    VersionMismatch {
+        /// The version this side understands.
+        expected: u32,
+        /// The version the peer announced (or the image carried).
+        found: u32,
+    },
     /// Any other device-side failure, carried as prose (flash/FTL
     /// errors, model-graph parse failures).
     Device(String),
@@ -187,6 +202,9 @@ impl fmt::Display for WireError {
             WireError::QuotaExceeded { client } => {
                 write!(f, "quota exceeded for client `{client}`")
             }
+            WireError::VersionMismatch { expected, found } => {
+                write!(f, "version mismatch: expected {expected}, found {found}")
+            }
             WireError::Device(e) => f.write_str(e),
             WireError::Malformed(e) => write!(f, "malformed request: {e}"),
         }
@@ -214,6 +232,10 @@ impl From<&DeepStoreError> for WireError {
             DeepStoreError::QuotaExceeded { client } => WireError::QuotaExceeded {
                 client: client.clone(),
             },
+            DeepStoreError::VersionMismatch { expected, found } => WireError::VersionMismatch {
+                expected: *expected,
+                found: *found,
+            },
             DeepStoreError::Flash(e) => WireError::Device(e.to_string()),
             DeepStoreError::Remote(e) => WireError::Device(e.clone()),
         }
@@ -233,6 +255,9 @@ impl From<WireError> for DeepStoreError {
             }
             WireError::Overloaded { queue_depth } => DeepStoreError::Overloaded { queue_depth },
             WireError::QuotaExceeded { client } => DeepStoreError::QuotaExceeded { client },
+            WireError::VersionMismatch { expected, found } => {
+                DeepStoreError::VersionMismatch { expected, found }
+            }
             WireError::Device(e) | WireError::Malformed(e) => DeepStoreError::Remote(e),
         }
     }
@@ -307,11 +332,15 @@ pub enum Command {
     /// counters, per-stage latency totals, flash event counts).
     Stats,
     /// `hello`: the serving handshake. Identifies the tenant for
-    /// per-client quota accounting; connections that skip it are billed
-    /// to a per-connection anonymous id.
+    /// per-client quota accounting and announces the client's
+    /// [`PROTOCOL_VERSION`]; a mismatched version is rejected with
+    /// [`WireError::VersionMismatch`]. Connections that skip the
+    /// handshake are billed to a per-connection anonymous id.
     Hello {
         /// The client/tenant id to bill subsequent queries to.
         client: String,
+        /// The application protocol version the client speaks.
+        version: u32,
     },
 }
 
@@ -363,10 +392,13 @@ pub enum Response {
     Results(Box<QueryResult>),
     /// `getStats` payload.
     Stats(Box<DeviceStats>),
-    /// `hello` accepted; echoes the registered client id.
+    /// `hello` accepted; echoes the registered client id and the
+    /// server's [`PROTOCOL_VERSION`].
     HelloAck {
         /// The client id quota accounting will bill.
         client: String,
+        /// The application protocol version the server speaks.
+        version: u32,
     },
     /// Rejected by admission control: the pending queue was full. The
     /// request was not enqueued; retry after backing off.
@@ -547,7 +579,7 @@ pub struct Device {
 impl Device {
     /// Creates a device.
     pub fn new(cfg: DeepStoreConfig) -> Self {
-        Device::with_store(DeepStore::new(cfg))
+        Device::with_store(DeepStore::in_memory(cfg))
     }
 
     /// Wraps an already-populated store (the serving front end builds
@@ -632,7 +664,20 @@ impl Device {
             Command::Stats => Ok(Response::Stats(Box::new(self.store.stats()))),
             // A bare device accepts any tenant; the serving front end
             // intercepts `hello` for quota accounting before dispatch.
-            Command::Hello { client } => Ok(Response::HelloAck { client }),
+            // Version skew is rejected here and there alike.
+            Command::Hello { client, version } => {
+                if version == PROTOCOL_VERSION {
+                    Ok(Response::HelloAck {
+                        client,
+                        version: PROTOCOL_VERSION,
+                    })
+                } else {
+                    return Response::Error(WireError::VersionMismatch {
+                        expected: PROTOCOL_VERSION,
+                        found: version,
+                    });
+                }
+            }
         };
         result.unwrap_or_else(|e| Response::Error(WireError::from(&e)))
     }
@@ -714,17 +759,26 @@ impl<C: CommandChannel> HostClient<C> {
     }
 
     /// The serving handshake: registers `client` as the tenant id for
-    /// quota accounting on this connection.
+    /// quota accounting on this connection and negotiates
+    /// [`PROTOCOL_VERSION`].
     ///
     /// # Errors
     ///
     /// Returns [`ProtoError::Device`] if the server rejects the
-    /// handshake.
+    /// handshake — [`WireError::VersionMismatch`] when the two sides
+    /// speak different protocol versions.
     pub fn hello(&mut self, client: &str) -> Result<(), ProtoError> {
         match self.round_trip(&Command::Hello {
             client: client.to_string(),
+            version: PROTOCOL_VERSION,
         })? {
-            Response::HelloAck { .. } => Ok(()),
+            Response::HelloAck { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+            Response::HelloAck { version, .. } => {
+                Err(ProtoError::Device(WireError::VersionMismatch {
+                    expected: PROTOCOL_VERSION,
+                    found: version,
+                }))
+            }
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
@@ -1165,6 +1219,7 @@ mod tests {
         host.hello("tenant-a").unwrap();
         let cmd = Command::Hello {
             client: "tenant-a".into(),
+            version: PROTOCOL_VERSION,
         };
         let bytes = encode_command(&cmd);
         assert_eq!(bytes[5], 0x0A);
@@ -1172,9 +1227,50 @@ mod tests {
     }
 
     #[test]
+    fn hello_version_skew_is_rejected_typed() {
+        // A device rejects a mismatched hello with the structured error.
+        let mut device = Device::new(DeepStoreConfig::small());
+        let resp = device.dispatch(Command::Hello {
+            client: "t".into(),
+            version: PROTOCOL_VERSION + 1,
+        });
+        assert_eq!(
+            resp,
+            Response::Error(WireError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: PROTOCOL_VERSION + 1,
+            })
+        );
+
+        // A client rejects an ack that announces a different version.
+        struct Canned(Vec<u8>);
+        impl CommandChannel for Canned {
+            fn exchange(&mut self, _frame: &[u8]) -> Result<Vec<u8>, ProtoError> {
+                Ok(self.0.clone())
+            }
+        }
+        let stale_ack = encode_response(&Response::HelloAck {
+            client: "t".into(),
+            version: PROTOCOL_VERSION + 9,
+        });
+        let mut host = HostClient::over(Canned(stale_ack));
+        let err = host.hello("t").unwrap_err();
+        assert_eq!(
+            err.device_error(),
+            Some(DeepStoreError::VersionMismatch {
+                expected: PROTOCOL_VERSION,
+                found: PROTOCOL_VERSION + 9,
+            })
+        );
+    }
+
+    #[test]
     fn rejection_frames_roundtrip_and_surface_typed() {
         let frames = vec![
-            Response::HelloAck { client: "t".into() },
+            Response::HelloAck {
+                client: "t".into(),
+                version: PROTOCOL_VERSION,
+            },
             Response::Overloaded { queue_depth: 4 },
             Response::QuotaExceeded { client: "t".into() },
             Response::Error(WireError::InsufficientCoverage {
@@ -1219,6 +1315,10 @@ mod tests {
             },
             DeepStoreError::Overloaded { queue_depth: 2 },
             DeepStoreError::QuotaExceeded { client: "t".into() },
+            DeepStoreError::VersionMismatch {
+                expected: 1,
+                found: 4,
+            },
         ];
         for e in cases {
             let wire = WireError::from(&e);

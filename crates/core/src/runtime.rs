@@ -310,7 +310,7 @@ mod tests {
 
     fn runtime_with(n: u64) -> (Runtime, deepstore_nn::Model, DbId, ModelId) {
         let model = zoo::textqa().seeded(3);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
         let db = store.write_db(&features).unwrap();
@@ -493,7 +493,7 @@ mod tests {
     fn degraded_queries_are_recorded_in_schedule_stats() {
         use deepstore_flash::fault::FaultPlan;
         let model = zoo::tir().seeded(3);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         // Two blocks on two channels: one dead channel halves coverage.
         let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();

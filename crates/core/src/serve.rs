@@ -33,7 +33,7 @@
 use crate::api::{DeepStore, QueryRequest};
 use crate::proto::{
     decode_command, encode_response, read_frame, read_frame_after, write_frame, Command, Device,
-    ProtoError, Response, WireError,
+    ProtoError, Response, WireError, PROTOCOL_VERSION,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -614,9 +614,22 @@ fn conn_loop<C: Connection>(mut conn: C, shared: Arc<Shared>) {
                 shared.stats.malformed_frames.fetch_add(1, Ordering::SeqCst);
                 Response::Error(WireError::Malformed(e.to_string()))
             }
-            Ok(Command::Hello { client: id }) => {
-                client = id.clone();
-                Response::HelloAck { client: id }
+            Ok(Command::Hello {
+                client: id,
+                version,
+            }) => {
+                if version == PROTOCOL_VERSION {
+                    client = id.clone();
+                    Response::HelloAck {
+                        client: id,
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    Response::Error(WireError::VersionMismatch {
+                        expected: PROTOCOL_VERSION,
+                        found: version,
+                    })
+                }
             }
             Ok(cmd) => {
                 let (reply_tx, reply_rx) = mpsc::channel();
@@ -897,7 +910,7 @@ mod tests {
     fn seeded_store(n: usize) -> (DeepStore, Vec<Tensor>) {
         let model = zoo::textqa().seeded(3);
         let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i as u64)).collect();
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         store.write_db(&features).unwrap();
         store.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -1089,7 +1102,7 @@ mod tests {
     #[test]
     fn channel_transport_serves_a_full_session() {
         let model = zoo::textqa().seeded(3);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         let (transport, connector) = channel_transport();
         let handle = serve(transport, store, ServeConfig::default());
@@ -1114,7 +1127,7 @@ mod tests {
     #[test]
     fn tcp_transport_serves_a_full_session() {
         let model = zoo::textqa().seeded(3);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
         let handle = serve(transport, store, ServeConfig::default());

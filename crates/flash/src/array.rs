@@ -4,27 +4,86 @@
 //! end-to-end queries return real results. NAND semantics are enforced:
 //! pages must be erased (at block granularity) before being programmed, and
 //! each block tracks an erase count for wear-leveling statistics.
+//!
+//! Page *payloads* live behind the pluggable [`PageStore`] trait (heap or
+//! a persistent mmap image — see [`crate::store`] and [`crate::image`]);
+//! the array owns the NAND *semantics*: the programmed-page set, the
+//! erase-before-program rule, erase counts, fault injection and the
+//! read-retry ladder. [`FlashArray::state_snapshot`] captures exactly that
+//! semantic state so a persistent backend can round-trip it through the
+//! image manifest.
 
 use crate::fault::{FaultOutcome, FaultPlan, ReadFaultStats};
 use crate::geometry::{PageAddr, SsdGeometry};
 use crate::obs::{FlashEventCounts, FlashMetrics};
+use crate::store::{HeapStore, PageStore};
 use crate::timing::ReadRetryPolicy;
 use crate::{FlashError, Result};
-use std::collections::{BTreeSet, HashMap};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// State of a single page. Pages start (and return to, after erase) the
-/// `Erased` state implicitly by being absent from the state map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PageState {
-    Programmed,
+/// Flash operation counters: how many page reads, page programs and
+/// block erases the array has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashOpCounts {
+    /// Successful page reads (failed retry attempts do not count — only
+    /// a successful read moves data over the bus).
+    pub reads: u64,
+    /// Page programs.
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+}
+
+/// The array's semantic state, serializable into an image manifest and
+/// restorable on reopen: everything [`FlashArray`] tracks *besides* the
+/// page payloads (which the persistent backend keeps in the page region)
+/// and the injected fault/retry configuration (which is runtime config,
+/// re-injected by the caller).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashStateSnapshot {
+    /// Programmed pages as sorted `(first_index, run_length)` runs —
+    /// feature databases program dense page ranges, so runs compress the
+    /// set by orders of magnitude versus one entry per page.
+    pub programmed_runs: Vec<(u64, u64)>,
+    /// Non-zero per-block erase counts as sorted `(block_index, count)`.
+    pub erase_counts: Vec<(u64, u64)>,
+    /// Blocks queued for retirement, ascending.
+    pub pending_retire: Vec<u64>,
+    /// Operation counters at snapshot time.
+    pub op_counts: FlashOpCounts,
+}
+
+fn runs_from_set(set: &HashSet<u64>) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<u64> = set.iter().copied().collect();
+    sorted.sort_unstable();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for idx in sorted {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == idx => *len += 1,
+            _ => runs.push((idx, 1)),
+        }
+    }
+    runs
+}
+
+fn set_from_runs(runs: &[(u64, u64)]) -> HashSet<u64> {
+    let mut set = HashSet::new();
+    for &(start, len) in runs {
+        for idx in start..start + len {
+            set.insert(idx);
+        }
+    }
+    set
 }
 
 /// A functional flash array.
 ///
 /// Pages are stored sparsely, so a terabyte-scale geometry costs nothing
-/// until data is written.
+/// until data is written (the mmap backend's page region is a sparse
+/// file hole for the same reason).
 ///
 /// Reads take `&self`: independent flash channels serve page reads
 /// concurrently, so the parallel query scan shares one array across its
@@ -32,10 +91,10 @@ enum PageState {
 #[derive(Debug)]
 pub struct FlashArray {
     geometry: SsdGeometry,
-    /// Page payloads, keyed by dense page index.
-    data: HashMap<u64, Vec<u8>>,
-    /// Page states, keyed by dense page index; absent = erased (fresh).
-    states: HashMap<u64, PageState>,
+    /// Page payloads, behind the pluggable backend.
+    store: Box<dyn PageStore>,
+    /// Programmed pages by dense page index; absent = erased (fresh).
+    programmed: HashSet<u64>,
     /// Erase counts per (dense) block index.
     erase_counts: HashMap<u64, u64>,
     /// Injected read faults.
@@ -57,11 +116,18 @@ pub struct FlashArray {
 }
 
 impl Clone for FlashArray {
+    /// Deep-copies the array into a fresh heap backend (cloning is a
+    /// test/tooling convenience; a persistent image has exactly one
+    /// owner, so its clone is a volatile snapshot of the same bytes).
     fn clone(&self) -> Self {
+        let mut store = HeapStore::new(self.geometry.page_bytes);
+        for &idx in &self.programmed {
+            store.program(idx, self.store.page(idx));
+        }
         FlashArray {
             geometry: self.geometry,
-            data: self.data.clone(),
-            states: self.states.clone(),
+            store: Box::new(store),
+            programmed: self.programmed.clone(),
             erase_counts: self.erase_counts.clone(),
             faults: self.faults.clone(),
             retry: self.retry.clone(),
@@ -80,12 +146,17 @@ impl Clone for FlashArray {
 }
 
 impl FlashArray {
-    /// Creates an empty (fully erased) array for the geometry.
+    /// Creates an empty (fully erased) array on the heap backend.
     pub fn new(geometry: SsdGeometry) -> Self {
+        Self::with_store(geometry, Box::new(HeapStore::new(geometry.page_bytes)))
+    }
+
+    /// Creates an empty array over an explicit page-payload backend.
+    pub fn with_store(geometry: SsdGeometry, store: Box<dyn PageStore>) -> Self {
         FlashArray {
             geometry,
-            data: HashMap::new(),
-            states: HashMap::new(),
+            store,
+            programmed: HashSet::new(),
             erase_counts: HashMap::new(),
             faults: FaultPlan::none(),
             retry: ReadRetryPolicy::paper_default(),
@@ -100,6 +171,78 @@ impl FlashArray {
     /// The array's geometry.
     pub fn geometry(&self) -> &SsdGeometry {
         &self.geometry
+    }
+
+    /// Short name of the page-payload backend ("heap" / "mmap").
+    pub fn backend(&self) -> &'static str {
+        self.store.backend()
+    }
+
+    /// Whether committed state survives process exit.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_persistent()
+    }
+
+    /// Forces buffered page payloads to durable storage (no-op on the
+    /// heap backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::Image`] if the backing file cannot sync.
+    pub fn flush_store(&mut self) -> Result<()> {
+        self.store.flush()
+    }
+
+    /// Commits `manifest` to the persistent backend with the crash-safe
+    /// ordering documented in [`crate::image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::Image`] if the backend is volatile or the
+    /// commit fails (the previous commit stays authoritative).
+    pub fn commit(&mut self, manifest: &[u8], clean: bool) -> Result<()> {
+        self.store.commit(manifest, clean)
+    }
+
+    /// Captures the semantic state (programmed set, erase counts,
+    /// retirement queue, operation counters) for an image manifest.
+    pub fn state_snapshot(&self) -> FlashStateSnapshot {
+        let mut erase_counts: Vec<(u64, u64)> = self
+            .erase_counts
+            .iter()
+            .map(|(&b, &c)| (b, c))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        erase_counts.sort_unstable();
+        FlashStateSnapshot {
+            programmed_runs: runs_from_set(&self.programmed),
+            erase_counts,
+            pending_retire: self
+                .pending_retire
+                .lock()
+                .expect("pending-retire lock poisoned")
+                .iter()
+                .copied()
+                .collect(),
+            op_counts: self.op_counts(),
+        }
+    }
+
+    /// Restores semantic state from a snapshot (the page payloads are
+    /// the backend's concern — for a reopened image they are already in
+    /// the page region). Fault plans and retry policies are runtime
+    /// configuration and are *not* part of the snapshot; re-inject them
+    /// after restoring.
+    pub fn restore_state(&mut self, snap: &FlashStateSnapshot) {
+        self.programmed = set_from_runs(&snap.programmed_runs);
+        self.erase_counts = snap.erase_counts.iter().copied().collect();
+        *self
+            .pending_retire
+            .lock()
+            .expect("pending-retire lock poisoned") = snap.pending_retire.iter().copied().collect();
+        self.reads = AtomicU64::new(snap.op_counts.reads);
+        self.programs = snap.op_counts.programs;
+        self.erases = snap.op_counts.erases;
     }
 
     /// Programs a page with `data` (padded with zeros to the page size).
@@ -119,13 +262,11 @@ impl FlashArray {
             });
         }
         let idx = self.geometry.page_index(addr);
-        if self.states.get(&idx) == Some(&PageState::Programmed) {
+        if self.programmed.contains(&idx) {
             return Err(FlashError::ProgramWithoutErase(addr));
         }
-        let mut page = data.to_vec();
-        page.resize(self.geometry.page_bytes, 0);
-        self.data.insert(idx, page);
-        self.states.insert(idx, PageState::Programmed);
+        self.store.program(idx, data);
+        self.programmed.insert(idx);
         self.programs += 1;
         Ok(())
     }
@@ -191,6 +332,9 @@ impl FlashArray {
     /// Failed attempts never advance the page-read operation counter —
     /// only a successful read moves data over the bus.
     ///
+    /// The returned slice borrows straight from the backend: on the
+    /// mmap backend that is the file mapping itself (zero-copy).
+    ///
     /// # Errors
     ///
     /// Same conditions as [`FlashArray::read`].
@@ -234,7 +378,7 @@ impl FlashArray {
             }
         }
         let idx = self.geometry.page_index(addr);
-        if self.states.get(&idx) != Some(&PageState::Programmed) {
+        if !self.programmed.contains(&idx) {
             return Err(FlashError::ReadUnwritten(addr));
         }
         if attempt > 0 {
@@ -242,7 +386,21 @@ impl FlashArray {
             self.metrics.on_read_recovered();
         }
         self.reads.fetch_add(1, Ordering::Relaxed);
-        Ok(self.data.get(&idx).expect("programmed page has data"))
+        Ok(self.store.page(idx))
+    }
+
+    /// Borrows a programmed page's payload *without* advancing any
+    /// operation counter and without consulting the fault plan. This is
+    /// the maintenance/rebuild path (e.g. re-deriving quantized sidecars
+    /// after reopening an image): it must leave the functional counters
+    /// bit-identical to a run that never went through persistence.
+    pub fn peek_page(&self, addr: PageAddr) -> Option<&[u8]> {
+        self.geometry.check(addr).ok()?;
+        let idx = self.geometry.page_index(addr);
+        if !self.programmed.contains(&idx) {
+            return None;
+        }
+        Some(self.store.page(idx))
     }
 
     /// The last-gasp soft-decode path: recovers a permanently-failing
@@ -257,10 +415,10 @@ impl FlashArray {
             return None;
         }
         let idx = self.geometry.page_index(addr);
-        if self.states.get(&idx) != Some(&PageState::Programmed) {
+        if !self.programmed.contains(&idx) {
             return None;
         }
-        self.data.get(&idx).cloned()
+        Some(self.store.page(idx).to_vec())
     }
 
     /// Drains the queue of blocks awaiting retirement, in ascending
@@ -289,9 +447,7 @@ impl FlashArray {
         self.geometry
             .check(addr)
             .ok()
-            .map(|()| {
-                self.states.get(&self.geometry.page_index(addr)) == Some(&PageState::Programmed)
-            })
+            .map(|()| self.programmed.contains(&self.geometry.page_index(addr)))
             .unwrap_or(false)
     }
 
@@ -307,12 +463,16 @@ impl FlashArray {
             ..block_addr
         };
         self.geometry.check(base)?;
-        for page in 0..self.geometry.pages_per_block {
-            let idx = self.geometry.page_index(PageAddr { page, ..base });
-            self.data.remove(&idx);
-            self.states.remove(&idx);
+        let first = self.geometry.page_index(base);
+        let count = self.geometry.pages_per_block as u64;
+        // NAND erase: the backend pulls every cell to all-ones (the heap
+        // backend just drops payloads), and the pages leave the
+        // programmed set.
+        self.store.erase(first, count);
+        for idx in first..first + count {
+            self.programmed.remove(&idx);
         }
-        let block_idx = self.geometry.page_index(base) / self.geometry.pages_per_block as u64;
+        let block_idx = first / count;
         *self.erase_counts.entry(block_idx).or_insert(0) += 1;
         self.erases += 1;
         Ok(())
@@ -325,13 +485,13 @@ impl FlashArray {
         self.erase_counts.get(&block_idx).copied().unwrap_or(0)
     }
 
-    /// (reads, programs, erases) issued so far.
-    pub fn op_counts(&self) -> (u64, u64, u64) {
-        (
-            self.reads.load(Ordering::Relaxed),
-            self.programs,
-            self.erases,
-        )
+    /// The operation counters (reads, programs, erases) so far.
+    pub fn op_counts(&self) -> FlashOpCounts {
+        FlashOpCounts {
+            reads: self.reads.load(Ordering::Relaxed),
+            programs: self.programs,
+            erases: self.erases,
+        }
     }
 
     /// The array's telemetry hooks (ECC failures, GC, bus waits).
@@ -342,11 +502,11 @@ impl FlashArray {
     /// A snapshot of every flash event count: the operation counters
     /// plus the [`FlashMetrics`] hook totals.
     pub fn event_counts(&self) -> FlashEventCounts {
-        let (page_reads, programs, erases) = self.op_counts();
+        let ops = self.op_counts();
         FlashEventCounts {
-            page_reads,
-            programs,
-            erases,
+            page_reads: ops.reads,
+            programs: ops.programs,
+            erases: ops.erases,
             ecc_failures: self.metrics.ecc_failures(),
             gc_runs: self.metrics.gc_runs(),
             gc_blocks_reclaimed: self.metrics.gc_blocks_reclaimed(),
@@ -369,6 +529,14 @@ mod tests {
 
     fn array() -> FlashArray {
         FlashArray::new(SsdConfig::small().geometry)
+    }
+
+    fn counts(reads: u64, programs: u64, erases: u64) -> FlashOpCounts {
+        FlashOpCounts {
+            reads,
+            programs,
+            erases,
+        }
     }
 
     #[test]
@@ -463,6 +631,7 @@ mod tests {
         assert!(a.read(bad).is_err());
         assert!(a.erase_block(bad).is_err());
         assert!(!a.is_programmed(bad));
+        assert!(a.peek_page(bad).is_none());
     }
 
     #[test]
@@ -471,7 +640,84 @@ mod tests {
         a.program(PageAddr::zero(), &[9]).unwrap();
         let _ = a.read(PageAddr::zero()).unwrap();
         a.erase_block(PageAddr::zero()).unwrap();
-        assert_eq!(a.op_counts(), (1, 1, 1));
+        assert_eq!(a.op_counts(), counts(1, 1, 1));
+    }
+
+    #[test]
+    fn peek_page_reads_without_counting() {
+        let mut a = array();
+        a.program(PageAddr::zero(), b"quiet").unwrap();
+        assert_eq!(&a.peek_page(PageAddr::zero()).unwrap()[..5], b"quiet");
+        assert!(a
+            .peek_page(PageAddr {
+                page: 1,
+                ..PageAddr::zero()
+            })
+            .is_none());
+        assert_eq!(a.op_counts(), counts(0, 1, 0));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_semantic_state() {
+        let mut a = array();
+        let g = *a.geometry();
+        for page in 0..3 {
+            a.program(
+                PageAddr {
+                    page,
+                    ..PageAddr::zero()
+                },
+                &[page as u8],
+            )
+            .unwrap();
+        }
+        let far = PageAddr {
+            channel: 2,
+            block: 5,
+            ..PageAddr::zero()
+        };
+        a.program(far, b"far").unwrap();
+        let _ = a.read(PageAddr::zero()).unwrap();
+        let wear = PageAddr {
+            block: 7,
+            ..PageAddr::zero()
+        };
+        a.erase_block(wear).unwrap();
+        a.erase_block(wear).unwrap();
+        a.inject_faults(FaultPlan::none().fail_page(&g, far));
+        let _ = a.read(far);
+        let snap = a.state_snapshot();
+        // Dense pages collapse into one run; the far page is its own run.
+        assert!(snap.programmed_runs.contains(&(0, 3)));
+        assert_eq!(snap.programmed_runs.len(), 2);
+        assert_eq!(snap.pending_retire.len(), 1);
+        assert_eq!(snap.op_counts, counts(1, 4, 2));
+
+        let mut b = FlashArray::new(g);
+        // Payloads move via the backend; here the heap copy suffices.
+        for &(start, len) in &snap.programmed_runs {
+            for idx in start..start + len {
+                let addr = g.page_from_index(idx);
+                b.program(addr, a.peek_page(addr).unwrap()).unwrap();
+            }
+        }
+        b.restore_state(&snap);
+        assert_eq!(b.state_snapshot(), snap);
+        assert_eq!(b.op_counts(), counts(1, 4, 2));
+        assert_eq!(b.erase_count(wear), 2);
+        assert_eq!(&b.read(PageAddr::zero()).unwrap()[..1], &[0]);
+    }
+
+    #[test]
+    fn clone_is_an_independent_heap_copy() {
+        let mut a = array();
+        a.program(PageAddr::zero(), b"original").unwrap();
+        let mut c = a.clone();
+        assert_eq!(c.backend(), "heap");
+        c.erase_block(PageAddr::zero()).unwrap();
+        assert!(!c.is_programmed(PageAddr::zero()));
+        assert!(a.is_programmed(PageAddr::zero()));
+        assert_eq!(&a.read(PageAddr::zero()).unwrap()[..8], b"original");
     }
 
     /// A fault plan where every page is transient-faulty and fails
@@ -494,7 +740,7 @@ mod tests {
         assert_eq!(stats.recovered, 1);
         assert_eq!((stats.remappable, stats.lost), (0, 0));
         // Failed attempts do not advance the page-read counter.
-        assert_eq!(a.op_counts().0, 1);
+        assert_eq!(a.op_counts().reads, 1);
         #[cfg(feature = "obs")]
         {
             assert_eq!(a.metrics().read_retries(), 1);
@@ -577,5 +823,51 @@ mod tests {
         };
         a.program(fresh, &[3]).unwrap();
         assert!(a.read(fresh).is_ok());
+    }
+
+    #[test]
+    fn mmap_backed_array_matches_heap_semantics() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        static N: Counter = Counter::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "deepstore-array-test-{}-{}.img",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let _guard = Cleanup(path.clone());
+        let g = SsdConfig::small().geometry;
+        let store = crate::image::MmapStore::create(&path, g).unwrap();
+        let mut m = FlashArray::with_store(g, Box::new(store));
+        assert_eq!(m.backend(), "mmap");
+        assert!(m.is_persistent());
+        let mut h = FlashArray::new(g);
+        for (page, payload) in [(0usize, &b"alpha"[..]), (1, b"beta"), (2, b"gamma")] {
+            let addr = PageAddr {
+                page,
+                ..PageAddr::zero()
+            };
+            m.program(addr, payload).unwrap();
+            h.program(addr, payload).unwrap();
+            assert_eq!(m.read(addr).unwrap(), h.read(addr).unwrap());
+        }
+        m.erase_block(PageAddr::zero()).unwrap();
+        h.erase_block(PageAddr::zero()).unwrap();
+        assert_eq!(m.op_counts(), h.op_counts());
+        assert!(matches!(
+            m.read(PageAddr::zero()),
+            Err(FlashError::ReadUnwritten(_))
+        ));
+        // Erase-before-program semantics hold on the image too.
+        m.program(PageAddr::zero(), b"fresh").unwrap();
+        assert!(matches!(
+            m.program(PageAddr::zero(), b"again"),
+            Err(FlashError::ProgramWithoutErase(_))
+        ));
     }
 }

@@ -63,7 +63,8 @@ pub fn churn(cfg: &SsdConfig, cycles: usize, fill: f64) -> Result<ChurnReport> {
         }
     }
 
-    let (_, programs, erases) = array.op_counts();
+    let ops = array.op_counts();
+    let (programs, erases) = (ops.programs, ops.erases);
     // Wear spread across every block the FTL can allocate.
     let mut max_wear = 0u64;
     for channel in 0..geometry.channels {

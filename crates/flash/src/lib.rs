@@ -38,14 +38,19 @@ pub mod ftl;
 pub mod gc;
 pub mod geometry;
 pub mod host;
+pub mod image;
 pub mod layout;
 pub mod obs;
+pub mod store;
 pub mod stream;
 pub mod timing;
 pub mod trace;
 
+pub use array::{FlashOpCounts, FlashStateSnapshot};
 pub use geometry::{PageAddr, SsdGeometry};
+pub use image::{ImageFile, MmapStore, IMAGE_FORMAT_VERSION};
 pub use obs::{FlashEventCounts, FlashMetrics};
+pub use store::{HeapStore, PageStore};
 pub use timing::{FlashTiming, ReadRetryPolicy, SimDuration};
 
 use serde::{Deserialize, Serialize};
@@ -118,6 +123,16 @@ pub enum FlashError {
         /// Provided byte count.
         found: usize,
     },
+    /// A persistent image operation failed (I/O error, corrupt image,
+    /// or an operation unsupported by the backend).
+    Image(String),
+    /// A persisted image (or peer) speaks a different format version.
+    VersionMismatch {
+        /// The version this build understands.
+        expected: u32,
+        /// The version found on disk (or on the wire).
+        found: u32,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -135,6 +150,13 @@ impl fmt::Display for FlashError {
             FlashError::UnknownDb(id) => write!(f, "unknown database id {id}"),
             FlashError::SizeMismatch { expected, found } => {
                 write!(f, "size mismatch: expected {expected} bytes, found {found}")
+            }
+            FlashError::Image(s) => write!(f, "image error: {s}"),
+            FlashError::VersionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "format version mismatch: expected {expected}, found {found}"
+                )
             }
         }
     }

@@ -420,7 +420,7 @@ mod tests {
     #[test]
     fn open_loop_run_against_a_served_store() {
         let model = zoo::textqa().seeded(11);
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         let features: Vec<_> = (0..32).map(|i| model.random_feature(i)).collect();
         let db = store.write_db(&features).unwrap();
         let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();

@@ -22,7 +22,7 @@ const SIGHTINGS_PER_IDENTITY: u64 = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::reid().seeded_metric(7);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
 
     // Gallery: IDENTITIES clusters, SIGHTINGS_PER_IDENTITY noisy images

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A scaled-down drive (4 channels, ~32 MB) so the example runs in
     // milliseconds; `DeepStoreConfig::paper_default()` gives the full
     // 1 TB / 32-channel configuration used by the benchmarks.
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
 
     // The TIR application: text-based image retrieval. `seeded` stands in
     // for loading trained weights.

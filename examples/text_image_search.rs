@@ -19,7 +19,7 @@ const QUERIES: usize = 60;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = zoo::tir().seeded_metric(21);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     let images: Vec<_> = (0..200).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&images)?;
     let model_id = store.load_model(&ModelGraph::from_model(&model))?;

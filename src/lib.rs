@@ -29,7 +29,7 @@
 //! use deepstore::nn::{zoo, ModelGraph};
 //!
 //! // Build a small in-storage system and load the TIR similarity model.
-//! let mut store = DeepStore::new(DeepStoreConfig::small());
+//! let mut store = DeepStore::in_memory(DeepStoreConfig::small());
 //! let model = zoo::tir().seeded(42);
 //! let features: Vec<_> = (0..64).map(|i| model.random_feature(i)).collect();
 //! let db = store.write_db(&features).unwrap();

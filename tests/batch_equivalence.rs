@@ -49,7 +49,7 @@ proptest! {
                 .expect("known app")
                 .seeded_metric(model_seed);
             let mut store =
-                DeepStore::new(DeepStoreConfig::small().with_parallelism(workers));
+                DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(workers));
             store.disable_qc();
             let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
             let db = store.write_db(&features).unwrap();
@@ -109,7 +109,7 @@ proptest! {
 fn batched_query_reads_each_page_once() {
     const BATCH: usize = 8;
     let model = zoo::tir().seeded_metric(11);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let features: Vec<Tensor> = (0..64).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();
@@ -118,14 +118,14 @@ fn batched_query_reads_each_page_once() {
         .map(|i| QueryRequest::new(model.random_feature(5_000 + i), mid, db).k(4))
         .collect();
 
-    let (r0, _, _) = store.flash_op_counts();
+    let r0 = store.flash_op_counts().reads;
     store.query(requests[0].clone()).unwrap();
-    let (r1, _, _) = store.flash_op_counts();
+    let r1 = store.flash_op_counts().reads;
     let single_pass = r1 - r0;
     assert!(single_pass > 0, "a scan must read flash pages");
 
     let qids = store.query_batch(&requests).unwrap();
-    let (r2, _, _) = store.flash_op_counts();
+    let r2 = store.flash_op_counts().reads;
     assert_eq!(
         r2 - r1,
         single_pass,
@@ -136,7 +136,7 @@ fn batched_query_reads_each_page_once() {
     for r in &requests {
         store.query(r.clone()).unwrap();
     }
-    let (r3, _, _) = store.flash_op_counts();
+    let r3 = store.flash_op_counts().reads;
     assert_eq!(
         r3 - r2,
         BATCH as u64 * single_pass,

@@ -192,7 +192,7 @@ proptest! {
 #[test]
 fn api_exact_and_cascade_requests_agree() {
     let model = zoo::textqa().seeded_metric(7);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();

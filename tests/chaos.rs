@@ -149,7 +149,7 @@ fn fresh_store(scn: &Scenario, workers: usize, faulted: bool) -> (DeepStore, Mod
     let model = zoo::by_name(scn.app)
         .expect("known app")
         .seeded_metric(scn.model_seed);
-    let mut store = DeepStore::new(store_config(scn, workers));
+    let mut store = DeepStore::in_memory(store_config(scn, workers));
     store.disable_qc();
     let features: Vec<Tensor> = (0..scn.n).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).expect("write db");
@@ -486,7 +486,7 @@ fn transient_retries_charge_latency_but_not_answers() {
     let probe = model.random_feature(9_001);
 
     let run = |faulted: bool| {
-        let mut store = DeepStore::new(DeepStoreConfig::small());
+        let mut store = DeepStore::in_memory(DeepStoreConfig::small());
         store.disable_qc();
         let db = store.write_db(&features).unwrap();
         let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -544,7 +544,7 @@ fn permanent_faults_heal_after_explicit_recovery() {
     let features: Vec<Tensor> = (0..48).map(|i| model.random_feature(i)).collect();
     let probe = model.random_feature(8_101);
 
-    let mut clean = DeepStore::new(DeepStoreConfig::small());
+    let mut clean = DeepStore::in_memory(DeepStoreConfig::small());
     clean.disable_qc();
     let cdb = clean.write_db(&features).unwrap();
     let cmid = clean.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -553,7 +553,7 @@ fn permanent_faults_heal_after_explicit_recovery() {
         .unwrap();
     let reference = clean.results(cq).unwrap();
 
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let db = store.write_db(&features).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -610,7 +610,7 @@ fn dead_channel_outage_stays_degraded_after_recovery() {
     // channels and a dead channel loses exactly half of it.
     let model = zoo::tir().seeded_metric(5);
     let features: Vec<Tensor> = (0..256).map(|i| model.random_feature(i)).collect();
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let db = store.write_db(&features).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();

@@ -19,7 +19,7 @@ fn store_with(
     deepstore::core::ModelId,
 ) {
     let model = zoo::by_name(app).unwrap().seeded_metric(seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     let features: Vec<Tensor> = (0..n).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();
     let mid = store.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -49,7 +49,7 @@ fn every_app_queries_end_to_end_at_every_supported_level() {
 fn planted_duplicate_is_rank_one_with_metric_weights() {
     // TIR with metric weights: an exact duplicate must win the scan.
     let model = zoo::tir().seeded_metric(3);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let mut features: Vec<Tensor> = (0..64).map(|i| model.random_feature(i)).collect();
     let query = model.random_feature(4096);
@@ -69,7 +69,7 @@ fn clustered_gallery_retrieval_is_accurate() {
     // probe's identity cluster.
     let model = zoo::reid().seeded_metric(11);
     let gen = FeatureGen::new(model.feature_len(), 8, 0.05, 4);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let gallery: Vec<Tensor> = gen.features(32); // 4 sightings x 8 ids
     let db = store.write_db(&gallery).unwrap();

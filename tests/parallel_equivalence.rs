@@ -90,7 +90,7 @@ proptest! {
 /// Builds a runtime over a sealed 64-feature textqa store.
 fn runtime_with(parallelism: usize) -> (Runtime, Model, DbId, ModelId) {
     let model = zoo::textqa().seeded(3);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
     store.disable_qc();
     let features: Vec<Tensor> = (0..64).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();

@@ -10,7 +10,7 @@
 use deepstore::core::proto::{
     decode_command, decode_response, encode_command, encode_response, read_frame, write_frame,
     Command, Device, HostClient, ProtoError, Response, WireError, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
-    VERSION,
+    PROTOCOL_VERSION, VERSION,
 };
 use deepstore::core::serve::{channel_transport, serve, ServeConfig, TcpClient, TcpTransport};
 use deepstore::core::{
@@ -65,6 +65,7 @@ fn sample_commands() -> Vec<Command> {
         Command::Stats,
         Command::Hello {
             client: "tenant-a".into(),
+            version: PROTOCOL_VERSION,
         },
     ]
 }
@@ -80,6 +81,7 @@ fn sample_responses() -> Vec<Response> {
         Response::BatchSubmitted(vec![QueryId(1), QueryId(2)]),
         Response::HelloAck {
             client: "tenant-a".into(),
+            version: PROTOCOL_VERSION,
         },
         Response::Overloaded { queue_depth: 64 },
         Response::QuotaExceeded {
@@ -97,6 +99,10 @@ fn sample_responses() -> Vec<Response> {
         }),
         Response::Error(WireError::Overloaded { queue_depth: 2 }),
         Response::Error(WireError::QuotaExceeded { client: "t".into() }),
+        Response::Error(WireError::VersionMismatch {
+            expected: 1,
+            found: 2,
+        }),
         Response::Error(WireError::Device("ecc storm".into())),
         Response::Error(WireError::Malformed("bad magic".into())),
     ]
@@ -211,6 +217,7 @@ fn stream_reader_handles_eof_and_oversize() {
     // Mid-frame disconnect at every split point: typed ConnectionClosed.
     let frame = encode_command(&Command::Hello {
         client: "eof".into(),
+        version: PROTOCOL_VERSION,
     });
     for cut in 1..frame.len() {
         assert_eq!(
@@ -237,7 +244,7 @@ fn stream_reader_handles_eof_and_oversize() {
 /// server) keep working.
 #[test]
 fn served_connection_survives_garbage_frames() {
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let (transport, connector) = channel_transport();
     let handle = serve(transport, store, ServeConfig::default());
@@ -282,7 +289,7 @@ fn served_connection_survives_garbage_frames() {
 #[test]
 fn tcp_server_survives_partial_frames_and_disconnects() {
     let model = zoo::textqa().seeded(5);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.disable_qc();
     let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
     let handle = serve(transport, store, ServeConfig::default());

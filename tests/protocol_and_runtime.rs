@@ -19,7 +19,7 @@ fn full_session_over_the_wire_matches_direct_api() {
     let probe = model.random_feature(7); // duplicate of feature 7
 
     // Direct API.
-    let mut direct = DeepStore::new(DeepStoreConfig::small());
+    let mut direct = DeepStore::in_memory(DeepStoreConfig::small());
     direct.disable_qc();
     let db = direct.write_db(&features).unwrap();
     let mid = direct.load_model(&ModelGraph::from_model(&model)).unwrap();
@@ -81,7 +81,7 @@ fn device_survives_command_reordering_and_bad_handles() {
 #[test]
 fn runtime_trace_replay_produces_consistent_stats() {
     let model = zoo::textqa().seeded(5);
-    let mut store = DeepStore::new(DeepStoreConfig::small());
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small());
     store.set_qc(QueryCacheConfig {
         capacity: 8,
         threshold: 0.10,

@@ -124,7 +124,7 @@ fn fresh_store(scn: &Scenario, workers: usize) -> (DeepStore, Model, ModelId, Db
     let model = zoo::by_name(scn.app)
         .expect("known app")
         .seeded_metric(scn.model_seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(workers));
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(workers));
     store.disable_qc();
     let features: Vec<Tensor> = (0..scn.n).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).expect("write db");

@@ -37,7 +37,7 @@ fn run_workload(
     let model = zoo::by_name(app)
         .expect("known app")
         .seeded_metric(model_seed);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
     if let Some(seed) = fault_seed {
         let geometry = store.config().ssd.geometry;
         store.inject_faults(FaultPlan::random(&geometry, 0.10, seed));
@@ -119,7 +119,7 @@ proptest! {
 /// Runs a traced two-batch workload and returns the trace JSON.
 fn traced_run(parallelism: usize) -> String {
     let model = zoo::textqa().seeded_metric(9);
-    let mut store = DeepStore::new(DeepStoreConfig::small().with_parallelism(parallelism));
+    let mut store = DeepStore::in_memory(DeepStoreConfig::small().with_parallelism(parallelism));
     store.enable_tracing();
     let features: Vec<Tensor> = (0..32).map(|i| model.random_feature(i)).collect();
     let db = store.write_db(&features).unwrap();
