@@ -15,20 +15,29 @@
 //! * `--tcp` — loopback TCP transport, exercising the real listener
 //!   and stream framing (the CI serve-smoke configuration).
 //! * `--smoke` — shrink the database and per-rate query counts for CI.
+//! * `--obs-check` — closed-loop serve-path throughput under the
+//!   current `obs` feature configuration; after both configurations
+//!   have run, writes `BENCH_serve_obs.json` and enforces the <2%
+//!   instrumentation-overhead budget on the serve path.
 //!
 //! Exits non-zero unless the sweep covers >= 4 rates and the lowest
 //! rate completed every query with a finite, positive p999.
 
 use deepstore_bench::report::results_dir;
-use deepstore_core::proto::{CommandChannel, ProtoError};
-use deepstore_core::serve::{channel_transport, serve, ServeConfig, TcpClient, TcpTransport};
+use deepstore_core::proto::{
+    decode_response, encode_command, Command, CommandChannel, HostClient, ProtoError, Response,
+};
+use deepstore_core::serve::{
+    channel_transport, obs_hot_path_exercise, serve, ServeConfig, StagePercentiles, TcpClient,
+    TcpTransport,
+};
 use deepstore_core::{AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, ModelId, QueryRequest};
 use deepstore_nn::{zoo, Model, ModelGraph, Tensor};
 use deepstore_workloads::loadgen::{
     plan, run_open_loop, ArrivalProcess, LoadPlanConfig, LoadReport, LoadTarget,
 };
 use deepstore_workloads::TraceDistribution;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 const SEED: u64 = 61;
@@ -73,6 +82,9 @@ struct ServePoint {
     max_ms: f64,
     engine_batches: u64,
     coalesced_queries: u64,
+    /// Server-side per-stage percentiles (queue wait, engine service,
+    /// end-to-end from scheduled arrival); zeros without `obs`.
+    stages: StagePercentiles,
 }
 
 #[derive(Serialize)]
@@ -155,10 +167,327 @@ where
     .expect("open-loop run failed")
 }
 
+#[derive(Serialize, Deserialize)]
+struct ServeObsCheck {
+    workload: String,
+    burst: usize,
+    queries_per_round: usize,
+    pairs: u32,
+    obs_compiled: bool,
+    /// Single-threaded CPU price of one recording-hot-path call, ns.
+    hot_path_ns_per_request: f64,
+    /// Single-threaded CPU price of one directly dispatched query, ns.
+    direct_ns_per_query: f64,
+    /// `hot_path_ns_per_request / direct_ns_per_query` — the gated
+    /// fraction of serve-path work spent on instrumentation.
+    overhead: f64,
+    /// Context only (wall clock, noisy on shared hosts): pipelined
+    /// serve throughput with the runtime recording switch on / off.
+    qps_recording_on: f64,
+    qps_recording_off: f64,
+}
+
+#[derive(Serialize)]
+struct ServeObsGate {
+    version: u32,
+    hot_path_ns_per_request: f64,
+    direct_ns_per_query: f64,
+    overhead: f64,
+    /// The obs-off build's `overhead` — the same harness with the hot
+    /// path compiled out, i.e. the measurement's noise floor. Absent
+    /// until that build has run.
+    null_overhead: Option<f64>,
+    budget: f64,
+    on_qps: f64,
+    off_qps: f64,
+}
+
+const SERVE_OBS_PAIRS: u32 = 6;
+const SERVE_OBS_BURST: usize = 64;
+const SERVE_OBS_MAX_OVERHEAD: f64 = 0.02;
+
+/// Total CPU time consumed by every thread of this process, in ns,
+/// from the scheduler's own accounting (`sum_exec_runtime` in
+/// `/proc/self/task/*/schedstat`). `None` off Linux or when the
+/// kernel lacks `CONFIG_SCHEDSTATS`.
+fn process_cpu_ns() -> Option<u64> {
+    let mut total = 0u64;
+    for entry in std::fs::read_dir("/proc/self/task").ok()? {
+        let stat = std::fs::read_to_string(entry.ok()?.path().join("schedstat")).ok()?;
+        total += stat.split_whitespace().next()?.parse::<u64>().ok()?;
+    }
+    Some(total)
+}
+
+/// CPU ns consumed by `f`, by scheduler accounting; wall-clock ns when
+/// the platform offers no accounting. Call while single-threaded —
+/// the delta is process-wide.
+fn cpu_time_ns(f: impl FnOnce()) -> f64 {
+    let before = process_cpu_ns();
+    let start = Instant::now();
+    f();
+    let wall = start.elapsed().as_nanos() as f64;
+    match (before, process_cpu_ns()) {
+        (Some(a), Some(b)) if b > a => (b - a) as f64,
+        _ => wall,
+    }
+}
+
+/// Prices the serve-path recording hot path (request-id assignment,
+/// stage histograms, flight-recorder write, SLO estimator) against
+/// the cost of a served query, and enforces the <2% overhead budget,
+/// writing `BENCH_serve_obs.json`.
+///
+/// The gated ratio is built from two single-threaded, CPU-accounted
+/// measurements: `serve::obs_hot_path_exercise` timed per call, over
+/// the per-query CPU cost of a direct dispatch loop against an
+/// identical store (a conservative denominator — a served query costs
+/// strictly more than a direct one). Wall-clock A/B was tried in two
+/// forms first — obs-on vs obs-off builds as separate processes, then
+/// runtime-toggled paired rounds within one process — and neither can
+/// resolve 2% on a shared single-CPU host: between processes absolute
+/// throughput drifts by tens of percent, and even adjacent paired
+/// rounds disagree by several percent because the serve pipeline's
+/// park/wake scheduling cost is chaotic at every timescale. CPU
+/// accounting sidesteps both: a noisy neighbour's cycles are never
+/// charged to this process, and the single-threaded loops have no
+/// scheduling component at all. The obs-off build runs the same
+/// harness with the hot path compiled out — a null experiment whose
+/// near-zero "overhead" is recorded as the noise floor.
+///
+/// The pipelined serve rounds still run — alternating the
+/// [`deepstore_core::serve::ServeObs::set_enabled`] runtime switch
+/// between adjacent rounds — but their throughput is reported as
+/// context, not gated. Frames are pre-encoded and fired in bursts so
+/// the engine's job queue stays full; a lockstep query/reply loop
+/// would park every thread between hops and measure futex
+/// transitions instead of work.
+fn obs_check_mode(smoke: bool) {
+    let obs_compiled = cfg!(feature = "obs");
+    let bursts = if smoke { 4 } else { 10 };
+    let rounds = 2 * SERVE_OBS_PAIRS;
+    let model = zoo::textqa().seeded(SEED);
+
+    // Phase 1 (single-threaded): price a directly dispatched query.
+    let (mut direct_store, dmid, ddb) = fresh_store(&model, if smoke { 64 } else { 128 });
+    let direct_queries = if smoke { 128 } else { 384 };
+    let probes: Vec<Tensor> = (0..direct_queries + 1)
+        .map(|i| model.random_feature(80_000 + i as u64))
+        .collect();
+    let mut run_direct = |qfv: &Tensor| {
+        let qid = direct_store
+            .query(QueryRequest::new(qfv.clone(), dmid, ddb).k(4))
+            .expect("direct query");
+        direct_store.results(qid).expect("direct results");
+    };
+    run_direct(&probes[direct_queries]); // warm
+    let direct_ns_per_query = cpu_time_ns(|| {
+        for qfv in &probes[..direct_queries] {
+            run_direct(qfv);
+        }
+    }) / direct_queries as f64;
+
+    // Phase 2 (single-threaded): price the recording hot path.
+    let hot_iters: u64 = if smoke { 400_000 } else { 2_000_000 };
+    obs_hot_path_exercise(hot_iters / 8); // warm
+    let hot_path_ns_per_request =
+        cpu_time_ns(|| obs_hot_path_exercise(hot_iters)) / hot_iters as f64;
+    let overhead = hot_path_ns_per_request / direct_ns_per_query;
+
+    // Phase 3 (context): pipelined serve throughput, recording toggled
+    // between adjacent rounds.
+    let (store, mid, db) = fresh_store(&model, if smoke { 64 } else { 128 });
+    let (transport, connector) = channel_transport();
+    let handle = serve(
+        transport,
+        store,
+        ServeConfig {
+            queue_depth: 4 * SERVE_OBS_BURST,
+            ..ServeConfig::default()
+        },
+    );
+    let mut host = HostClient::over(connector.connect().expect("connect"));
+    host.hello("obs-check").expect("hello");
+    let warm = host
+        .query(
+            &model.random_feature(90_000),
+            4,
+            mid,
+            db,
+            AcceleratorLevel::Ssd,
+            false,
+        )
+        .expect("warm query");
+    host.get_results(warm).expect("warm results");
+
+    // Pre-encode every frame (distinct features, so the query cache
+    // never shortcuts the scan): encode cost stays out of the timing.
+    let raw = connector.connect().expect("connect raw");
+    let frames: Vec<Vec<Vec<u8>>> = (0..rounds)
+        .map(|r| {
+            (0..bursts * SERVE_OBS_BURST)
+                .map(|i| {
+                    let seed = 91_000 + u64::from(r) * 10_000 + i as u64;
+                    encode_command(&Command::Query {
+                        qfv: model.random_feature(seed),
+                        k: 4,
+                        model: mid,
+                        db,
+                        level: AcceleratorLevel::Ssd,
+                        exact: false,
+                        request_id: 0,
+                        sched_lag_ns: 0,
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    let run_round = |round: &Vec<Vec<u8>>| -> f64 {
+        let start = Instant::now();
+        for burst in round.chunks(SERVE_OBS_BURST) {
+            for frame in burst {
+                raw.send_frame(frame).expect("send query frame");
+            }
+            for _ in burst {
+                match decode_response(&raw.recv_frame().expect("recv reply")) {
+                    Ok(Response::QuerySubmitted { .. }) => {}
+                    other => panic!("unexpected reply: {other:?}"),
+                }
+            }
+        }
+        round.len() as f64 / start.elapsed().as_secs_f64()
+    };
+
+    // Alternate which half of each pair records first, so a slow
+    // monotonic machine drift biases half the pairs each way.
+    let mut on_qps = Vec::new();
+    let mut off_qps = Vec::new();
+    for (p, pair) in frames.chunks(2).enumerate() {
+        let on_first = p % 2 == 0;
+        handle.obs().set_enabled(on_first);
+        let first = run_round(&pair[0]);
+        handle.obs().set_enabled(!on_first);
+        let second = run_round(&pair[1]);
+        let (on, off) = if on_first {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        on_qps.push(on);
+        off_qps.push(off);
+    }
+    handle.obs().set_enabled(true);
+    drop(raw);
+    drop(host);
+    let (_store, stats) = handle.shutdown();
+    assert_eq!(
+        stats.queries_admitted,
+        (bursts * SERVE_OBS_BURST) as u64 * u64::from(rounds) + 1
+    );
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        v[v.len() / 2]
+    };
+    let report = ServeObsCheck {
+        workload: "textqa".into(),
+        burst: SERVE_OBS_BURST,
+        queries_per_round: bursts * SERVE_OBS_BURST,
+        pairs: SERVE_OBS_PAIRS,
+        obs_compiled,
+        hot_path_ns_per_request,
+        direct_ns_per_query,
+        overhead,
+        qps_recording_on: median(on_qps),
+        qps_recording_off: median(off_qps),
+    };
+    let (mine, other) = if obs_compiled {
+        ("BENCH_serve_obs_on.json", "BENCH_serve_obs_off.json")
+    } else {
+        ("BENCH_serve_obs_off.json", "BENCH_serve_obs_on.json")
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(mine);
+    std::fs::write(&path, serde_json::to_string(&report).expect("serializes"))
+        .expect("write serve obs check report");
+    println!(
+        "== serve-path obs overhead check (recording hot path {}) ==",
+        if obs_compiled {
+            "compiled in"
+        } else {
+            "compiled out: null experiment"
+        }
+    );
+    println!(
+        "  hot path:         {hot_path_ns_per_request:>10.1} ns/request (CPU, single-threaded)"
+    );
+    println!("  direct dispatch:  {direct_ns_per_query:>10.0} ns/query (CPU, single-threaded)");
+    println!(
+        "  overhead:         {:>9.3}% of a served query (budget {:.0}%)",
+        overhead * 100.0,
+        SERVE_OBS_MAX_OVERHEAD * 100.0
+    );
+    println!(
+        "  serve throughput: {:>10.0} q/s recording on, {:.0} q/s off (wall clock, context only)",
+        report.qps_recording_on, report.qps_recording_off
+    );
+    println!(
+        "  engine batches:   {:>10} ({} queries coalesced)",
+        stats.engine_batches, stats.coalesced_queries
+    );
+    println!("[written {}]", path.display());
+
+    if obs_compiled {
+        // The gate artifact; fold in the off-build's noise-floor run
+        // when it has already happened.
+        let null_overhead = std::fs::read_to_string(dir.join(other))
+            .ok()
+            .and_then(|bytes| serde_json::from_str::<ServeObsCheck>(&bytes).ok())
+            .map(|null| null.overhead);
+        let gate = ServeObsGate {
+            version: 2,
+            hot_path_ns_per_request,
+            direct_ns_per_query,
+            overhead,
+            null_overhead,
+            budget: SERVE_OBS_MAX_OVERHEAD,
+            on_qps: report.qps_recording_on,
+            off_qps: report.qps_recording_off,
+        };
+        let gate_path = dir.join("BENCH_serve_obs.json");
+        std::fs::write(
+            &gate_path,
+            serde_json::to_string(&gate).expect("serializes"),
+        )
+        .expect("write BENCH_serve_obs.json");
+        match null_overhead {
+            Some(n) => println!(
+                "  noise floor:      {:>9.3}% (obs-off build, same harness)",
+                n * 100.0
+            ),
+            None => println!("  (no {other} yet; run the obs-off build for the noise floor)"),
+        }
+        println!("[written {}]", gate_path.display());
+    }
+    assert!(
+        overhead <= SERVE_OBS_MAX_OVERHEAD,
+        "serve-path telemetry overhead {:.3}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        SERVE_OBS_MAX_OVERHEAD * 100.0
+    );
+    println!("  within budget");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let tcp = args.iter().any(|a| a == "--tcp");
+    if args.iter().any(|a| a == "--obs-check") {
+        obs_check_mode(smoke);
+        return;
+    }
     let sizes = if smoke { SMOKE } else { FULL };
 
     let model = zoo::textqa().seeded(SEED);
@@ -174,7 +503,7 @@ fn main() {
             queue_depth: QUEUE_DEPTH,
             ..ServeConfig::default()
         };
-        let (report, stats) = if tcp {
+        let (report, stats, stages) = if tcp {
             let transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");
             let handle = serve(transport, store, cfg);
             let endpoint = handle.endpoint().to_string();
@@ -186,14 +515,16 @@ fn main() {
                 mid,
                 db,
             );
+            let stages = handle.obs().stage_percentiles();
             let (_store, stats) = handle.shutdown();
-            (report, stats)
+            (report, stats, stages)
         } else {
             let (transport, connector) = channel_transport();
             let handle = serve(transport, store, cfg);
             let report = rate_point(|| connector.connect(), &model, qps, &sizes, mid, db);
+            let stages = handle.obs().stage_percentiles();
             let (_store, stats) = handle.shutdown();
-            (report, stats)
+            (report, stats, stages)
         };
         println!(
             "  offered {:>8.0} q/s ({mult:>4.2}x): achieved {:>8.0} q/s  p50 {:>8.3} ms  \
@@ -206,6 +537,18 @@ fn main() {
             report.completed,
             report.rejected_overloaded + report.rejected_quota,
         );
+        if stages.samples > 0 {
+            println!(
+                "       server stages (p50/p99): queue {:>7.1}/{:>7.1} us  \
+                 service {:>7.1}/{:>7.1} us  e2e {:>7.1}/{:>7.1} us",
+                stages.queue_p50_ns as f64 / 1e3,
+                stages.queue_p99_ns as f64 / 1e3,
+                stages.service_p50_ns as f64 / 1e3,
+                stages.service_p99_ns as f64 / 1e3,
+                stages.e2e_p50_ns as f64 / 1e3,
+                stages.e2e_p99_ns as f64 / 1e3,
+            );
+        }
         points.push(ServePoint {
             offered_qps: report.offered_qps,
             achieved_qps: report.achieved_qps,
@@ -221,6 +564,7 @@ fn main() {
             max_ms: report.max_ms,
             engine_batches: stats.engine_batches,
             coalesced_queries: stats.coalesced_queries,
+            stages,
         });
     }
 

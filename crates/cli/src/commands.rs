@@ -39,8 +39,17 @@ commands:
              [--image <path> [--db N] [--model N]]
                                           functional query on a small drive
   stats      [--app <name>] [--features N] [--k K] [--parallelism P]
+             [--addr H:P | --addr-file <file>]
                                           device telemetry after a mixed
-                                          workload (single/parallel/batch)
+                                          workload (single/parallel/batch),
+                                          or a live server's device + serve
+                                          stats with --addr/--addr-file
+  metrics    (--addr H:P | --addr-file <file>)
+                                          scrape a running server's
+                                          Prometheus exposition page
+  dump       (--addr H:P | --addr-file <file>) [--out <file>]
+                                          pull the server's flight-recorder
+                                          ring as JSON
   trace      [--queries N] [--qps F] [--seed S] --out <file>
                                           generate a Poisson query trace
   replay     --trace <file> [--features N] [--parallelism P]
@@ -49,6 +58,7 @@ commands:
              [--duration-ms MS] [--queue-depth D] [--quota-qps F]
              [--quota-burst F] [--batch-window-us W] [--parallelism P]
              [--seed S] [--force-exact] [--image <path>]
+             [--slo-p99-us US] [--dump-dir <dir>] [--recorder-capacity N]
                                           serve a store over loopback TCP
   loadgen    (--addr H:P | --addr-file <file>) [--app <name>] [--qps F]
              [--queries N] [--arrivals poisson|fixed] [--connections C]
@@ -87,7 +97,17 @@ top-K when the scan cannot reach the requested fraction.
 `stats` drives the same mixed workload over the wire protocol and prints
 the device's telemetry snapshot (`getStats`, opcode 0x09), including the
 fault path: read retries, recovered reads, remapped/lost pages, retired
-blocks and degraded queries.
+blocks and degraded queries. With `--addr`/`--addr-file` it instead
+queries a *running* server and also prints the serve layer: admission
+counters, stage latency percentiles, and the per-tenant breakdown.
+`metrics` scrapes the server's Prometheus text exposition page (serve
+counters, stage histograms, per-tenant series) over the wire protocol
+(`getMetrics`, opcode 0x0B). `dump` pulls the flight recorder — a ring
+of the most recent request summaries with per-stage timings — as JSON
+(`getDump`, opcode 0x0C); the server also dumps automatically on error
+responses and on p99 SLO breach when `serve --slo-p99-us` is set
+(`--dump-dir` writes those dumps to disk, `--recorder-capacity` sizes
+the ring).
 `replay --batch-window-us` lets the runtime coalesce queries arriving
 within the window into shared passes (0 or omitted = serial).
 `serve` builds a drive from the app's model, binds a TCP listener
@@ -121,6 +141,8 @@ pub fn run(argv: &[String]) -> CmdResult {
         "open" => cmd_open(rest),
         "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
+        "metrics" => cmd_metrics(rest),
+        "dump" => cmd_dump(rest),
         "trace" => cmd_trace(rest),
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
@@ -439,13 +461,66 @@ fn format_ns(ns: u64) -> String {
     SimDuration::from_nanos(ns).to_string()
 }
 
+/// Resolves a server address from `--addr` / `--addr-file`.
+fn resolve_addr(flags: &Flags) -> Result<String, Box<dyn Error>> {
+    match (flags.opt("addr"), flags.opt("addr-file")) {
+        (Some(a), _) => Ok(a.to_string()),
+        (None, Some(path)) => Ok(std::fs::read_to_string(path)?.trim().to_string()),
+        (None, None) => Err(ArgError("need --addr or --addr-file".into()).into()),
+    }
+}
+
+fn print_server_stats(s: &deepstore_core::serve::ServerStats) {
+    println!("serve layer:");
+    println!(
+        "  admission  : {} connections, {} frames, {} queries admitted",
+        s.connections, s.frames, s.queries_admitted
+    );
+    println!(
+        "  rejected   : {} overloaded, {} over quota, {} malformed frames",
+        s.rejected_overloaded, s.rejected_quota, s.malformed_frames
+    );
+    println!(
+        "  coalescing : {} queries shared {} engine passes",
+        s.coalesced_queries, s.engine_batches
+    );
+    if !s.per_tenant.is_empty() {
+        println!(
+            "  {:<14} {:>9} {:>11} {:>7} {:>7} {:>9}",
+            "tenant", "accepted", "overloaded", "quota", "errors", "degraded"
+        );
+        for t in &s.per_tenant {
+            println!(
+                "  {:<14} {:>9} {:>11} {:>7} {:>7} {:>9}",
+                t.client, t.accepted, t.rejected_overloaded, t.rejected_quota, t.errors, t.degraded
+            );
+        }
+    }
+}
+
 fn cmd_stats(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    flags.expect_only(&["app", "features", "k", "parallelism"])?;
+    flags.expect_only(&["app", "features", "k", "parallelism", "addr", "addr-file"])?;
     let app_name = flags.str_or("app", "textqa");
     let features: u64 = flags.num_or("features", 64)?;
     let k: usize = flags.num_or("k", 3)?;
     let parallelism: usize = flags.num_or("parallelism", 1)?;
+
+    // Against a running server: fetch its device + serve-layer stats
+    // instead of driving the local synthetic workload.
+    if flags.opt("addr").is_some() || flags.opt("addr-file").is_some() {
+        let addr = resolve_addr(&flags)?;
+        let mut host = HostClient::over(TcpClient::connect(&addr)?);
+        host.hello("cli-stats")?;
+        let (s, server) = host.stats_full()?;
+        println!("device stats from {addr}:");
+        print_device_stats(&s);
+        match server {
+            Some(server) => print_server_stats(&server),
+            None => println!("(server returned no serve-layer stats)"),
+        }
+        return Ok(());
+    }
 
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
@@ -473,6 +548,14 @@ fn cmd_stats(args: &[String]) -> CmdResult {
 
     let s = host.stats()?;
     println!("device stats for `{app_name}` ({features} features, parallelism {parallelism}):");
+    print_device_stats(&s);
+    if s.queries == 0 {
+        println!("  (pipeline counters are zero: built without the `obs` feature)");
+    }
+    Ok(())
+}
+
+fn print_device_stats(s: &deepstore_core::DeviceStats) {
     println!(
         "  queries    : {} in {} batches ({} cache hits, {} misses, {} scan groups)",
         s.queries, s.batches, s.cache_hits, s.cache_misses, s.scan_groups
@@ -516,8 +599,31 @@ fn cmd_stats(args: &[String]) -> CmdResult {
         s.metrics.counters.len(),
         s.metrics.histograms.len()
     );
-    if s.queries == 0 {
-        println!("  (pipeline counters are zero: built without the `obs` feature)");
+}
+
+fn cmd_metrics(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["addr", "addr-file"])?;
+    let addr = resolve_addr(&flags)?;
+    let mut host = HostClient::over(TcpClient::connect(&addr)?);
+    host.hello("cli-metrics")?;
+    print!("{}", host.metrics()?);
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    flags.expect_only(&["addr", "addr-file", "out"])?;
+    let addr = resolve_addr(&flags)?;
+    let mut host = HostClient::over(TcpClient::connect(&addr)?);
+    host.hello("cli-dump")?;
+    let json = host.dump()?;
+    match flags.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            println!("wrote flight-recorder dump to {path}");
+        }
+        None => println!("{json}"),
     }
     Ok(())
 }
@@ -631,6 +737,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         "seed",
         "force-exact",
         "image",
+        "slo-p99-us",
+        "dump-dir",
+        "recorder-capacity",
     ])?;
     let app_name = flags.str_or("app", "textqa");
     let features: u64 = flags.num_or("features", 64)?;
@@ -642,6 +751,11 @@ fn cmd_serve(args: &[String]) -> CmdResult {
     let batch_window_us: u64 = flags.num_or("batch-window-us", 0)?;
     let parallelism: usize = flags.num_or("parallelism", 1)?;
     let seed: u64 = flags.num_or("seed", 42)?;
+    let slo_p99_us: u64 = flags.num_or("slo-p99-us", 0)?;
+    let recorder_capacity: usize = flags.num_or(
+        "recorder-capacity",
+        ServeConfig::default().recorder_capacity,
+    )?;
 
     let model = zoo::by_name(app_name)
         .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
@@ -676,6 +790,9 @@ fn cmd_serve(args: &[String]) -> CmdResult {
             refill_per_sec: quota_qps,
         }),
         force_exact: flags.switch("force-exact"),
+        slo_p99_us: (slo_p99_us > 0).then_some(slo_p99_us),
+        recorder_capacity,
+        dump_dir: flags.opt("dump-dir").map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let source = match flags.opt("image") {
@@ -706,18 +823,7 @@ fn cmd_serve(args: &[String]) -> CmdResult {
         store.close()?;
         println!("(image closed cleanly)");
     }
-    println!(
-        "served {} connections, {} frames, {} queries admitted",
-        stats.connections, stats.frames, stats.queries_admitted
-    );
-    println!(
-        "  rejected   : {} overloaded, {} over quota, {} malformed frames",
-        stats.rejected_overloaded, stats.rejected_quota, stats.malformed_frames
-    );
-    println!(
-        "  coalescing : {} queries shared {} engine passes",
-        stats.coalesced_queries, stats.engine_batches
-    );
+    print_server_stats(&stats);
     Ok(())
 }
 
@@ -739,11 +845,7 @@ fn cmd_loadgen(args: &[String]) -> CmdResult {
         "level",
         "seed",
     ])?;
-    let addr = match (flags.opt("addr"), flags.opt("addr-file")) {
-        (Some(a), _) => a.to_string(),
-        (None, Some(path)) => std::fs::read_to_string(path)?.trim().to_string(),
-        (None, None) => return Err(ArgError("need --addr or --addr-file".into()).into()),
-    };
+    let addr = resolve_addr(&flags)?;
     let app_name = flags.str_or("app", "textqa");
     let qps: f64 = flags.num_or("qps", 100.0)?;
     let queries: usize = flags.num_or("queries", 200)?;
@@ -1045,7 +1147,9 @@ mod tests {
             "--addr-file",
             &addr_s,
             "--duration-ms",
-            "2500",
+            "4000",
+            "--slo-p99-us",
+            "1000000",
         ]);
         let server = std::thread::spawn(move || run(&server_args).map_err(|e| e.to_string()));
         // Wait for the server to publish its bound address.
@@ -1085,6 +1189,16 @@ mod tests {
             "fixed",
         ]))
         .unwrap();
+        // Observability against the live server: serve-layer stats,
+        // the exposition page, and a flight-recorder dump.
+        run(&argv(&["stats", "--addr", addr.trim()])).unwrap();
+        run(&argv(&["metrics", "--addr-file", &addr_s])).unwrap();
+        let dump_file = std::env::temp_dir().join("deepstore_cli_test_dump.json");
+        let dump_s = dump_file.to_str().unwrap().to_string();
+        run(&argv(&["dump", "--addr", addr.trim(), "--out", &dump_s])).unwrap();
+        let dump = std::fs::read_to_string(&dump_file).unwrap();
+        assert!(dump.contains("\"reason\""), "dump missing reason: {dump}");
+        std::fs::remove_file(&dump_file).ok();
         server.join().unwrap().unwrap();
         std::fs::remove_file(&addr_file).ok();
     }
@@ -1092,6 +1206,8 @@ mod tests {
     #[test]
     fn loadgen_flag_validation() {
         assert!(run(&argv(&["loadgen"])).is_err()); // no addr
+        assert!(run(&argv(&["metrics"])).is_err()); // no addr
+        assert!(run(&argv(&["dump"])).is_err()); // no addr
         assert!(run(&argv(&[
             "loadgen",
             "--addr",

@@ -631,9 +631,32 @@ impl DeepStore {
     ///
     /// See [`DeepStore::query`].
     pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryId>> {
+        self.query_batch_tagged(requests, &[])
+    }
+
+    /// [`DeepStore::query_batch`] with end-to-end request ids.
+    ///
+    /// `request_ids[i]` tags request `i`'s trace spans (its per-request
+    /// `query` span and its scan group's `scan` span) and the
+    /// `api.tagged_requests` counter, joining the engine-side trace to
+    /// the serve-layer request that carried it. An empty slice or a
+    /// zero id leaves the request untagged; rankings, timing, and all
+    /// other telemetry are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeepStore::query`].
+    pub fn query_batch_tagged(
+        &mut self,
+        requests: &[QueryRequest],
+        request_ids: &[u64],
+    ) -> Result<Vec<QueryId>> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let rid_of = |i: usize| request_ids.get(i).copied().unwrap_or(0);
+        self.telemetry
+            .on_tagged(request_ids.iter().filter(|&&r| r != 0).count() as u64);
         let cfg = self.engine.config();
         self.telemetry.on_batch();
         let base = self.trace_clock_ns;
@@ -774,13 +797,26 @@ impl DeepStore {
                 // per shard. 512 lanes per block covers any geometry.
                 let lane = 2000 + (g as u32) * 512;
                 let scan_ns = timing.elapsed.as_nanos();
-                t.span("scan", "scan-group", base, scan_ns, lane)
+                let span = t
+                    .span("scan", "scan-group", base, scan_ns, lane)
                     .arg_u64("members", members.len() as u64)
                     .arg_u64("skipped", group_skipped)
                     .arg_u64("retries", group_faults.reads.total_retries())
                     .arg_u64("recovered", group_faults.reads.recovered)
                     .arg_u64("lost_reads", group_faults.reads.lost)
                     .arg_str("level", format!("{level:?}"));
+                // Join the group pass back to the serve-layer requests
+                // that rode it: the comma-joined list of member ids (in
+                // member order) makes the shared flash pass greppable
+                // by any one request's id.
+                if members.iter().any(|&i| rid_of(i) != 0) {
+                    let joined = members
+                        .iter()
+                        .map(|&i| rid_of(i).to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    span.arg_str("request_ids", joined);
+                }
                 // One span per retry round on a lane near the top of the
                 // group's block: duration = that round's ladder cost
                 // summed over its retries, laid back-to-back so the lane
@@ -899,12 +935,16 @@ impl DeepStore {
                 // One lane per request: the query span covers lookup
                 // through merge, with the cache probe nested inside it.
                 let lane = 10 + i as u32;
-                t.span("query", "query", base, elapsed[i].as_nanos(), lane)
+                let span = t
+                    .span("query", "query", base, elapsed[i].as_nanos(), lane)
                     .arg_u64("id", id.0)
                     .arg_u64("k", req.k as u64)
                     .arg_u64("skipped", skipped[i])
                     .arg_str("coverage", format!("{:.4}", coverage[i]))
                     .arg_str("cache", if cache_hit[i] { "hit" } else { "miss" });
+                if rid_of(i) != 0 {
+                    span.arg_u64("request_id", rid_of(i));
+                }
                 if qc_enabled {
                     t.span("qc_lookup", "qcache", base, qc_ns[i], lane);
                 }

@@ -315,6 +315,16 @@ pub enum Command {
         /// trades compute for nothing — it exists as a measurement and
         /// escape-hatch knob.
         exact: bool,
+        /// End-to-end trace id. 0 means "unassigned": the serving front
+        /// end assigns a fresh id at admission and echoes it in
+        /// [`Response::QuerySubmitted`]; a non-zero id supplied by the
+        /// client is kept, so a caller can stamp its own correlation id.
+        request_id: u64,
+        /// Nanoseconds between this request's *scheduled* arrival (open
+        /// loop) and the moment it was actually sent. The server folds
+        /// this into the end-to-end latency histogram so coordinated
+        /// omission does not flatter the tail. 0 for closed-loop callers.
+        sched_lag_ns: u64,
     },
     /// `getResults`: fetch a completed query's results.
     GetResults {
@@ -327,6 +337,13 @@ pub enum Command {
     QueryBatch {
         /// The batched requests, answered in order.
         requests: Vec<QueryRequest>,
+        /// End-to-end trace id for the whole batch (see
+        /// [`Command::Query::request_id`]); echoed in
+        /// [`Response::BatchSubmitted`].
+        request_id: u64,
+        /// Scheduled-arrival lag for the batch (see
+        /// [`Command::Query::sched_lag_ns`]).
+        sched_lag_ns: u64,
     },
     /// `getStats`: fetch the device's telemetry snapshot (pipeline
     /// counters, per-stage latency totals, flash event counts).
@@ -342,6 +359,17 @@ pub enum Command {
         /// The application protocol version the client speaks.
         version: u32,
     },
+    /// `metrics`: fetch the server's metrics in Prometheus text
+    /// exposition format. Against a bare device this renders the engine
+    /// registries; a serving front end appends its serve-layer page
+    /// (per-stage and per-tenant latency histograms, admission
+    /// counters).
+    Metrics,
+    /// `dump`: the SIGUSR1-style explicit flight-recorder dump — the
+    /// serving front end answers with its ring of recent request
+    /// summaries as deterministic JSON. A bare device (no serving
+    /// layer, no recorder) answers with an empty dump.
+    Dump,
 }
 
 impl Command {
@@ -357,6 +385,8 @@ impl Command {
             Command::QueryBatch { .. } => 0x08,
             Command::Stats => 0x09,
             Command::Hello { .. } => 0x0A,
+            Command::Metrics => 0x0B,
+            Command::Dump => 0x0C,
         }
     }
 
@@ -365,7 +395,43 @@ impl Command {
     pub fn query_cost(&self) -> u64 {
         match self {
             Command::Query { .. } => 1,
-            Command::QueryBatch { requests } => requests.len() as u64,
+            Command::QueryBatch { requests, .. } => requests.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// The request id carried by a query command (`None` for non-query
+    /// commands, which are not traced).
+    #[must_use]
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Command::Query { request_id, .. } | Command::QueryBatch { request_id, .. } => {
+                Some(*request_id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Stamps a request id onto a query command (no-op for non-query
+    /// commands). The serving front end uses this at admission to
+    /// assign ids to commands that arrived with `request_id == 0`.
+    pub fn set_request_id(&mut self, id: u64) {
+        match self {
+            Command::Query { request_id, .. } | Command::QueryBatch { request_id, .. } => {
+                *request_id = id;
+            }
+            _ => {}
+        }
+    }
+
+    /// The scheduled-arrival lag carried by a query command (0 for
+    /// non-query commands and closed-loop callers).
+    #[must_use]
+    pub fn sched_lag_ns(&self) -> u64 {
+        match self {
+            Command::Query { sched_lag_ns, .. } | Command::QueryBatch { sched_lag_ns, .. } => {
+                *sched_lag_ns
+            }
             _ => 0,
         }
     }
@@ -385,13 +451,45 @@ pub enum Response {
     /// `setQC` succeeded.
     QcConfigured,
     /// `query` accepted; poll with `getResults`.
-    QuerySubmitted(QueryId),
+    QuerySubmitted {
+        /// The query handle.
+        id: QueryId,
+        /// The request id the query ran under (client-supplied, or
+        /// assigned at admission). 0 from a bare device with an
+        /// untagged command.
+        request_id: u64,
+    },
     /// `query` batch accepted; one handle per request, in order.
-    BatchSubmitted(Vec<QueryId>),
+    BatchSubmitted {
+        /// One handle per request, in request order.
+        ids: Vec<QueryId>,
+        /// The request id the batch ran under (see
+        /// [`Response::QuerySubmitted::request_id`]).
+        request_id: u64,
+    },
     /// `getResults` payload.
     Results(Box<QueryResult>),
-    /// `getStats` payload.
-    Stats(Box<DeviceStats>),
+    /// `getStats` payload: the engine snapshot, plus the serving
+    /// layer's stats when the command was answered by a running server
+    /// (`None` from a bare device).
+    Stats {
+        /// Device/engine telemetry.
+        device: Box<DeviceStats>,
+        /// Serve-layer counters and per-tenant breakdowns; `None` when
+        /// no serving front end handled the command.
+        server: Option<crate::serve::ServerStats>,
+    },
+    /// `metrics` payload: a Prometheus text exposition page.
+    Metrics {
+        /// The rendered exposition page.
+        text: String,
+    },
+    /// `dump` payload: a flight-recorder dump as deterministic JSON
+    /// (see [`deepstore_obs::FlightDump`]).
+    Dump {
+        /// The serialized dump.
+        json: String,
+    },
     /// `hello` accepted; echoes the registered client id and the
     /// server's [`PROTOCOL_VERSION`].
     HelloAck {
@@ -537,7 +635,7 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
 /// Returns a [`ProtoError`] describing any framing or payload problem.
 pub fn decode_command(bytes: &[u8]) -> Result<Command, ProtoError> {
     let (opcode, payload) = unframe(bytes)?;
-    if !(0x01..=0x0A).contains(&opcode) {
+    if !(0x01..=0x0C).contains(&opcode) {
         return Err(ProtoError::UnknownOpcode(opcode));
     }
     let cmd: Command =
@@ -589,6 +687,12 @@ impl Device {
             store,
             frames_handled: 0,
         }
+    }
+
+    /// Read access to the underlying store (the serve layer peeks
+    /// query results for flight-recorder outcome classification).
+    pub fn store(&self) -> &DeepStore {
+        &self.store
     }
 
     /// Direct access to the underlying store (diagnostics/tests).
@@ -646,22 +750,54 @@ impl Device {
                 db,
                 level,
                 exact,
+                request_id,
+                ..
             } => {
                 let mut req = QueryRequest::new(qfv, model, db).k(k).level(level);
                 if exact {
                     req = req.exact();
                 }
-                self.store.query(req).map(Response::QuerySubmitted)
+                self.store
+                    .query_batch_tagged(std::slice::from_ref(&req), &[request_id])
+                    .map(|ids| Response::QuerySubmitted {
+                        id: ids[0],
+                        request_id,
+                    })
             }
-            Command::QueryBatch { requests } => self
-                .store
-                .query_batch(&requests)
-                .map(Response::BatchSubmitted),
+            Command::QueryBatch {
+                requests,
+                request_id,
+                ..
+            } => {
+                let rids = vec![request_id; requests.len()];
+                self.store
+                    .query_batch_tagged(&requests, &rids)
+                    .map(|ids| Response::BatchSubmitted { ids, request_id })
+            }
             Command::GetResults { query } => self
                 .store
                 .results(query)
                 .map(|r| Response::Results(Box::new(r))),
-            Command::Stats => Ok(Response::Stats(Box::new(self.store.stats()))),
+            Command::Stats => Ok(Response::Stats {
+                device: Box::new(self.store.stats()),
+                server: None,
+            }),
+            Command::Metrics => Ok(Response::Metrics {
+                text: deepstore_obs::render_text(&self.store.stats().metrics, "deepstore_"),
+            }),
+            // A bare device has no serving layer and therefore no
+            // flight recorder: answer with an empty dump rather than an
+            // error so tooling can issue `dump` without knowing which
+            // endpoint it reached.
+            Command::Dump => Ok(Response::Dump {
+                json: serde_json::to_string(&deepstore_obs::FlightDump {
+                    reason: "device".to_string(),
+                    total: 0,
+                    capacity: 0,
+                    entries: Vec::new(),
+                })
+                .expect("dumps always serialize"),
+            }),
             // A bare device accepts any tenant; the serving front end
             // intercepts `hello` for quota accounting before dispatch.
             // Version skew is rejected here and there alike.
@@ -866,6 +1002,30 @@ impl<C: CommandChannel> HostClient<C> {
         level: AcceleratorLevel,
         exact: bool,
     ) -> Result<QueryId, ProtoError> {
+        self.query_traced(qfv, k, model, db, level, exact, 0, 0)
+            .map(|(id, _)| id)
+    }
+
+    /// `query` over the wire, carrying an explicit request id and
+    /// scheduled-arrival lag. Passing `request_id == 0` asks the server
+    /// to assign one at admission; either way the id the query ran
+    /// under comes back alongside the handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostClient::query`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_traced(
+        &mut self,
+        qfv: &Tensor,
+        k: usize,
+        model: ModelId,
+        db: DbId,
+        level: AcceleratorLevel,
+        exact: bool,
+        request_id: u64,
+        sched_lag_ns: u64,
+    ) -> Result<(QueryId, u64), ProtoError> {
         match self.round_trip(&Command::Query {
             qfv: qfv.clone(),
             k,
@@ -873,8 +1033,10 @@ impl<C: CommandChannel> HostClient<C> {
             db,
             level,
             exact,
+            request_id,
+            sched_lag_ns,
         })? {
-            Response::QuerySubmitted(q) => Ok(q),
+            Response::QuerySubmitted { id, request_id } => Ok((id, request_id)),
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
@@ -887,10 +1049,27 @@ impl<C: CommandChannel> HostClient<C> {
     /// Returns [`ProtoError::Device`] for bad handles or unsupported
     /// levels (the whole batch is rejected before any scan runs).
     pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<QueryId>, ProtoError> {
+        self.query_batch_traced(requests, 0, 0).map(|(ids, _)| ids)
+    }
+
+    /// Batched `query` with an explicit request id and
+    /// scheduled-arrival lag (see [`HostClient::query_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`HostClient::query_batch`].
+    pub fn query_batch_traced(
+        &mut self,
+        requests: &[QueryRequest],
+        request_id: u64,
+        sched_lag_ns: u64,
+    ) -> Result<(Vec<QueryId>, u64), ProtoError> {
         match self.round_trip(&Command::QueryBatch {
             requests: requests.to_vec(),
+            request_id,
+            sched_lag_ns,
         })? {
-            Response::BatchSubmitted(ids) => Ok(ids),
+            Response::BatchSubmitted { ids, request_id } => Ok((ids, request_id)),
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
@@ -913,8 +1092,46 @@ impl<C: CommandChannel> HostClient<C> {
     ///
     /// Returns [`ProtoError::Device`] if the device rejects the command.
     pub fn stats(&mut self) -> Result<DeviceStats, ProtoError> {
+        self.stats_full().map(|(device, _)| device)
+    }
+
+    /// `getStats` over the wire, keeping the serve-layer half of the
+    /// response: the device snapshot plus [`crate::serve::ServerStats`]
+    /// when a serving front end answered (a bare device returns `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the device rejects the command.
+    pub fn stats_full(
+        &mut self,
+    ) -> Result<(DeviceStats, Option<crate::serve::ServerStats>), ProtoError> {
         match self.round_trip(&Command::Stats)? {
-            Response::Stats(s) => Ok(*s),
+            Response::Stats { device, server } => Ok((*device, server)),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `metrics` over the wire: the Prometheus text exposition page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the device rejects the command.
+    pub fn metrics(&mut self) -> Result<String, ProtoError> {
+        match self.round_trip(&Command::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `dump` over the wire: the flight recorder's recent-request ring
+    /// as deterministic JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Device`] if the device rejects the command.
+    pub fn dump(&mut self) -> Result<String, ProtoError> {
+        match self.round_trip(&Command::Dump)? {
+            Response::Dump { json } => Ok(json),
             other => Err(ProtoError::BadPayload(format!("unexpected {other:?}"))),
         }
     }
@@ -942,11 +1159,91 @@ mod tests {
             },
             Command::GetResults { query: QueryId(7) },
             Command::Stats,
+            Command::Metrics,
+            Command::Dump,
         ];
         for cmd in cmds {
             let bytes = encode_command(&cmd);
             assert_eq!(decode_command(&bytes).unwrap(), cmd);
         }
+    }
+
+    #[test]
+    fn request_id_and_lag_roundtrip_on_query_frames() {
+        let model = zoo::textqa().seeded(1);
+        let mut cmd = Command::Query {
+            qfv: model.random_feature(0),
+            k: 3,
+            model: ModelId(1),
+            db: DbId(1),
+            level: AcceleratorLevel::Channel,
+            exact: false,
+            request_id: 77,
+            sched_lag_ns: 1234,
+        };
+        assert_eq!(decode_command(&encode_command(&cmd)).unwrap(), cmd);
+        assert_eq!(cmd.request_id(), Some(77));
+        assert_eq!(cmd.sched_lag_ns(), 1234);
+        cmd.set_request_id(99);
+        assert_eq!(cmd.request_id(), Some(99));
+
+        let batch = Command::QueryBatch {
+            requests: vec![QueryRequest::new(model.random_feature(1), ModelId(1), DbId(1)).k(2)],
+            request_id: 501,
+            sched_lag_ns: 9,
+        };
+        assert_eq!(decode_command(&encode_command(&batch)).unwrap(), batch);
+        assert_eq!(batch.request_id(), Some(501));
+        // Non-query commands carry no request id and ignore stamping.
+        let mut stats = Command::Stats;
+        assert_eq!(stats.request_id(), None);
+        stats.set_request_id(5);
+        assert_eq!(stats.request_id(), None);
+        assert_eq!(stats.sched_lag_ns(), 0);
+    }
+
+    #[test]
+    fn metrics_and_dump_frames_roundtrip_and_answer() {
+        // New opcodes sit where the old decoder's range check ended.
+        assert_eq!(encode_command(&Command::Metrics)[5], 0x0B);
+        assert_eq!(encode_command(&Command::Dump)[5], 0x0C);
+
+        // Response shapes round-trip, including the widened Stats.
+        let frames = vec![
+            Response::Metrics {
+                text: "# TYPE deepstore_api_queries counter\ndeepstore_api_queries 1\n".into(),
+            },
+            Response::Dump {
+                json: "{\"reason\":\"explicit\"}".into(),
+            },
+            Response::QuerySubmitted {
+                id: QueryId(4),
+                request_id: 99,
+            },
+            Response::BatchSubmitted {
+                ids: vec![QueryId(4), QueryId(5)],
+                request_id: 100,
+            },
+        ];
+        for resp in frames {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+
+        // A bare device answers both: metrics as a valid exposition
+        // page over the engine registries, dump as an empty recorder.
+        let mut device = Device::new(DeepStoreConfig::small());
+        let mut host = HostClient::new(&mut device);
+        let page = host.metrics().unwrap();
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(
+                !name.is_empty() && value.parse::<f64>().is_ok(),
+                "bad line {line}"
+            );
+        }
+        let dump: deepstore_obs::FlightDump = serde_json::from_str(&host.dump().unwrap()).unwrap();
+        assert_eq!(dump.reason, "device");
+        assert!(dump.entries.is_empty());
     }
 
     #[test]
@@ -962,6 +1259,8 @@ mod tests {
                 db: DbId(1),
                 level: AcceleratorLevel::Channel,
                 exact,
+                request_id: 0,
+                sched_lag_ns: 0,
             };
             let decoded = decode_command(&encode_command(&cmd)).unwrap();
             assert_eq!(decoded, cmd);
@@ -973,6 +1272,8 @@ mod tests {
             assert_eq!(req.exact, exact);
             let cmd = Command::QueryBatch {
                 requests: vec![req],
+                request_id: 0,
+                sched_lag_ns: 0,
             };
             assert_eq!(decode_command(&encode_command(&cmd)).unwrap(), cmd);
         }
@@ -1083,7 +1384,10 @@ mod tests {
             )
             .unwrap();
         let _ = host.get_results(qid).unwrap();
-        let stats = host.stats().unwrap();
+        // A bare device has no serving layer: the widened frame carries
+        // `server: None`.
+        let (stats, server) = host.stats_full().unwrap();
+        assert!(server.is_none());
         // Flash op counts come from the functional sim and survive the
         // `obs` feature being disabled; the pipeline counters only
         // populate with it enabled.
@@ -1113,6 +1417,8 @@ mod tests {
             .min_coverage(0.75);
         let cmd = Command::QueryBatch {
             requests: vec![req],
+            request_id: 0,
+            sched_lag_ns: 0,
         };
         assert_eq!(decode_command(&encode_command(&cmd)).unwrap(), cmd);
 

@@ -30,15 +30,20 @@
 //!   can drive manually, making refill deterministic on simulated
 //!   time.
 
-use crate::api::{DeepStore, QueryRequest};
+use crate::api::{DeepStore, QueryId, QueryRequest};
 use crate::proto::{
     decode_command, encode_response, read_frame, read_frame_after, write_frame, Command, Device,
     ProtoError, Response, WireError, PROTOCOL_VERSION,
 };
+use deepstore_obs::{
+    percentile, render_histogram, Counter, FlightRecorder, Histogram, RequestOutcome,
+    RequestRecord, DEFAULT_RECORDER_CAPACITY,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -466,6 +471,18 @@ pub struct ServeConfig {
     /// bit-identical either way (the cascade's recall is exactly 1.0);
     /// this is the operational escape hatch / measurement knob.
     pub force_exact: bool,
+    /// End-to-end p99 SLO in microseconds. When set, every completed
+    /// query re-estimates the e2e p99; the first request that pushes it
+    /// over the threshold triggers one flight-recorder dump (reason
+    /// `slo_breach`), latched until the estimate recovers. `None`
+    /// disables the check.
+    pub slo_p99_us: Option<u64>,
+    /// Flight-recorder ring capacity (recent request summaries).
+    pub recorder_capacity: usize,
+    /// Directory for automatic flight-recorder dumps (error responses
+    /// and SLO breaches). `None` keeps dumps in memory only
+    /// ([`ServeObs::auto_dumps`]).
+    pub dump_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -478,6 +495,9 @@ impl Default for ServeConfig {
             engine_delay: None,
             clock: ServeClock::wall(),
             force_exact: false,
+            slo_p99_us: None,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            dump_dir: None,
         }
     }
 }
@@ -513,6 +533,49 @@ pub struct ServerStats {
     pub engine_batches: u64,
     /// Queries that ran inside a merged multi-client flash pass.
     pub coalesced_queries: u64,
+    /// Per-tenant admission breakdowns, sorted by client id (so equal
+    /// workloads produce equal snapshots). Empty when the stats came
+    /// from a context with no serving observability.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+/// Percentile summary of the serve layer's global stage histograms,
+/// all in nanoseconds (recorded values are simulated-or-wall clock
+/// depending on [`ServeConfig::clock`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagePercentiles {
+    /// Median admission-to-engine-pickup wait.
+    pub queue_p50_ns: u64,
+    /// p99 queue wait.
+    pub queue_p99_ns: u64,
+    /// Median engine service time.
+    pub service_p50_ns: u64,
+    /// p99 service time.
+    pub service_p99_ns: u64,
+    /// Median end-to-end latency from scheduled arrival.
+    pub e2e_p50_ns: u64,
+    /// p99 end-to-end latency.
+    pub e2e_p99_ns: u64,
+    /// Observations in the end-to-end histogram.
+    pub samples: u64,
+}
+
+/// One tenant's admission-control counters inside [`ServerStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// The client id from the `hello` handshake (or the transport peer
+    /// label for connections that never said hello).
+    pub client: String,
+    /// Queries admitted past admission control (a batch of n counts n).
+    pub accepted: u64,
+    /// Commands rejected because the pending queue was full.
+    pub rejected_overloaded: u64,
+    /// Commands rejected by this tenant's token bucket.
+    pub rejected_quota: u64,
+    /// Query commands answered with an error response.
+    pub errors: u64,
+    /// Queries answered with less than full coverage.
+    pub degraded: u64,
 }
 
 impl StatsInner {
@@ -526,8 +589,472 @@ impl StatsInner {
             malformed_frames: self.malformed_frames.load(Ordering::SeqCst),
             engine_batches: self.engine_batches.load(Ordering::SeqCst),
             coalesced_queries: self.coalesced_queries.load(Ordering::SeqCst),
+            per_tenant: Vec::new(),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer observability
+// ---------------------------------------------------------------------------
+
+/// One tenant's serve-layer instrumentation: admission counters plus
+/// queue-wait / service / end-to-end latency histograms. All writes are
+/// commutative atomics, so snapshots are interleaving-independent.
+#[derive(Debug)]
+pub struct TenantObs {
+    name: String,
+    /// Interned index in the flight recorder's tenant table.
+    idx: u64,
+    accepted: Counter,
+    rejected_overloaded: Counter,
+    rejected_quota: Counter,
+    errors: Counter,
+    degraded: Counter,
+    queue_ns: Histogram,
+    service_ns: Histogram,
+    e2e_ns: Histogram,
+}
+
+impl TenantObs {
+    /// Whether this tenant has ever had a query admitted or rejected.
+    /// Connections are interned at hello time (or under their peer
+    /// address before it), so purely administrative clients — `cli
+    /// metrics` scrapers, stats pollers — would otherwise clutter every
+    /// per-tenant listing with all-zero rows.
+    fn has_admissions(&self) -> bool {
+        self.accepted.get() + self.rejected_overloaded.get() + self.rejected_quota.get() > 0
+    }
+
+    fn stats(&self) -> TenantStats {
+        TenantStats {
+            client: self.name.clone(),
+            accepted: self.accepted.get(),
+            rejected_overloaded: self.rejected_overloaded.get(),
+            rejected_quota: self.rejected_quota.get(),
+            errors: self.errors.get(),
+            degraded: self.degraded.get(),
+        }
+    }
+}
+
+/// The server's observability state: global and per-tenant latency
+/// histograms, the flight recorder, the request-id allocator, and the
+/// SLO breach latch.
+///
+/// Latency recording and recorder writes are compiled out without the
+/// `obs` cargo feature and can also be switched off at runtime
+/// ([`ServeObs::set_enabled`]; the `bench_serve --obs-check` gate uses
+/// the switch to measure their hot-path cost); request-id assignment
+/// and the per-tenant admission counters are functional and always on.
+#[derive(Debug)]
+pub struct ServeObs {
+    queue_ns: Histogram,
+    service_ns: Histogram,
+    e2e_ns: Histogram,
+    errors: Counter,
+    degraded: Counter,
+    tenants: Mutex<BTreeMap<String, Arc<TenantObs>>>,
+    recorder: FlightRecorder,
+    /// Runtime kill-switch for the recording hot path (histograms,
+    /// recorder writes, dump triggers); see [`ServeObs::set_enabled`].
+    enabled: AtomicBool,
+    next_request_id: AtomicU64,
+    slo_p99_ns: Option<u64>,
+    slo_breached: AtomicBool,
+    /// Recent automatic dumps, newest last: `(reason, json)`.
+    dumps: Mutex<Vec<(String, String)>>,
+    dump_dir: Option<PathBuf>,
+    dump_seq: AtomicU64,
+}
+
+/// In-memory automatic dumps kept per server (oldest evicted first).
+const MAX_AUTO_DUMPS: usize = 8;
+
+/// Exercises the per-request recording hot path `iters` times against
+/// a worst-case configuration (SLO estimator armed, so every request
+/// re-estimates the e2e p99): request-id assignment, the six stage
+/// histogram records, the flight-recorder write. Latency inputs vary
+/// per iteration so branch history and bucket choice stay realistic.
+/// Compiled to almost nothing without the `obs` cargo feature.
+///
+/// `bench_serve --obs-check` times this loop to price the hot path;
+/// not a stable API.
+#[doc(hidden)]
+pub fn obs_hot_path_exercise(iters: u64) {
+    let cfg = ServeConfig {
+        // Armed but unreachable: the p99 estimator runs every request,
+        // the breach dump never fires.
+        slo_p99_us: Some(u64::MAX / 2_000),
+        ..ServeConfig::default()
+    };
+    let obs = ServeObs::new(&cfg);
+    let tenant = obs.tenant("bench");
+    for i in 0..iters {
+        let rid = obs.assign_request_id();
+        obs.record_done(
+            &tenant,
+            rid,
+            1,
+            5_000 + (i % 1_021),
+            250_000 + (i % 17_001),
+            270_000 + (i % 19_001),
+            1_000,
+            RequestOutcome::Ok,
+        );
+    }
+}
+
+impl ServeObs {
+    fn new(cfg: &ServeConfig) -> Self {
+        ServeObs {
+            queue_ns: Histogram::new(),
+            service_ns: Histogram::new(),
+            e2e_ns: Histogram::new(),
+            errors: Counter::new(),
+            degraded: Counter::new(),
+            tenants: Mutex::new(BTreeMap::new()),
+            recorder: FlightRecorder::new(cfg.recorder_capacity),
+            enabled: AtomicBool::new(true),
+            next_request_id: AtomicU64::new(0),
+            slo_p99_ns: cfg.slo_p99_us.map(|us| us.saturating_mul(1000)),
+            slo_breached: AtomicBool::new(false),
+            dumps: Mutex::new(Vec::new()),
+            dump_dir: cfg.dump_dir.clone(),
+            dump_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh, non-zero request id (0 on the wire means "unassigned").
+    fn assign_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Runtime kill-switch for the per-request recording hot path:
+    /// latency histograms, flight-recorder writes, and the error/SLO
+    /// dump triggers. Defaults to on. Request-id assignment, admission
+    /// counters, and error/degraded counters are functional surface
+    /// and ignore the switch; without the `obs` cargo feature the hot
+    /// path is compiled out and the switch is inert. The `bench_serve
+    /// --obs-check` gate flips this between paired measurement rounds
+    /// to price the hot path with everything else held equal.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the recording hot path runs: compiled in *and* not
+    /// switched off at runtime.
+    #[inline]
+    fn hot_path_enabled(&self) -> bool {
+        cfg!(feature = "obs") && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The (interned) observability handle for a tenant. Takes the
+    /// tenant-map lock; callers cache the handle per connection, so
+    /// this runs at hello time, not per request.
+    fn tenant(&self, name: &str) -> Arc<TenantObs> {
+        let mut map = self.tenants.lock().expect("tenant map lock poisoned");
+        if let Some(t) = map.get(name) {
+            return t.clone();
+        }
+        let t = Arc::new(TenantObs {
+            name: name.to_string(),
+            idx: self.recorder.tenant_idx(name),
+            accepted: Counter::new(),
+            rejected_overloaded: Counter::new(),
+            rejected_quota: Counter::new(),
+            errors: Counter::new(),
+            degraded: Counter::new(),
+            queue_ns: Histogram::new(),
+            service_ns: Histogram::new(),
+            e2e_ns: Histogram::new(),
+        });
+        map.insert(name.to_string(), t.clone());
+        t
+    }
+
+    /// Records an admission-control rejection of a query command.
+    fn record_rejection(
+        &self,
+        tenant: &TenantObs,
+        outcome: RequestOutcome,
+        request_id: u64,
+        queries: u64,
+        sched_lag_ns: u64,
+    ) {
+        if self.hot_path_enabled() {
+            self.recorder.record(&RequestRecord {
+                request_id,
+                tenant_idx: tenant.idx,
+                queries,
+                queue_ns: 0,
+                service_ns: 0,
+                e2e_ns: sched_lag_ns,
+                coverage_milli: 0,
+                outcome,
+            });
+        }
+    }
+
+    /// Records a completed query pass: latency histograms (global and
+    /// per-tenant), error/degraded counters, the flight-recorder entry,
+    /// and the error/SLO dump triggers.
+    #[allow(clippy::too_many_arguments)]
+    fn record_done(
+        &self,
+        tenant: &TenantObs,
+        request_id: u64,
+        queries: u64,
+        queue_ns: u64,
+        service_ns: u64,
+        e2e_ns: u64,
+        coverage_milli: u64,
+        outcome: RequestOutcome,
+    ) {
+        match outcome {
+            RequestOutcome::Error => {
+                self.errors.incr();
+                tenant.errors.incr();
+            }
+            RequestOutcome::Degraded => {
+                self.degraded.add(queries);
+                tenant.degraded.add(queries);
+            }
+            _ => {}
+        }
+        if self.hot_path_enabled() {
+            self.queue_ns.record(queue_ns);
+            self.service_ns.record(service_ns);
+            self.e2e_ns.record(e2e_ns);
+            tenant.queue_ns.record(queue_ns);
+            tenant.service_ns.record(service_ns);
+            tenant.e2e_ns.record(e2e_ns);
+            self.recorder.record(&RequestRecord {
+                request_id,
+                tenant_idx: tenant.idx,
+                queries,
+                queue_ns,
+                service_ns,
+                e2e_ns,
+                coverage_milli,
+                outcome,
+            });
+            if outcome == RequestOutcome::Error {
+                self.auto_dump("error");
+            }
+            self.check_slo();
+        }
+    }
+
+    /// Re-estimates the end-to-end p99 and latches a one-shot
+    /// `slo_breach` dump when it crosses the configured threshold. The
+    /// latch re-arms once the estimate recovers, so a sustained breach
+    /// dumps once, not per request.
+    fn check_slo(&self) {
+        let Some(slo_ns) = self.slo_p99_ns else {
+            return;
+        };
+        let p99 = percentile(&self.e2e_ns.sample("serve.e2e_ns"), 99.0);
+        if p99 > slo_ns {
+            if !self.slo_breached.swap(true, Ordering::Relaxed) {
+                self.auto_dump("slo_breach");
+            }
+        } else {
+            self.slo_breached.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a dump and retains it (memory-capped; optionally a file
+    /// under [`ServeConfig::dump_dir`]).
+    fn auto_dump(&self, reason: &str) {
+        let json = self.recorder.dump(reason);
+        if let Some(dir) = &self.dump_dir {
+            let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(
+                dir.join(format!("flightdump-{seq:03}-{reason}.json")),
+                &json,
+            );
+        }
+        let mut dumps = self.dumps.lock().expect("dump store lock poisoned");
+        if dumps.len() >= MAX_AUTO_DUMPS {
+            dumps.remove(0);
+        }
+        dumps.push((reason.to_string(), json));
+    }
+
+    /// The flight recorder's current ring as deterministic JSON
+    /// (the explicit, SIGUSR1-style dump).
+    #[must_use]
+    pub fn explicit_dump(&self) -> String {
+        self.recorder.dump("explicit")
+    }
+
+    /// Automatic dumps taken so far (error responses and SLO breaches),
+    /// oldest first: `(reason, json)` pairs.
+    #[must_use]
+    pub fn auto_dumps(&self) -> Vec<(String, String)> {
+        self.dumps.lock().expect("dump store lock poisoned").clone()
+    }
+
+    /// Samples of the global per-stage histograms, in
+    /// `(queue-wait, service, end-to-end)` order.
+    #[must_use]
+    pub fn stage_samples(
+        &self,
+    ) -> (
+        deepstore_obs::HistogramSample,
+        deepstore_obs::HistogramSample,
+        deepstore_obs::HistogramSample,
+    ) {
+        (
+            self.queue_ns.sample("serve.queue_ns"),
+            self.service_ns.sample("serve.service_ns"),
+            self.e2e_ns.sample("serve.e2e_ns"),
+        )
+    }
+
+    /// Percentile summary of the per-stage histograms (the
+    /// `bench_serve` per-rate report). Zeros when built without `obs`.
+    #[must_use]
+    pub fn stage_percentiles(&self) -> StagePercentiles {
+        let (queue, service, e2e) = self.stage_samples();
+        StagePercentiles {
+            queue_p50_ns: percentile(&queue, 50.0),
+            queue_p99_ns: percentile(&queue, 99.0),
+            service_p50_ns: percentile(&service, 50.0),
+            service_p99_ns: percentile(&service, 99.0),
+            e2e_p50_ns: percentile(&e2e, 50.0),
+            e2e_p99_ns: percentile(&e2e, 99.0),
+            samples: e2e.count,
+        }
+    }
+
+    fn tenant_list(&self) -> Vec<Arc<TenantObs>> {
+        self.tenants
+            .lock()
+            .expect("tenant map lock poisoned")
+            .values()
+            .filter(|t| t.has_admissions())
+            .cloned()
+            .collect()
+    }
+
+    /// Per-tenant admission stats, sorted by client id.
+    #[must_use]
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenant_list().iter().map(|t| t.stats()).collect()
+    }
+
+    fn server_stats(&self, inner: &StatsInner) -> ServerStats {
+        let mut s = inner.snapshot();
+        s.per_tenant = self.tenant_stats();
+        s
+    }
+
+    /// Renders the serve-layer half of the Prometheus exposition page:
+    /// admission counters, global per-stage histograms, and per-tenant
+    /// labeled series. Deterministic for equal workloads (tenants render
+    /// in client-id order).
+    fn render_exposition(&self, inner: &StatsInner) -> String {
+        let mut out = String::new();
+        let p = "deepstore_serve_";
+        let counters: [(&str, u64); 10] = [
+            ("connections", inner.connections.load(Ordering::SeqCst)),
+            ("frames", inner.frames.load(Ordering::SeqCst)),
+            (
+                "queries_admitted",
+                inner.queries_admitted.load(Ordering::SeqCst),
+            ),
+            (
+                "rejected_overloaded",
+                inner.rejected_overloaded.load(Ordering::SeqCst),
+            ),
+            (
+                "rejected_quota",
+                inner.rejected_quota.load(Ordering::SeqCst),
+            ),
+            (
+                "malformed_frames",
+                inner.malformed_frames.load(Ordering::SeqCst),
+            ),
+            (
+                "engine_batches",
+                inner.engine_batches.load(Ordering::SeqCst),
+            ),
+            (
+                "coalesced_queries",
+                inner.coalesced_queries.load(Ordering::SeqCst),
+            ),
+            ("errors", self.errors.get()),
+            ("degraded_queries", self.degraded.get()),
+        ];
+        for (name, value) in counters {
+            out.push_str(&format!("# TYPE {p}{name} counter\n{p}{name} {value}\n"));
+        }
+        render_histogram(
+            &mut out,
+            p,
+            "queue_ns",
+            "",
+            &self.queue_ns.sample("queue_ns"),
+        );
+        render_histogram(
+            &mut out,
+            p,
+            "service_ns",
+            "",
+            &self.service_ns.sample("service_ns"),
+        );
+        render_histogram(&mut out, p, "e2e_ns", "", &self.e2e_ns.sample("e2e_ns"));
+
+        let tenants = self.tenant_list();
+        if tenants.is_empty() {
+            return out;
+        }
+        let label = |t: &TenantObs| format!("tenant=\"{}\"", label_escape(&t.name));
+        type TenantCounter = fn(&TenantObs) -> u64;
+        type TenantHistogram = fn(&TenantObs) -> &Histogram;
+        let tenant_counters: [(&str, TenantCounter); 5] = [
+            ("tenant_accepted", |t| t.accepted.get()),
+            ("tenant_rejected_overloaded", |t| {
+                t.rejected_overloaded.get()
+            }),
+            ("tenant_rejected_quota", |t| t.rejected_quota.get()),
+            ("tenant_errors", |t| t.errors.get()),
+            ("tenant_degraded", |t| t.degraded.get()),
+        ];
+        for (name, get) in tenant_counters {
+            out.push_str(&format!("# TYPE {p}{name} counter\n"));
+            for t in &tenants {
+                out.push_str(&format!("{p}{name}{{{}}} {}\n", label(t), get(t)));
+            }
+        }
+        let tenant_hists: [(&str, TenantHistogram); 3] = [
+            ("tenant_queue_ns", |t| &t.queue_ns),
+            ("tenant_service_ns", |t| &t.service_ns),
+            ("tenant_e2e_ns", |t| &t.e2e_ns),
+        ];
+        for (name, get) in tenant_hists {
+            out.push_str(&format!("# TYPE {p}{name} histogram\n"));
+            for t in &tenants {
+                deepstore_obs::histo::render_histogram_series(
+                    &mut out,
+                    &format!("{p}{name}"),
+                    &label(t),
+                    &get(t).sample(name),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for use inside a Prometheus label value.
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 // ---------------------------------------------------------------------------
@@ -537,6 +1064,15 @@ impl StatsInner {
 struct Job {
     cmd: Command,
     reply: Sender<Response>,
+    /// The end-to-end trace id (assigned at admission when the frame
+    /// arrived with 0).
+    request_id: u64,
+    /// The issuing tenant's observability handle.
+    tenant: Arc<TenantObs>,
+    /// Admission timestamp on the serve clock ([`ServeClock::now_ns`]).
+    admitted_ns: u64,
+    /// Scheduled-arrival lag carried in the frame.
+    sched_lag_ns: u64,
 }
 
 struct Shared {
@@ -544,6 +1080,7 @@ struct Shared {
     quota: Option<Mutex<TokenBuckets>>,
     clock: ServeClock,
     stats: Arc<StatsInner>,
+    obs: Arc<ServeObs>,
     shutdown: Arc<AtomicBool>,
     poll: Duration,
     queue_depth: usize,
@@ -554,29 +1091,50 @@ impl Shared {
     /// rejection frame to send instead.
     fn admit(&self, client: &str, job: Job) -> Result<(), Response> {
         let cost = job.cmd.query_cost();
+        let tenant = job.tenant.clone();
         if cost > 0 {
             if let Some(quota) = &self.quota {
                 let now = self.clock.now_ns();
                 let mut buckets = quota.lock().expect("quota lock poisoned");
                 if !buckets.try_take(client, cost, now) {
                     self.stats.rejected_quota.fetch_add(1, Ordering::SeqCst);
+                    tenant.rejected_quota.incr();
+                    self.obs.record_rejection(
+                        &tenant,
+                        RequestOutcome::QuotaExceeded,
+                        job.request_id,
+                        cost,
+                        job.sched_lag_ns,
+                    );
                     return Err(Response::QuotaExceeded {
                         client: client.to_string(),
                     });
                 }
             }
         }
+        let (request_id, sched_lag_ns) = (job.request_id, job.sched_lag_ns);
         match self.jobs.try_send(job) {
             Ok(()) => {
                 self.stats
                     .queries_admitted
                     .fetch_add(cost, Ordering::SeqCst);
+                tenant.accepted.add(cost);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.stats
                     .rejected_overloaded
                     .fetch_add(1, Ordering::SeqCst);
+                tenant.rejected_overloaded.incr();
+                if cost > 0 {
+                    self.obs.record_rejection(
+                        &tenant,
+                        RequestOutcome::Overloaded,
+                        request_id,
+                        cost,
+                        sched_lag_ns,
+                    );
+                }
                 Err(Response::Overloaded {
                     queue_depth: self.queue_depth as u64,
                 })
@@ -590,6 +1148,7 @@ impl Shared {
 
 fn conn_loop<C: Connection>(mut conn: C, shared: Arc<Shared>) {
     let mut client = conn.peer();
+    let mut tenant = shared.obs.tenant(&client);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -620,6 +1179,7 @@ fn conn_loop<C: Connection>(mut conn: C, shared: Arc<Shared>) {
             }) => {
                 if version == PROTOCOL_VERSION {
                     client = id.clone();
+                    tenant = shared.obs.tenant(&client);
                     Response::HelloAck {
                         client: id,
                         version: PROTOCOL_VERSION,
@@ -631,13 +1191,26 @@ fn conn_loop<C: Connection>(mut conn: C, shared: Arc<Shared>) {
                     })
                 }
             }
-            Ok(cmd) => {
+            Ok(mut cmd) => {
+                // Assign a request id at admission if the client did
+                // not stamp one, so every query pass is joinable across
+                // the response frame, the engine trace, and the flight
+                // recorder.
+                if cmd.request_id() == Some(0) {
+                    cmd.set_request_id(shared.obs.assign_request_id());
+                }
+                let request_id = cmd.request_id().unwrap_or(0);
+                let sched_lag_ns = cmd.sched_lag_ns();
                 let (reply_tx, reply_rx) = mpsc::channel();
                 match shared.admit(
                     &client,
                     Job {
                         cmd,
                         reply: reply_tx,
+                        request_id,
+                        tenant: tenant.clone(),
+                        admitted_ns: shared.clock.now_ns(),
+                        sched_lag_ns,
                     },
                 ) {
                     Err(rejection) => rejection,
@@ -661,6 +1234,7 @@ fn engine_loop(
     mut device: Device,
     cfg: ServeConfig,
     stats: Arc<StatsInner>,
+    obs: Arc<ServeObs>,
 ) -> Device {
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
@@ -684,6 +1258,9 @@ fn engine_loop(
             thread::sleep(delay);
         }
         stats.engine_batches.fetch_add(1, Ordering::SeqCst);
+        // Queue wait ends here for every job in the batch; service time
+        // starts. One stamp per batch keeps merged jobs comparable.
+        let picked_ns = cfg.clock.now_ns();
 
         let mut replies: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
         let query_jobs: Vec<usize> = jobs
@@ -695,8 +1272,11 @@ fn engine_loop(
         if query_jobs.len() >= 2 {
             // Merge every co-pending query into one engine batch; the
             // engine groups by (db, model, level) internally and
-            // answers each request exactly as if issued alone.
+            // answers each request exactly as if issued alone. Request
+            // ids ride along so the merged trace stays joinable per
+            // originating frame.
             let mut all: Vec<QueryRequest> = Vec::new();
+            let mut rids: Vec<u64> = Vec::new();
             let mut spans: Vec<(usize, usize, usize, bool)> = Vec::new();
             for &i in &query_jobs {
                 match &jobs[i].cmd {
@@ -707,6 +1287,7 @@ fn engine_loop(
                         db,
                         level,
                         exact,
+                        ..
                     } => {
                         spans.push((i, all.len(), 1, true));
                         let mut req = QueryRequest::new(qfv.clone(), *model, *db)
@@ -716,8 +1297,9 @@ fn engine_loop(
                             req = req.exact();
                         }
                         all.push(req);
+                        rids.push(jobs[i].request_id);
                     }
-                    Command::QueryBatch { requests } => {
+                    Command::QueryBatch { requests, .. } => {
                         spans.push((i, all.len(), requests.len(), false));
                         all.extend(requests.iter().cloned().map(|r| {
                             if cfg.force_exact {
@@ -726,19 +1308,26 @@ fn engine_loop(
                                 r
                             }
                         }));
+                        rids.extend(std::iter::repeat_n(jobs[i].request_id, requests.len()));
                     }
                     _ => unreachable!("query_cost > 0 only for query commands"),
                 }
             }
-            if let Ok(ids) = device.store_mut().query_batch(&all) {
+            if let Ok(ids) = device.store_mut().query_batch_tagged(&all, &rids) {
                 stats
                     .coalesced_queries
                     .fetch_add(all.len() as u64, Ordering::SeqCst);
                 for (i, start, len, single) in spans {
                     replies[i] = Some(if single {
-                        Response::QuerySubmitted(ids[start])
+                        Response::QuerySubmitted {
+                            id: ids[start],
+                            request_id: jobs[i].request_id,
+                        }
                     } else {
-                        Response::BatchSubmitted(ids[start..start + len].to_vec())
+                        Response::BatchSubmitted {
+                            ids: ids[start..start + len].to_vec(),
+                            request_id: jobs[i].request_id,
+                        }
                     });
                 }
             }
@@ -747,14 +1336,76 @@ fn engine_loop(
             // sees its (typed) error.
         }
         for (i, job) in jobs.into_iter().enumerate() {
-            let resp = match replies[i].take() {
+            let Job {
+                cmd,
+                reply,
+                request_id,
+                tenant,
+                admitted_ns,
+                sched_lag_ns,
+            } = job;
+            let queries = cmd.query_cost();
+            let mut resp = match replies[i].take() {
                 Some(resp) => resp,
-                None => device.dispatch(apply_force_exact(job.cmd, cfg.force_exact)),
+                None => match cmd {
+                    // The flight recorder lives at the serve layer, so
+                    // answer dump requests here rather than in the
+                    // (recorder-less) device dispatch.
+                    Command::Dump => Response::Dump {
+                        json: obs.explicit_dump(),
+                    },
+                    cmd => device.dispatch(apply_force_exact(cmd, cfg.force_exact)),
+                },
             };
-            let _ = job.reply.send(resp);
+            match &mut resp {
+                Response::Stats { server, .. } => *server = Some(obs.server_stats(&stats)),
+                Response::Metrics { text } => text.push_str(&obs.render_exposition(&stats)),
+                _ => {}
+            }
+            if queries > 0 {
+                let done_ns = cfg.clock.now_ns();
+                let (outcome, coverage_milli) = query_outcome(&device, &resp);
+                obs.record_done(
+                    &tenant,
+                    request_id,
+                    queries,
+                    picked_ns.saturating_sub(admitted_ns),
+                    done_ns.saturating_sub(picked_ns),
+                    sched_lag_ns.saturating_add(done_ns.saturating_sub(admitted_ns)),
+                    coverage_milli,
+                    outcome,
+                );
+            }
+            let _ = reply.send(resp);
         }
     }
     device
+}
+
+/// Classifies a query job's response for the flight recorder: the
+/// outcome plus the worst per-query coverage in milli-units (1000 =
+/// full coverage).
+fn query_outcome(device: &Device, resp: &Response) -> (RequestOutcome, u64) {
+    let ids: &[QueryId] = match resp {
+        Response::QuerySubmitted { id, .. } => std::slice::from_ref(id),
+        Response::BatchSubmitted { ids, .. } => ids,
+        _ => return (RequestOutcome::Error, 0),
+    };
+    let mut worst = 1000u64;
+    let mut degraded = false;
+    for id in ids {
+        if let Some(r) = device.store().peek_results(*id) {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let milli = (r.coverage * 1000.0).round() as u64;
+            worst = worst.min(milli);
+            degraded |= r.degraded;
+        }
+    }
+    if degraded {
+        (RequestOutcome::Degraded, worst)
+    } else {
+        (RequestOutcome::Ok, worst)
+    }
 }
 
 /// Rewrites query commands onto the exact scoring path when the
@@ -772,6 +1423,8 @@ fn apply_force_exact(cmd: Command, force: bool) -> Command {
             db,
             level,
             exact: _,
+            request_id,
+            sched_lag_ns,
         } => Command::Query {
             qfv,
             k,
@@ -779,9 +1432,17 @@ fn apply_force_exact(cmd: Command, force: bool) -> Command {
             db,
             level,
             exact: true,
+            request_id,
+            sched_lag_ns,
         },
-        Command::QueryBatch { requests } => Command::QueryBatch {
+        Command::QueryBatch {
+            requests,
+            request_id,
+            sched_lag_ns,
+        } => Command::QueryBatch {
             requests: requests.into_iter().map(QueryRequest::exact).collect(),
+            request_id,
+            sched_lag_ns,
         },
         other => other,
     }
@@ -795,6 +1456,7 @@ pub struct ServerHandle {
     accept: Option<thread::JoinHandle<()>>,
     engine: Option<thread::JoinHandle<Device>>,
     stats: Arc<StatsInner>,
+    obs: Arc<ServeObs>,
     endpoint: String,
 }
 
@@ -804,9 +1466,22 @@ impl ServerHandle {
         &self.endpoint
     }
 
-    /// A live snapshot of the server counters.
+    /// A live snapshot of the server counters, including per-tenant
+    /// admission breakdowns.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot()
+        self.obs.server_stats(&self.stats)
+    }
+
+    /// The serve-layer observability sink: stage histograms, per-tenant
+    /// counters, and the flight recorder.
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
+    }
+
+    /// The serve-layer Prometheus exposition page, as served by
+    /// [`Command::Metrics`].
+    pub fn serve_exposition(&self) -> String {
+        self.obs.render_exposition(&self.stats)
     }
 
     /// Stop accepting, let in-flight jobs drain (every admitted job is
@@ -822,7 +1497,7 @@ impl ServerHandle {
             .expect("engine thread taken twice")
             .join()
             .expect("engine thread panicked");
-        let stats = self.stats.snapshot();
+        let stats = self.obs.server_stats(&self.stats);
         (device.into_store(), stats)
     }
 }
@@ -851,20 +1526,24 @@ impl Drop for ServerHandle {
 /// admitted job before exiting.
 pub fn serve<T: Transport>(mut transport: T, store: DeepStore, cfg: ServeConfig) -> ServerHandle {
     let stats = Arc::new(StatsInner::default());
+    let obs = Arc::new(ServeObs::new(&cfg));
     let shutdown = Arc::new(AtomicBool::new(false));
     let endpoint = transport.endpoint();
     let (jobs_tx, jobs_rx) = mpsc::sync_channel(cfg.queue_depth);
 
     let engine_stats = stats.clone();
+    let engine_obs = obs.clone();
     let engine_cfg = cfg.clone();
     let device = Device::with_store(store);
-    let engine = thread::spawn(move || engine_loop(jobs_rx, device, engine_cfg, engine_stats));
+    let engine =
+        thread::spawn(move || engine_loop(jobs_rx, device, engine_cfg, engine_stats, engine_obs));
 
     let shared = Arc::new(Shared {
         jobs: jobs_tx,
         quota: cfg.quota.map(|q| Mutex::new(TokenBuckets::new(q))),
         clock: cfg.clock.clone(),
         stats: stats.clone(),
+        obs: obs.clone(),
         shutdown: shutdown.clone(),
         poll: cfg.poll,
         queue_depth: cfg.queue_depth,
@@ -895,6 +1574,7 @@ pub fn serve<T: Transport>(mut transport: T, store: DeepStore, cfg: ServeConfig)
         accept: Some(accept),
         engine: Some(engine),
         stats,
+        obs,
         endpoint,
     }
 }
@@ -947,18 +1627,28 @@ mod tests {
     #[test]
     fn queue_full_returns_overloaded_not_a_hang() {
         let (jobs, _rx) = mpsc::sync_channel(1);
+        let obs = Arc::new(ServeObs::new(&ServeConfig::default()));
+        let tenant = obs.tenant("a");
         let shared = Shared {
             jobs,
             quota: None,
             clock: ServeClock::wall(),
             stats: Arc::new(StatsInner::default()),
+            obs,
             shutdown: Arc::new(AtomicBool::new(false)),
             poll: Duration::from_millis(1),
             queue_depth: 1,
         };
         let job = |cmd: Command| {
             let (tx, _rx2) = mpsc::channel();
-            Job { cmd, reply: tx }
+            Job {
+                cmd,
+                reply: tx,
+                request_id: 0,
+                tenant: tenant.clone(),
+                admitted_ns: 0,
+                sched_lag_ns: 0,
+            }
         };
         // _rx never drains, so the second admit must reject — not block.
         assert!(shared.admit("a", job(Command::Stats)).is_ok());

@@ -184,6 +184,7 @@ pub struct ApiTelemetry {
     scan_groups: CounterId,
     skipped: CounterId,
     degraded: CounterId,
+    tagged: CounterId,
     recovery_remapped: CounterId,
     recovery_lost: CounterId,
     st_qc_lookup_ns: CounterId,
@@ -216,6 +217,7 @@ impl ApiTelemetry {
             scan_groups: registry.counter("api.scan_groups"),
             skipped: registry.counter("api.unreadable_skipped"),
             degraded: registry.counter("api.degraded_queries"),
+            tagged: registry.counter("api.tagged_requests"),
             recovery_remapped: registry.counter("api.recovery.pages_remapped"),
             recovery_lost: registry.counter("api.recovery.pages_lost"),
             st_qc_lookup_ns: registry.counter("api.stage.qc_lookup_ns"),
@@ -299,6 +301,17 @@ impl ApiTelemetry {
     pub fn on_degraded(&self) {
         #[cfg(feature = "obs")]
         self.registry.incr(self.degraded);
+    }
+
+    /// `n` requests in a batch carried a non-zero end-to-end
+    /// `request_id` (a serve-layer admission tagged them, or the caller
+    /// stamped its own correlation id).
+    #[inline]
+    pub fn on_tagged(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        self.registry.add(self.tagged, n);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
     }
 
     /// A post-batch recovery pass remapped and/or lost pages while

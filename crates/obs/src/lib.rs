@@ -1,6 +1,6 @@
 //! Telemetry substrate for the DeepStore workspace.
 //!
-//! Two pieces, both built for *deterministic* observability of a
+//! Four pieces, all built for *deterministic* observability of a
 //! simulated device:
 //!
 //! * [`metrics`] — a lock-free metrics registry: atomic counters and
@@ -13,17 +13,32 @@
 //!   *simulated* nanoseconds from the device timing model, never host
 //!   wall-clock, so two runs of the same query produce byte-identical
 //!   trace files.
+//! * [`histo`] — percentile estimation over the power-of-two bucket
+//!   histograms plus a Prometheus text-exposition renderer for
+//!   snapshots.
+//! * [`recorder`] — a fixed-size lock-free flight-recorder ring of
+//!   recent request summaries, dumped to deterministic JSON on error,
+//!   SLO breach, or explicit request.
 //!
 //! The crate is dependency-light (serde shims only) and is always
 //! compiled; consumers gate the *recording call sites* behind their own
 //! `obs` cargo feature so the types stay available in both
 //! configurations.
 
+pub mod histo;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
+pub use histo::{
+    percentile, render_histogram, render_histogram_series, render_text, sanitize_name,
+};
 pub use metrics::{
     Counter, CounterId, CounterSample, Histogram, HistogramId, HistogramSample, MetricsRegistry,
     MetricsSnapshot,
+};
+pub use recorder::{
+    FlightDump, FlightRecorder, RequestOutcome, RequestRecord, RequestSummary,
+    DEFAULT_RECORDER_CAPACITY,
 };
 pub use trace::{TraceEvent, TraceRecorder};

@@ -61,6 +61,7 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -78,6 +79,7 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
@@ -95,6 +97,7 @@ impl Histogram {
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -110,10 +113,44 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Smallest recorded observation, tracked exactly (power-of-two
+    /// buckets alone would only bound it). 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
     /// Largest recorded observation (0 when empty).
     #[must_use]
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`HistogramSample`] of this histogram under
+    /// `name` (the registry snapshots through this; standalone
+    /// histograms — e.g. the serve layer's per-tenant latencies — use
+    /// it directly for percentile estimation and exposition).
+    #[must_use]
+    pub fn sample(&self, name: &str) -> HistogramSample {
+        HistogramSample {
+            name: name.to_string(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.load(Ordering::Relaxed) != 0)
+                .map(|(i, b)| (i as u32, b.load(Ordering::Relaxed)))
+                .collect(),
+        }
     }
 }
 
@@ -198,19 +235,7 @@ impl MetricsRegistry {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(name, h)| HistogramSample {
-                    name: (*name).to_string(),
-                    count: h.count(),
-                    sum: h.sum(),
-                    max: h.max(),
-                    buckets: h
-                        .buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, b)| b.load(Ordering::Relaxed) != 0)
-                        .map(|(i, b)| (i as u32, b.load(Ordering::Relaxed)))
-                        .collect(),
-                })
+                .map(|(name, h)| h.sample(name))
                 .collect(),
         }
     }
@@ -235,6 +260,8 @@ pub struct HistogramSample {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
+    /// Smallest observation, tracked exactly (0 when empty).
+    pub min: u64,
     /// Largest observation.
     pub max: u64,
     /// Non-empty `(bucket_index, count)` pairs.
@@ -298,7 +325,22 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 107);
+        assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn min_is_exact_not_bucket_bounded() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0, "empty histogram reports min 0");
+        // 100 and 75 land in the same power-of-two bucket [64, 128);
+        // only exact tracking can distinguish them.
+        h.record(100);
+        h.record(75);
+        assert_eq!(h.min(), 75);
+        assert_eq!(h.max(), 100);
+        h.record(3);
+        assert_eq!(h.min(), 3);
     }
 
     #[test]

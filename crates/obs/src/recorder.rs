@@ -1,0 +1,394 @@
+//! Always-on flight recorder: a fixed-size lock-free ring of recent
+//! request summaries.
+//!
+//! The serving layer records one [`RequestSummary`] per finished (or
+//! rejected) request. The ring keeps the last `capacity` of them with
+//! no locks on the write path: a writer claims a unique global sequence
+//! number with one `fetch_add`, then publishes into slot
+//! `seq % capacity` under a per-slot seqlock (odd = write in progress).
+//! Two writers only touch the same slot after `capacity` intervening
+//! requests, so the common case is uncontended; a reader that races a
+//! wrap simply retries or skips the superseded slot.
+//!
+//! Tenant names are interned once (at hello time, off the hot path)
+//! so the per-request record is a handful of atomic stores.
+//!
+//! `dump` serializes the surviving summaries — ordered by admission
+//! sequence — to JSON. All timestamps come from the caller's clock
+//! (the serving layer's `ServeClock`), so under a simulated clock two
+//! identical runs produce byte-identical dumps, which the test suite
+//! asserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Default ring capacity used by the serving layer.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
+
+/// How a recorded request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Completed normally.
+    Ok,
+    /// Completed with degraded coverage.
+    Degraded,
+    /// The engine returned an error response.
+    Error,
+    /// Rejected at admission: queue full.
+    Overloaded,
+    /// Rejected at admission: tenant over quota.
+    QuotaExceeded,
+}
+
+impl RequestOutcome {
+    fn as_u64(self) -> u64 {
+        match self {
+            RequestOutcome::Ok => 0,
+            RequestOutcome::Degraded => 1,
+            RequestOutcome::Error => 2,
+            RequestOutcome::Overloaded => 3,
+            RequestOutcome::QuotaExceeded => 4,
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            1 => RequestOutcome::Degraded,
+            2 => RequestOutcome::Error,
+            3 => RequestOutcome::Overloaded,
+            4 => RequestOutcome::QuotaExceeded,
+            _ => RequestOutcome::Ok,
+        }
+    }
+}
+
+/// One request's life, summarized for the ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSummary {
+    /// Global admission sequence number (0-based, monotonic).
+    pub seq: u64,
+    /// The request id carried in (or assigned to) the wire frame.
+    pub request_id: u64,
+    /// Hello client id of the issuing connection.
+    pub tenant: String,
+    /// Queries in the frame (1 for `query`, N for `queryBatch`).
+    pub queries: u64,
+    /// Time spent waiting in the admission queue, ns.
+    pub queue_ns: u64,
+    /// Time spent in the engine (service time), ns.
+    pub service_ns: u64,
+    /// End-to-end latency from scheduled arrival, ns.
+    pub e2e_ns: u64,
+    /// Worst scan coverage across the frame's queries, in 1/1000.
+    pub coverage_milli: u64,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+}
+
+/// The JSON document `dump` produces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was taken: `"error"`, `"slo_breach"`, or
+    /// `"explicit"`.
+    pub reason: String,
+    /// Total requests ever recorded (entries hold the newest of these).
+    pub total: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Surviving summaries, oldest first.
+    pub entries: Vec<RequestSummary>,
+}
+
+/// Sentinel for a slot that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+/// One ring slot: a seqlock plus the summary's fields as atomics.
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock: odd while a write is in progress.
+    lock: AtomicU64,
+    seq: AtomicU64,
+    request_id: AtomicU64,
+    tenant_idx: AtomicU64,
+    queries: AtomicU64,
+    queue_ns: AtomicU64,
+    service_ns: AtomicU64,
+    e2e_ns: AtomicU64,
+    /// `coverage_milli << 8 | outcome`.
+    packed: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            lock: AtomicU64::new(0),
+            seq: AtomicU64::new(EMPTY),
+            request_id: AtomicU64::new(0),
+            tenant_idx: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            queue_ns: AtomicU64::new(0),
+            service_ns: AtomicU64::new(0),
+            e2e_ns: AtomicU64::new(0),
+            packed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// What the serving layer hands to [`FlightRecorder::record`]: a
+/// summary with the tenant pre-interned.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// The request id carried in (or assigned to) the wire frame.
+    pub request_id: u64,
+    /// Interned tenant index from [`FlightRecorder::tenant_idx`].
+    pub tenant_idx: u64,
+    /// Queries in the frame.
+    pub queries: u64,
+    /// Queue wait, ns.
+    pub queue_ns: u64,
+    /// Engine service time, ns.
+    pub service_ns: u64,
+    /// End-to-end latency from scheduled arrival, ns.
+    pub e2e_ns: u64,
+    /// Worst coverage across the frame, in 1/1000.
+    pub coverage_milli: u64,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+}
+
+/// Fixed-size lock-free ring of recent [`RequestSummary`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    tenants: Mutex<Vec<String>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` requests
+    /// (`capacity >= 1`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+            tenants: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total requests ever recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Interns a tenant name, returning its stable index. Called once
+    /// per connection (at hello), not per request.
+    pub fn tenant_idx(&self, name: &str) -> u64 {
+        let mut tenants = self.tenants.lock().expect("tenant interner poisoned");
+        if let Some(i) = tenants.iter().position(|t| t == name) {
+            return i as u64;
+        }
+        tenants.push(name.to_string());
+        (tenants.len() - 1) as u64
+    }
+
+    /// Records one request summary (lock-free).
+    pub fn record(&self, r: &RequestRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        slot.lock.fetch_add(1, Ordering::AcqRel); // now odd: write in progress
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.request_id.store(r.request_id, Ordering::Relaxed);
+        slot.tenant_idx.store(r.tenant_idx, Ordering::Relaxed);
+        slot.queries.store(r.queries, Ordering::Relaxed);
+        slot.queue_ns.store(r.queue_ns, Ordering::Relaxed);
+        slot.service_ns.store(r.service_ns, Ordering::Relaxed);
+        slot.e2e_ns.store(r.e2e_ns, Ordering::Relaxed);
+        slot.packed.store(
+            r.coverage_milli << 8 | r.outcome.as_u64(),
+            Ordering::Relaxed,
+        );
+        slot.lock.fetch_add(1, Ordering::Release); // even again: published
+    }
+
+    /// The surviving summaries, oldest first. Slots mid-write (or
+    /// superseded while being read) are skipped rather than torn.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<RequestSummary> {
+        let tenants = self
+            .tenants
+            .lock()
+            .expect("tenant interner poisoned")
+            .clone();
+        let total = self.total();
+        let oldest = total.saturating_sub(self.slots.len() as u64);
+        let mut entries = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            // Seqlock read: retry while a write is in flight, give up
+            // on a slot that keeps changing (it is being overwritten
+            // with newer data we will not wait for).
+            for _ in 0..8 {
+                let before = slot.lock.load(Ordering::Acquire);
+                if before % 2 == 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let seq = slot.seq.load(Ordering::Relaxed);
+                let summary = RequestSummary {
+                    seq,
+                    request_id: slot.request_id.load(Ordering::Relaxed),
+                    tenant: tenants
+                        .get(slot.tenant_idx.load(Ordering::Relaxed) as usize)
+                        .cloned()
+                        .unwrap_or_default(),
+                    queries: slot.queries.load(Ordering::Relaxed),
+                    queue_ns: slot.queue_ns.load(Ordering::Relaxed),
+                    service_ns: slot.service_ns.load(Ordering::Relaxed),
+                    e2e_ns: slot.e2e_ns.load(Ordering::Relaxed),
+                    coverage_milli: slot.packed.load(Ordering::Relaxed) >> 8,
+                    outcome: RequestOutcome::from_u64(slot.packed.load(Ordering::Relaxed) & 0xff),
+                };
+                if slot.lock.load(Ordering::Acquire) != before {
+                    continue;
+                }
+                if seq != EMPTY && seq >= oldest && seq < total {
+                    entries.push(summary);
+                }
+                break;
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        entries
+    }
+
+    /// Serializes the ring to a deterministic JSON document.
+    #[must_use]
+    pub fn dump(&self, reason: &str) -> String {
+        let entries = self.snapshot();
+        serde_json::to_string(&FlightDump {
+            reason: reason.to_string(),
+            total: self.total(),
+            capacity: self.slots.len() as u64,
+            entries,
+        })
+        .expect("flight dump serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(request_id: u64, tenant_idx: u64) -> RequestRecord {
+        RequestRecord {
+            request_id,
+            tenant_idx,
+            queries: 1,
+            queue_ns: 10 * request_id,
+            service_ns: 100,
+            e2e_ns: 100 + 10 * request_id,
+            coverage_milli: 1000,
+            outcome: RequestOutcome::Ok,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_entries_on_wraparound() {
+        let r = FlightRecorder::new(4);
+        let t = r.tenant_idx("cli");
+        for i in 0..10 {
+            r.record(&rec(i, t));
+        }
+        assert_eq!(r.total(), 10);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(snap.iter().all(|e| e.tenant == "cli"));
+        assert_eq!(snap[0].request_id, 6);
+    }
+
+    #[test]
+    fn dump_is_deterministic_json() {
+        let build = || {
+            let r = FlightRecorder::new(8);
+            let t = r.tenant_idx("lg-0");
+            for i in 0..5 {
+                r.record(&rec(i, t));
+            }
+            r.dump("explicit")
+        };
+        let a = build();
+        assert_eq!(a, build());
+        let back: FlightDump = serde_json::from_str(&a).unwrap();
+        assert_eq!(back.reason, "explicit");
+        assert_eq!(back.total, 5);
+        assert_eq!(back.capacity, 8);
+        assert_eq!(back.entries.len(), 5);
+        assert_eq!(back.entries[4].request_id, 4);
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_packing() {
+        for o in [
+            RequestOutcome::Ok,
+            RequestOutcome::Degraded,
+            RequestOutcome::Error,
+            RequestOutcome::Overloaded,
+            RequestOutcome::QuotaExceeded,
+        ] {
+            assert_eq!(RequestOutcome::from_u64(o.as_u64()), o);
+        }
+        let r = FlightRecorder::new(2);
+        let t = r.tenant_idx("x");
+        let mut q = rec(1, t);
+        q.outcome = RequestOutcome::QuotaExceeded;
+        q.coverage_milli = 875;
+        r.record(&q);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].outcome, RequestOutcome::QuotaExceeded);
+        assert_eq!(snap[0].coverage_milli, 875);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_a_read() {
+        let r = FlightRecorder::new(16);
+        let t = r.tenant_idx("w");
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        r.record(&rec(w * 1000 + i, t));
+                    }
+                });
+            }
+            for _ in 0..50 {
+                // Every visible entry is internally consistent.
+                for e in r.snapshot() {
+                    assert_eq!(e.e2e_ns, 100 + 10 * e.request_id);
+                }
+            }
+        });
+        assert_eq!(r.total(), 2000);
+        assert_eq!(r.snapshot().len(), 16);
+    }
+
+    #[test]
+    fn tenant_interning_is_stable() {
+        let r = FlightRecorder::new(2);
+        assert_eq!(r.tenant_idx("a"), 0);
+        assert_eq!(r.tenant_idx("b"), 1);
+        assert_eq!(r.tenant_idx("a"), 0);
+    }
+}

@@ -250,15 +250,24 @@ where
                     if item.at > elapsed {
                         std::thread::sleep(item.at - elapsed);
                     }
-                    let submitted = host.query(
+                    // Carry the lag past the scheduled arrival in the
+                    // frame so the server's end-to-end histogram charges
+                    // queueing under overload to the offered schedule
+                    // (coordinated-omission-honest), and let the server
+                    // assign the request id (0 = unassigned).
+                    #[allow(clippy::cast_possible_truncation)]
+                    let sched_lag_ns = epoch.elapsed().saturating_sub(item.at).as_nanos() as u64;
+                    let submitted = host.query_traced(
                         &item.qfv,
                         target.k,
                         target.model,
                         target.db,
                         target.level,
                         false,
+                        0,
+                        sched_lag_ns,
                     );
-                    let done = submitted.and_then(|qid| host.get_results(qid));
+                    let done = submitted.and_then(|(qid, _rid)| host.get_results(qid));
                     match done {
                         Ok(_) => {
                             let latency = epoch.elapsed().saturating_sub(item.at);
@@ -455,5 +464,9 @@ mod tests {
         assert!(report.achieved_qps > 0.0);
         let (_store, stats) = handle.shutdown();
         assert_eq!(stats.queries_admitted, 24);
+        // Each worker shows up as its own tenant in the breakdown.
+        assert_eq!(stats.per_tenant.len(), 3);
+        assert!(stats.per_tenant.iter().all(|t| t.client.starts_with("lg-")));
+        assert_eq!(stats.per_tenant.iter().map(|t| t.accepted).sum::<u64>(), 24);
     }
 }

@@ -27,6 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db: deepstore::core::DbId(1),
         level: AcceleratorLevel::Channel,
         exact: false,
+        request_id: 0,
+        sched_lag_ns: 0,
     };
     let frame = encode_command(&probe_cmd);
     println!(

@@ -57,12 +57,18 @@ fn sample_commands() -> Vec<Command> {
             db: DbId(1),
             level: AcceleratorLevel::Channel,
             exact: false,
+            request_id: 42,
+            sched_lag_ns: 1_500,
         },
         Command::GetResults { query: QueryId(12) },
         Command::QueryBatch {
             requests: vec![QueryRequest::new(t, ModelId(1), DbId(1)).k(2)],
+            request_id: 0,
+            sched_lag_ns: 0,
         },
         Command::Stats,
+        Command::Metrics,
+        Command::Dump,
         Command::Hello {
             client: "tenant-a".into(),
             version: PROTOCOL_VERSION,
@@ -77,8 +83,20 @@ fn sample_responses() -> Vec<Response> {
         Response::Features(vec![Tensor::random(vec![4], 1.0, 3)]),
         Response::ModelLoaded(ModelId(2)),
         Response::QcConfigured,
-        Response::QuerySubmitted(QueryId(9)),
-        Response::BatchSubmitted(vec![QueryId(1), QueryId(2)]),
+        Response::QuerySubmitted {
+            id: QueryId(9),
+            request_id: 42,
+        },
+        Response::BatchSubmitted {
+            ids: vec![QueryId(1), QueryId(2)],
+            request_id: 7,
+        },
+        Response::Metrics {
+            text: "# TYPE deepstore_serve_frames counter\ndeepstore_serve_frames 3\n".into(),
+        },
+        Response::Dump {
+            json: "{\"reason\":\"explicit\",\"entries\":[]}".into(),
+        },
         Response::HelloAck {
             client: "tenant-a".into(),
             version: PROTOCOL_VERSION,
@@ -185,7 +203,7 @@ fn header_corruption_is_typed() {
     bad[4] = 9;
     assert_eq!(decode_command(&bad).unwrap_err(), ProtoError::BadVersion(9));
     // Unknown opcodes: zero, past the last command, response-range.
-    for opcode in [0x00u8, 0x0B, 0x42, 0xFF] {
+    for opcode in [0x00u8, 0x0D, 0x42, 0xFF] {
         let mut bad = frame.clone();
         bad[5] = opcode;
         assert_eq!(
@@ -374,6 +392,8 @@ proptest! {
             db: DbId(1),
             level: AcceleratorLevel::Ssd,
             exact: false,
+            request_id: 5,
+            sched_lag_ns: 0,
         });
         let mut corrupted = frame.clone();
         let i = idx % frame.len();

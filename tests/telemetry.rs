@@ -244,3 +244,57 @@ fn snapshot_roundtrips_through_json() {
     let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
     assert_eq!(stats.metrics, back);
 }
+
+/// Histogram min/max are tracked exactly, not reconstructed from
+/// bucket edges: each sits inside its histogram's first/last non-empty
+/// power-of-two bucket, and every percentile estimate is clamped into
+/// `[min, max]`.
+#[test]
+fn histogram_min_max_are_exact_and_bracket_percentiles() {
+    if !cfg!(feature = "obs") {
+        return; // histograms are empty stubs without the obs feature
+    }
+    let (stats, _, _) = run_workload("textqa", 11, 32, 1, None);
+    let mut populated = 0;
+    for h in &stats.metrics.histograms {
+        if h.count == 0 {
+            assert_eq!(
+                (h.min, h.max),
+                (0, 0),
+                "{}: empty histogram min/max",
+                h.name
+            );
+            continue;
+        }
+        populated += 1;
+        assert!(h.min <= h.max, "{}: min {} > max {}", h.name, h.min, h.max);
+        let (lo, hi) = deepstore_obs::histo::bucket_range(h.buckets.first().unwrap().0);
+        assert!(
+            (lo..=hi).contains(&h.min),
+            "{}: min {} outside first bucket",
+            h.name,
+            h.min
+        );
+        let (lo, hi) = deepstore_obs::histo::bucket_range(h.buckets.last().unwrap().0);
+        assert!(
+            (lo..=hi).contains(&h.max),
+            "{}: max {} outside last bucket",
+            h.name,
+            h.max
+        );
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            let p = deepstore_obs::percentile(h, q);
+            assert!(
+                (h.min..=h.max).contains(&p),
+                "{}: p{q} = {p} escapes [{}, {}]",
+                h.name,
+                h.min,
+                h.max
+            );
+        }
+    }
+    assert!(
+        populated > 0,
+        "the workload must populate at least one histogram"
+    );
+}
