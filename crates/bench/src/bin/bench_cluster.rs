@@ -1,0 +1,122 @@
+//! `BENCH_cluster.json` emitter for multi-drive scatter-gather scaling.
+//!
+//! Partitions one textqa database across N ∈ {1, 2, 4} simulated drives
+//! and measures the *simulated* per-query latency of the scatter-gather
+//! path (drives run concurrently; the cluster's elapsed time is the
+//! slowest shard, so the numbers are deterministic and host-independent).
+//! Scaling efficiency at N is `t1 / (N · tN)`; CI gates the N=4 figure
+//! at ≥ 0.7× ideal, and this binary also exits non-zero below that bar.
+//!
+//! The sweep asserts the merged top-K is bit-identical across every
+//! drive count before timing anything: sharding is a layout choice, not
+//! a semantic one.
+
+use deepstore_bench::report::results_dir;
+use deepstore_core::config::DeepStoreConfig;
+use deepstore_core::{ClusterQueryRequest, DeepStoreCluster};
+use deepstore_nn::{zoo, ModelGraph, Tensor};
+use serde::{Deserialize, Serialize};
+
+const FEATURES: u64 = 512;
+const PROBES: u64 = 8;
+const K: usize = 10;
+const DRIVE_COUNTS: [usize; 3] = [1, 2, 4];
+const EFFICIENCY_FLOOR: f64 = 0.7;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ClusterBench {
+    workload: String,
+    features: u64,
+    probes: u64,
+    k: u64,
+    drives: Vec<u64>,
+    elapsed_ns: Vec<u64>,
+    speedup: Vec<f64>,
+    efficiency: Vec<f64>,
+    efficiency_at_4: f64,
+    identical_topk: bool,
+}
+
+fn main() {
+    let model = zoo::textqa().seeded_metric(7);
+    let features: Vec<Tensor> = (0..FEATURES).map(|i| model.random_feature(i)).collect();
+    let probes: Vec<Tensor> = (0..PROBES)
+        .map(|i| model.random_feature(10_000 + i))
+        .collect();
+
+    let mut elapsed_ns = Vec::new();
+    let mut rankings: Vec<Vec<(u64, u32)>> = Vec::new();
+    for &n in &DRIVE_COUNTS {
+        let mut cluster = DeepStoreCluster::new(n, DeepStoreConfig::small());
+        let db = cluster.write_db(&features).expect("write_db");
+        let mid = cluster
+            .load_model(&ModelGraph::from_model(&model))
+            .expect("load_model");
+        let mut total_ns = 0u64;
+        let mut ranking = Vec::new();
+        for probe in &probes {
+            let r = cluster
+                .query(ClusterQueryRequest::new(probe.clone(), mid, db).k(K))
+                .expect("query");
+            assert_eq!(r.coverage, 1.0, "healthy cluster must cover everything");
+            total_ns += r.elapsed.as_nanos();
+            ranking.extend(
+                r.top_k
+                    .iter()
+                    .map(|h| (h.global_index, h.hit.score.to_bits())),
+            );
+        }
+        elapsed_ns.push(total_ns / PROBES);
+        rankings.push(ranking);
+    }
+
+    let identical_topk = rankings.iter().all(|r| *r == rankings[0]);
+    assert!(
+        identical_topk,
+        "scatter-gather results must be bit-identical at every drive count"
+    );
+
+    let t1 = elapsed_ns[0] as f64;
+    let speedup: Vec<f64> = elapsed_ns.iter().map(|&t| t1 / t as f64).collect();
+    let efficiency: Vec<f64> = DRIVE_COUNTS
+        .iter()
+        .zip(&elapsed_ns)
+        .map(|(&n, &t)| t1 / (n as f64 * t as f64))
+        .collect();
+    let efficiency_at_4 = efficiency[DRIVE_COUNTS
+        .iter()
+        .position(|&n| n == 4)
+        .expect("sweep includes N=4")];
+
+    println!("== cluster scatter-gather scaling ({FEATURES} textqa features, k={K}) ==");
+    for (i, &n) in DRIVE_COUNTS.iter().enumerate() {
+        println!(
+            "  N={n}: {:>12} simulated ns/query  speedup {:>5.2}x  efficiency {:>5.2}",
+            elapsed_ns[i], speedup[i], efficiency[i]
+        );
+    }
+
+    let report = ClusterBench {
+        workload: "textqa".into(),
+        features: FEATURES,
+        probes: PROBES,
+        k: K as u64,
+        drives: DRIVE_COUNTS.iter().map(|&n| n as u64).collect(),
+        elapsed_ns,
+        speedup,
+        efficiency,
+        efficiency_at_4,
+        identical_topk,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_cluster.json");
+    std::fs::write(&path, json).expect("write BENCH_cluster.json");
+    println!("[written {}]", path.display());
+
+    assert!(
+        efficiency_at_4 >= EFFICIENCY_FLOOR,
+        "N=4 scaling efficiency {efficiency_at_4:.3} fell below the {EFFICIENCY_FLOOR} floor"
+    );
+}

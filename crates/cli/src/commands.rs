@@ -7,7 +7,9 @@ use deepstore_core::config::{AcceleratorLevel, DeepStoreConfig};
 use deepstore_core::proto::{Device, HostClient};
 use deepstore_core::runtime::Runtime;
 use deepstore_core::serve::{serve, QuotaConfig, ServeConfig, TcpClient, TcpTransport};
-use deepstore_core::{DeepStore, QueryRequest, ScanWorkload};
+use deepstore_core::{
+    ClusterQueryRequest, DeepStore, DeepStoreCluster, QueryRequest, ScanWorkload,
+};
 use deepstore_flash::SimDuration;
 use deepstore_nn::{zoo, ModelGraph};
 use deepstore_workloads::loadgen::{
@@ -65,6 +67,13 @@ commands:
              [--alpha F] [--dup-rate F] [--k K] [--db N] [--model N]
              [--level ssd|channel|chip] [--seed S]
                                           open-loop load against a server
+  cluster    [--drives N] [--replicas R] [--app <name>] [--features N]
+             [--k K] [--level ssd|channel|chip] [--seed S]
+             [--parallelism P] [--kill-drive D] [--rebalance] [--exact]
+                                          scatter-gather a database across
+                                          N simulated drives with R-way
+                                          replication; optionally kill a
+                                          drive, fail over, and rebalance
 
 `--parallelism` sets the scan worker-thread count (0 = one per host
 core). It changes host wall-clock time only; results and simulated
@@ -121,6 +130,16 @@ token buckets keyed by the hello client id.
 from each query's *scheduled* arrival, so queueing under overload
 counts) and prints p50/p99/p999 plus rejection counts. `--db`/`--model`
 default to 1: the ids `serve` assigns to its first database and model.
+`cluster` partitions the app's database across `--drives` simulated
+devices with `--replicas`-way replication and answers a probe query by
+scatter-gather: one live replica per partition, per-drive top-K merged
+deterministically (results are bit-identical to a single-device scan).
+`--kill-drive` takes a whole device down before the second query —
+with R >= 2 the affected partitions fail over to surviving replicas at
+full coverage; with R == 1 the answer degrades honestly and reports
+its coverage. `--rebalance` then re-replicates under-replicated
+partitions onto healthy drives and reports moved bytes and the
+restored replication factor.
 ";
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -147,6 +166,7 @@ pub fn run(argv: &[String]) -> CmdResult {
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
+        "cluster" => cmd_cluster(rest),
         other => Err(ArgError(format!("unknown command `{other}`")).into()),
     }
 }
@@ -912,6 +932,137 @@ fn cmd_loadgen(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn print_cluster_query(
+    cluster: &mut DeepStoreCluster,
+    req: ClusterQueryRequest,
+    label: &str,
+) -> CmdResult {
+    let r = cluster.query(req)?;
+    let failovers: u32 = r.partitions.iter().map(|p| p.failovers).sum();
+    println!(
+        "{label}: coverage {:.4}{}, {failovers} failovers, simulated {}",
+        r.coverage,
+        if r.degraded { " (degraded)" } else { "" },
+        r.elapsed
+    );
+    for (rank, hit) in r.top_k.iter().enumerate() {
+        println!(
+            "  #{rank}: feature {:>5} (drive {})  score {:>9.4}  ObjectID 0x{:x}",
+            hit.global_index, hit.drive, hit.hit.score, hit.hit.object_id.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> CmdResult {
+    let flags = Flags::parse_with_switches(args, &["rebalance", "exact"])?;
+    flags.expect_only(&[
+        "drives",
+        "replicas",
+        "app",
+        "features",
+        "k",
+        "level",
+        "seed",
+        "parallelism",
+        "kill-drive",
+        "rebalance",
+        "exact",
+    ])?;
+    let drives: usize = flags.num_or("drives", 4)?;
+    let replicas: usize = flags.num_or("replicas", 2)?;
+    if drives == 0 {
+        return Err(ArgError("--drives must be at least 1".into()).into());
+    }
+    if replicas == 0 || replicas > drives {
+        return Err(ArgError(format!(
+            "--replicas must be in 1..={drives} (one copy per distinct drive)"
+        ))
+        .into());
+    }
+    let app_name = flags.str_or("app", "textqa");
+    let features: u64 = flags.num_or("features", 96)?;
+    let k: usize = flags.num_or("k", 5)?;
+    let level = parse_level(flags.str_or("level", "channel"))?;
+    let seed: u64 = flags.num_or("seed", 42)?;
+    let parallelism: usize = flags.num_or("parallelism", 1)?;
+    let kill: Option<usize> = match flags.opt("kill-drive") {
+        None => None,
+        Some(v) => {
+            let d: usize = v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --kill-drive: cannot parse `{v}`")))?;
+            if d >= drives {
+                return Err(ArgError(format!(
+                    "--kill-drive {d} is out of range for {drives} drives"
+                ))
+                .into());
+            }
+            Some(d)
+        }
+    };
+
+    let model = zoo::by_name(app_name)
+        .ok_or_else(|| ArgError(format!("unknown app `{app_name}`")))?
+        .seeded_metric(seed);
+    let mut cluster = DeepStoreCluster::with_replication(
+        drives,
+        replicas,
+        DeepStoreConfig::small().with_parallelism(parallelism),
+    );
+    let fs: Vec<_> = (0..features).map(|i| model.random_feature(i)).collect();
+    let db = cluster.write_db(&fs)?;
+    let mid = cluster.load_model(&ModelGraph::from_model(&model))?;
+    println!(
+        "cluster: {features} `{app_name}` features over {drives} drives \
+         ({} partitions, {replicas}x replication)",
+        cluster.partitions(db)?
+    );
+
+    let probe = model.random_feature(seed ^ 0xBEEF);
+    let req = ClusterQueryRequest::new(probe.clone(), mid, db)
+        .k(k)
+        .level(level)
+        .exact(flags.switch("exact"));
+    print_cluster_query(&mut cluster, req.clone(), "baseline")?;
+
+    if let Some(d) = kill {
+        cluster.kill_drive(d);
+        println!("killed drive {d} (whole-device outage)");
+        print_cluster_query(&mut cluster, req.clone(), "after outage")?;
+    }
+
+    if flags.switch("rebalance") {
+        let report = cluster.rebalance()?;
+        println!(
+            "rebalance: {} partitions, {} under-replicated, {} re-replicated, \
+             {} dead replicas dropped",
+            report.partitions,
+            report.under_replicated,
+            report.re_replicated,
+            report.dropped_replicas
+        );
+        println!(
+            "  moved      : {} bytes drive-to-drive; {} pages remapped, \
+             {} lost, {} blocks retired",
+            report.moved_bytes, report.pages_remapped, report.pages_lost, report.blocks_retired
+        );
+        println!(
+            "  replication: min {} max {} ({} unrecoverable partitions){}",
+            report.min_replication,
+            report.max_replication,
+            report.unrecoverable,
+            if report.fully_replicated(replicas) {
+                " — fully replicated"
+            } else {
+                ""
+            }
+        );
+        print_cluster_query(&mut cluster, req, "after rebalance")?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1201,6 +1352,47 @@ mod tests {
         std::fs::remove_file(&dump_file).ok();
         server.join().unwrap().unwrap();
         std::fs::remove_file(&addr_file).ok();
+    }
+
+    #[test]
+    fn cluster_kill_and_rebalance_flow_runs() {
+        run(&argv(&[
+            "cluster",
+            "--drives",
+            "3",
+            "--replicas",
+            "2",
+            "--features",
+            "48",
+            "--k",
+            "3",
+            "--kill-drive",
+            "1",
+            "--rebalance",
+        ]))
+        .unwrap();
+        // Exact-path single-drive degenerate cluster still answers.
+        run(&argv(&[
+            "cluster",
+            "--drives",
+            "1",
+            "--replicas",
+            "1",
+            "--features",
+            "16",
+            "--exact",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn cluster_flag_validation() {
+        assert!(run(&argv(&["cluster", "--replicas", "9"])).is_err());
+        assert!(run(&argv(&["cluster", "--replicas", "0"])).is_err());
+        assert!(run(&argv(&["cluster", "--drives", "0"])).is_err());
+        assert!(run(&argv(&["cluster", "--kill-drive", "7"])).is_err());
+        assert!(run(&argv(&["cluster", "--app", "nope"])).is_err());
+        assert!(run(&argv(&["cluster", "--level", "galaxy"])).is_err());
     }
 
     #[test]

@@ -543,6 +543,24 @@ impl DeepStore {
         self.engine.unreadable_skipped()
     }
 
+    /// Scrub probe: how many of `db`'s features are currently readable
+    /// through the retried read path. See
+    /// [`Engine::probe_db`](crate::engine::Engine::probe_db).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] for unknown ids.
+    pub fn probe_db(&self, db: DbId) -> Result<crate::engine::DbProbe> {
+        self.engine.probe_db(db)
+    }
+
+    /// The armed fault plan's outage domains (dead channels/chips) and
+    /// how much of the address space they cover. Used by the cluster
+    /// layer to tell a partially degraded drive from a dead one.
+    pub fn outage_summary(&self) -> deepstore_flash::OutageSummary {
+        self.engine.outage_summary()
+    }
+
     /// Flash operation counters — useful for asserting how many page
     /// reads a scan issued. On a persistent device the counters resume
     /// across close/open exactly where they left off.

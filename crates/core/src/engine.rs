@@ -54,8 +54,20 @@ pub struct DbMeta {
     pub feature_bytes: usize,
     /// Feature count.
     pub num_features: u64,
-    /// The database's pages in stripe order.
+    /// The database's pages in **logical** order: entry `i` holds bytes
+    /// `[i * page_bytes, (i+1) * page_bytes)` of the packed feature
+    /// stream. Physical addresses need not be contiguous — resealing a
+    /// packed database abandons its partial tail page, and the
+    /// replacement lives in the next free slot.
     pub pages: Vec<PageAddr>,
+    /// Next physical page slot to program, when the database's current
+    /// block still has room. `None` means the next flush allocates a
+    /// fresh block. Tracked explicitly (not derived from `pages.len()`)
+    /// because abandoned tail pages consume physical slots without
+    /// appearing in `pages` — deriving the cursor would re-program them,
+    /// which NAND forbids ([`FlashError::ProgramWithoutErase`]). Missing
+    /// in older manifests; decodes as `None` (allocate fresh).
+    pub cursor: Option<PageAddr>,
 }
 
 /// Fault-path outcome of one scan pass, aggregated across its shards in
@@ -112,6 +124,22 @@ impl RecoveryReport {
     /// True if the pass did nothing (no blocks were pending).
     pub fn is_empty(&self) -> bool {
         *self == RecoveryReport::default()
+    }
+}
+
+/// What an [`Engine::probe_db`] scrub pass observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbProbe {
+    /// Features readable through the retried read path right now.
+    pub readable: u64,
+    /// Features whose backing pages fail every read attempt.
+    pub unreadable: u64,
+}
+
+impl DbProbe {
+    /// True when every feature of the database is readable.
+    pub fn healthy(&self) -> bool {
+        self.unreadable == 0
     }
 }
 
@@ -421,6 +449,39 @@ impl Engine {
         self.array.op_counts()
     }
 
+    /// Scrub probe: attempts to read every feature of `db` through the
+    /// normal retried read path and reports how many are currently
+    /// readable. Transient faults that the retry ladder recovers count
+    /// as readable — the probe sees exactly the coverage a scan would —
+    /// while permanent and outage-domain failures count as unreadable.
+    /// Used by cluster rebalancing to decide whether a replica still
+    /// holds its full partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::UnknownDb`] for unknown ids.
+    pub fn probe_db(&self, db: DbId) -> Result<DbProbe> {
+        let meta = self.db_meta(db)?;
+        let mut probe = DbProbe::default();
+        for idx in 0..meta.num_features {
+            if self.read_feature_with(meta, idx).is_ok() {
+                probe.readable += 1;
+            } else {
+                probe.unreadable += 1;
+            }
+        }
+        Ok(probe)
+    }
+
+    /// A summary of the flash array's outage domains (dead channels and
+    /// chips) under the currently armed fault plan. Surfaces the fault
+    /// topology to the cluster layer, which must distinguish "this
+    /// drive lost a channel" (route around the holes) from "this drive
+    /// is gone" (stop placing replicas on it).
+    pub fn outage_summary(&self) -> deepstore_flash::OutageSummary {
+        self.array.faults().outage_summary(&self.cfg.ssd.geometry)
+    }
+
     /// Which storage backend holds the page payloads (`"heap"` or
     /// `"mmap"`).
     pub fn backend(&self) -> &'static str {
@@ -516,6 +577,7 @@ impl Engine {
                 feature_bytes,
                 num_features: 0,
                 pages: Vec::new(),
+                cursor: None,
             },
         );
         self.write_buffers.insert(db, Vec::new());
@@ -542,6 +604,26 @@ impl Engine {
                 // the end replaces the per-page front-drain that shifted
                 // the whole tail each time (O(n·page) in the old code).
                 let mut buf = self.write_buffers.remove(&db).unwrap_or_default();
+                // Un-seal: if the database was sealed with a partial tail
+                // page, pull those bytes back into the write buffer and
+                // abandon the tail page, so the packed byte stream stays
+                // dense across the logical `pages` vector. The abandoned
+                // slot is never reused — `flush_page`'s physical cursor
+                // already points past it.
+                if buf.is_empty() {
+                    let meta = self.dbs.get(&db).expect("checked above");
+                    let tail =
+                        (meta.num_features * feature_bytes as u64 % page_bytes as u64) as usize;
+                    if tail != 0 && !meta.pages.is_empty() {
+                        let addr = *meta.pages.last().expect("non-empty");
+                        let page = self
+                            .array
+                            .peek_page(addr)
+                            .expect("sealed tail page is programmed");
+                        buf.extend_from_slice(&page[..tail]);
+                        self.dbs.get_mut(&db).expect("checked above").pages.pop();
+                    }
+                }
                 let mut cursor = 0usize;
                 let mut append = || -> Result<()> {
                     for f in features {
@@ -622,28 +704,29 @@ impl Engine {
     fn flush_page(&mut self, db: DbId, data: &[u8]) -> FlashResult<()> {
         // Allocate a fresh page in stripe order. The FTL allocates whole
         // blocks striped across channels; within a database we cycle
-        // through blocks page-by-page. For simplicity each page gets the
-        // next page slot of a per-db block cursor: we allocate a block
-        // when the previous one fills.
-        let meta = self.dbs.get_mut(&db).expect("caller verified db");
+        // through blocks page-by-page via an explicit physical cursor
+        // stored in the metadata. The cursor cannot be derived from
+        // `pages` — resealing a packed database abandons partial tail
+        // pages, so programmed slots exist that `pages` no longer lists.
         let pages_per_block = self.cfg.ssd.geometry.pages_per_block;
-        let need_block = meta.pages.len().is_multiple_of(pages_per_block);
-        let addr = if need_block {
-            let (_, phys) = self.ftl.allocate(&mut self.array)?;
-            phys.page(0)
-        } else {
-            let last = *meta.pages.last().expect("non-empty after first block");
-            PageAddr {
-                page: last.page + 1,
-                ..last
+        let addr = match self.dbs.get(&db).expect("caller verified db").cursor {
+            Some(addr) => addr,
+            None => {
+                let (_, phys) = self.ftl.allocate(&mut self.array)?;
+                phys.page(0)
             }
         };
         self.array.program(addr, data)?;
-        self.dbs
-            .get_mut(&db)
-            .expect("caller verified db")
-            .pages
-            .push(addr);
+        let meta = self.dbs.get_mut(&db).expect("caller verified db");
+        meta.pages.push(addr);
+        meta.cursor = if addr.page + 1 < pages_per_block {
+            Some(PageAddr {
+                page: addr.page + 1,
+                ..addr
+            })
+        } else {
+            None
+        };
         Ok(())
     }
 
@@ -1313,6 +1396,34 @@ mod tests {
         assert_eq!(e.db_meta(db).unwrap().num_features, 15);
         assert!(e.read_feature(db, 14).is_ok());
         assert!(e.read_feature(db, 15).is_err());
+    }
+
+    #[test]
+    fn append_after_seal_keeps_packed_stream_dense() {
+        // Regression test: sealing a packed database flushes a partial
+        // tail page; a later append must not leave that short page in
+        // the middle of the byte stream, or `feature_location`'s dense
+        // arithmetic reads zero padding for every later feature. Seal
+        // repeatedly between appends so multiple tails get abandoned.
+        let mut e = small_engine();
+        let model = zoo::textqa().seeded(7);
+        // 800 B features over 16 KB pages: no append count page-aligns.
+        let mut fs = features(&model, 3);
+        let db = e.write_db(&fs).unwrap();
+        e.seal_db(db).unwrap();
+        for round in 0..3u64 {
+            let more = features(&model, 5 + round);
+            e.append_db(db, &more).unwrap();
+            e.seal_db(db).unwrap();
+            fs.extend(more);
+            for (i, f) in fs.iter().enumerate() {
+                assert_eq!(
+                    &e.read_feature(db, i as u64).unwrap(),
+                    f,
+                    "feature {i} after append round {round}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub mod telemetry;
 
 pub use accel::{scan, scan_batch, ScanTiming, ScanWorkload, ShardTiming};
 pub use api::{DeepStore, ModelId, QueryHit, QueryId, QueryRequest, QueryResult};
-pub use cluster::DeepStoreCluster;
+pub use cluster::{
+    ClusterDbId, ClusterHit, ClusterModelId, ClusterQueryRequest, ClusterQueryResult,
+    DeepStoreCluster, PartitionScan, RebalanceReport,
+};
 pub use config::{AcceleratorConfig, AcceleratorLevel, DeepStoreConfig};
 pub use engine::{DbId, ObjectId};
 pub use error::{DeepStoreError, Result};

@@ -105,6 +105,101 @@ impl ImageManifest {
     }
 }
 
+/// Version of the cluster layout encoding. Bumped on any incompatible
+/// change; [`ClusterManifest::decode`] rejects other versions.
+pub const CLUSTER_MANIFEST_VERSION: u32 = 1;
+
+/// One partition's layout inside a [`ClusterDbLayout`]: the global
+/// index ranges it holds (in local append order) and the drives
+/// hosting its replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLayout {
+    /// `(global_start, len)` extents in local order.
+    pub extents: Vec<(u64, u64)>,
+    /// `(drive index, per-drive db id)` replicas in placement order.
+    pub replicas: Vec<(u32, u64)>,
+}
+
+/// One partitioned database's layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterDbLayout {
+    /// Bytes per feature (for hosted-bytes accounting on reopen).
+    pub feature_bytes: u64,
+    /// Partitions in index order.
+    pub partitions: Vec<PartitionLayout>,
+}
+
+/// The cluster-level layout manifest, stored as `cluster.json` next to
+/// the per-drive images. Everything the cluster needs *above* the
+/// drives: partition extents (the global-index mapping), replica
+/// placement, model-id fan-out, and which drives are administratively
+/// down. Per-drive state lives in each drive's own image manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterManifest {
+    /// Encoding version ([`CLUSTER_MANIFEST_VERSION`]).
+    pub manifest_version: u32,
+    /// Drive count; images are `drive-0.img … drive-{n-1}.img`.
+    pub drives: u32,
+    /// Target replication factor.
+    pub replicas: u32,
+    /// Administrative down flags, one per drive.
+    pub down: Vec<bool>,
+    /// Databases in cluster-id order.
+    pub dbs: Vec<ClusterDbLayout>,
+    /// Per cluster model: the per-drive model ids, in drive order.
+    pub models: Vec<Vec<u64>>,
+}
+
+impl ClusterManifest {
+    /// Serializes the manifest. Deterministic: same layout, same bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("manifest types serialize infallibly")
+    }
+
+    /// Parses a manifest previously produced by
+    /// [`ClusterManifest::encode`].
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::DeepStoreError::Flash`] wrapping
+    ///   [`FlashError::VersionMismatch`] for a different encoding
+    ///   version.
+    /// * [`crate::DeepStoreError::Flash`] wrapping [`FlashError::Image`]
+    ///   if the bytes do not parse or the layout is inconsistent.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let manifest: ClusterManifest = serde_json::from_slice(bytes)
+            .map_err(|e| FlashError::Image(format!("cluster manifest parse: {e}")))?;
+        if manifest.manifest_version != CLUSTER_MANIFEST_VERSION {
+            return Err(FlashError::VersionMismatch {
+                expected: CLUSTER_MANIFEST_VERSION,
+                found: manifest.manifest_version,
+            }
+            .into());
+        }
+        if manifest.down.len() != manifest.drives as usize {
+            return Err(FlashError::Image(format!(
+                "cluster manifest lists {} down flags for {} drives",
+                manifest.down.len(),
+                manifest.drives
+            ))
+            .into());
+        }
+        for (dbi, db) in manifest.dbs.iter().enumerate() {
+            for (pi, p) in db.partitions.iter().enumerate() {
+                if let Some(&(drive, _)) = p.replicas.iter().find(|&&(d, _)| d >= manifest.drives) {
+                    return Err(FlashError::Image(format!(
+                        "db {dbi} partition {pi} places a replica on drive {drive} of {}",
+                        manifest.drives
+                    ))
+                    .into());
+                }
+            }
+        }
+        Ok(manifest)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +265,62 @@ mod tests {
     fn rejects_garbage_with_image_error() {
         let err = ImageManifest::decode(b"not json at all").unwrap_err();
         assert!(matches!(err, DeepStoreError::Flash(FlashError::Image(_))));
+    }
+
+    fn cluster_sample() -> ClusterManifest {
+        ClusterManifest {
+            manifest_version: CLUSTER_MANIFEST_VERSION,
+            drives: 3,
+            replicas: 2,
+            down: vec![false, true, false],
+            dbs: vec![ClusterDbLayout {
+                feature_bytes: 3072,
+                partitions: vec![
+                    PartitionLayout {
+                        extents: vec![(0, 3), (7, 2)],
+                        replicas: vec![(0, 0), (1, 0)],
+                    },
+                    PartitionLayout {
+                        extents: vec![(3, 2), (9, 2)],
+                        replicas: vec![(1, 1), (2, 0)],
+                    },
+                    PartitionLayout {
+                        extents: vec![(5, 2), (11, 1)],
+                        replicas: vec![(2, 1), (0, 1)],
+                    },
+                ],
+            }],
+            models: vec![vec![0, 0, 0]],
+        }
+    }
+
+    #[test]
+    fn cluster_manifest_roundtrips_deterministically() {
+        let m = cluster_sample();
+        let bytes = m.encode();
+        assert_eq!(bytes, m.encode(), "encoding must be deterministic");
+        assert_eq!(ClusterManifest::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn cluster_manifest_rejects_bad_versions_and_layouts() {
+        let mut m = cluster_sample();
+        m.manifest_version = CLUSTER_MANIFEST_VERSION + 1;
+        assert!(matches!(
+            ClusterManifest::decode(&m.encode()).unwrap_err(),
+            DeepStoreError::VersionMismatch { .. }
+        ));
+        let mut m = cluster_sample();
+        m.down.pop();
+        assert!(matches!(
+            ClusterManifest::decode(&m.encode()).unwrap_err(),
+            DeepStoreError::Flash(FlashError::Image(_))
+        ));
+        let mut m = cluster_sample();
+        m.dbs[0].partitions[0].replicas[0].0 = 9;
+        assert!(matches!(
+            ClusterManifest::decode(&m.encode()).unwrap_err(),
+            DeepStoreError::Flash(FlashError::Image(_))
+        ));
     }
 }

@@ -389,6 +389,123 @@ impl ApiTelemetry {
     }
 }
 
+/// Cluster-level counters and histograms owned by
+/// [`DeepStoreCluster`](crate::cluster::DeepStoreCluster): scatter-gather
+/// fan-out, replica failovers, and rebalance outcomes (moved bytes and
+/// the replication-factor distribution). Per-drive engine/API metrics
+/// stay on the drives; the cluster rolls everything up with
+/// [`MetricsSnapshot::merge`].
+// With `obs` off the recording bodies compile out, so the ids are
+// registered but never read.
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+#[derive(Debug)]
+pub struct ClusterTelemetry {
+    registry: MetricsRegistry,
+    queries: CounterId,
+    partitions_scanned: CounterId,
+    failovers: CounterId,
+    degraded: CounterId,
+    rebalances: CounterId,
+    moved_bytes: CounterId,
+    re_replicated: CounterId,
+    dropped_replicas: CounterId,
+    h_query_ns: HistogramId,
+    h_replication: HistogramId,
+    h_moved_bytes: HistogramId,
+}
+
+impl Default for ClusterTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterTelemetry {
+    /// Fresh counters, all zero.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        ClusterTelemetry {
+            queries: registry.counter("cluster.queries"),
+            partitions_scanned: registry.counter("cluster.partitions_scanned"),
+            failovers: registry.counter("cluster.replica_failovers"),
+            degraded: registry.counter("cluster.degraded_queries"),
+            rebalances: registry.counter("cluster.rebalances"),
+            moved_bytes: registry.counter("cluster.rebalance.moved_bytes"),
+            re_replicated: registry.counter("cluster.rebalance.re_replicated"),
+            dropped_replicas: registry.counter("cluster.rebalance.dropped_replicas"),
+            h_query_ns: registry.histogram("cluster.query_ns"),
+            h_replication: registry.histogram("cluster.partition_replication"),
+            h_moved_bytes: registry.histogram("cluster.rebalance.moved_bytes_per_partition"),
+            registry,
+        }
+    }
+
+    /// One cluster query finished: it scanned `partitions` partitions,
+    /// failed over `failovers` times, and took `elapsed_ns` of
+    /// simulated time end to end.
+    #[inline]
+    pub fn on_query(&self, partitions: u64, failovers: u64, elapsed_ns: u64, degraded: bool) {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.incr(self.queries);
+            self.registry.add(self.partitions_scanned, partitions);
+            self.registry.add(self.failovers, failovers);
+            if degraded {
+                self.registry.incr(self.degraded);
+            }
+            self.registry.record(self.h_query_ns, elapsed_ns);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (partitions, failovers, elapsed_ns, degraded);
+    }
+
+    /// One `rebalance()` pass finished.
+    #[inline]
+    pub fn on_rebalance(&self, moved_bytes: u64, re_replicated: u64, dropped: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.incr(self.rebalances);
+            self.registry.add(self.moved_bytes, moved_bytes);
+            self.registry.add(self.re_replicated, re_replicated);
+            self.registry.add(self.dropped_replicas, dropped);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (moved_bytes, re_replicated, dropped);
+    }
+
+    /// Records one partition's state after a rebalance pass: its
+    /// replication factor and the bytes moved on its behalf.
+    #[inline]
+    pub fn on_partition_rebalanced(&self, replication: u64, moved_bytes: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.record(self.h_replication, replication);
+            self.registry.record(self.h_moved_bytes, moved_bytes);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (replication, moved_bytes);
+    }
+
+    /// Cluster queries served so far.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.registry.counter_value(self.queries)
+    }
+
+    /// Replica failovers so far.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.registry.counter_value(self.failovers)
+    }
+
+    /// A deterministic snapshot of the cluster-level metrics.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
 /// Concatenates metric snapshots (registration order within each part
 /// is preserved; names are namespaced by their owners, e.g. `engine.*`
 /// and `api.*`, so concatenation cannot collide).

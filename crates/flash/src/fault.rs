@@ -177,6 +177,61 @@ impl FaultPlan {
         self
     }
 
+    /// A plan that kills the whole device: every channel is an outage
+    /// domain, so every read fails permanently with no remap source.
+    /// This is how a cluster simulates losing an entire drive.
+    pub fn dead_device(geometry: &SsdGeometry) -> Self {
+        let mut plan = FaultPlan::none();
+        for ch in 0..geometry.channels {
+            plan = plan.dead_channel(ch);
+        }
+        plan
+    }
+
+    /// The dead channels, sorted. Surfaces the outage topology so
+    /// higher layers (cluster replica placement, rebalancing) can
+    /// reason about which fault domains a drive has lost.
+    pub fn dead_channel_list(&self) -> Vec<usize> {
+        let mut chs: Vec<usize> = self.dead_channels.iter().map(|&c| c as usize).collect();
+        chs.sort_unstable();
+        chs
+    }
+
+    /// The dead `(channel, chip)` pairs, sorted.
+    pub fn dead_chip_list(&self) -> Vec<(usize, usize)> {
+        let mut chips: Vec<(usize, usize)> = self
+            .dead_chips
+            .iter()
+            .map(|&(c, ch)| (c as usize, ch as usize))
+            .collect();
+        chips.sort_unstable();
+        chips
+    }
+
+    /// Summarizes the plan's outage domains against a geometry: how
+    /// much of the address space is lossy with no remap source.
+    pub fn outage_summary(&self, geometry: &SsdGeometry) -> OutageSummary {
+        let pages_per_chip = (geometry.planes_per_chip
+            * geometry.blocks_per_plane
+            * geometry.pages_per_block) as u64;
+        let pages_per_channel = geometry.chips_per_channel as u64 * pages_per_chip;
+        let channel_pages = self.dead_channels.len() as u64 * pages_per_channel;
+        // Chips inside an already-dead channel must not be double
+        // counted.
+        let extra_chip_pages = self
+            .dead_chips
+            .iter()
+            .filter(|(c, _)| !self.dead_channels.contains(c))
+            .count() as u64
+            * pages_per_chip;
+        OutageSummary {
+            dead_channels: self.dead_channel_list(),
+            dead_chips: self.dead_chip_list(),
+            outage_pages: channel_pages + extra_chip_pages,
+            total_pages: geometry.total_pages(),
+        }
+    }
+
     /// The armed transient layer, if any.
     pub fn transient_layer(&self) -> Option<&TransientFaults> {
         self.transient.as_ref()
@@ -260,6 +315,40 @@ impl FaultPlan {
             && self.wear_threshold.is_none()
             && self.dead_channels.is_empty()
             && self.dead_chips.is_empty()
+    }
+}
+
+/// A fault plan's outage topology against a concrete geometry: which
+/// fault domains are gone, and how much of the address space they
+/// cover. Produced by [`FaultPlan::outage_summary`]; the cluster layer
+/// uses it to decide whether a drive is partially degraded (route
+/// around the affected partitions) or fully dead (stop placing
+/// replicas on it).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageSummary {
+    /// Dead channels, sorted.
+    pub dead_channels: Vec<usize>,
+    /// Dead `(channel, chip)` pairs, sorted.
+    pub dead_chips: Vec<(usize, usize)>,
+    /// Pages inside an outage domain (unreadable, no remap source).
+    pub outage_pages: u64,
+    /// Total pages in the geometry.
+    pub total_pages: u64,
+}
+
+impl OutageSummary {
+    /// True when every page of the device is inside an outage domain.
+    pub fn device_dead(&self) -> bool {
+        self.total_pages > 0 && self.outage_pages == self.total_pages
+    }
+
+    /// Fraction of the address space inside outage domains, in `[0, 1]`.
+    pub fn outage_fraction(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.outage_pages as f64 / self.total_pages as f64
+        }
     }
 }
 
@@ -491,6 +580,46 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn outage_summary_counts_domains_once() {
+        let g = SsdConfig::small().geometry;
+        let pages_per_chip = (g.planes_per_chip * g.blocks_per_plane * g.pages_per_block) as u64;
+        // A dead chip inside a dead channel must not double count.
+        let plan = FaultPlan::none()
+            .dead_channel(1)
+            .dead_chip(1, 0)
+            .dead_chip(2, 1);
+        let s = plan.outage_summary(&g);
+        assert_eq!(s.dead_channels, vec![1]);
+        assert_eq!(s.dead_chips, vec![(1, 0), (2, 1)]);
+        assert_eq!(
+            s.outage_pages,
+            g.chips_per_channel as u64 * pages_per_chip + pages_per_chip
+        );
+        assert!(!s.device_dead());
+        assert!(s.outage_fraction() > 0.0 && s.outage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn dead_device_covers_every_page() {
+        let g = SsdConfig::small().geometry;
+        let plan = FaultPlan::dead_device(&g);
+        let s = plan.outage_summary(&g);
+        assert!(s.device_dead());
+        assert_eq!(s.outage_pages, g.total_pages());
+        assert_eq!(s.outage_fraction(), 1.0);
+        assert_eq!(s.dead_channels.len(), g.channels);
+        // Every address is in an outage domain.
+        let addr = PageAddr {
+            channel: g.channels - 1,
+            chip: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        assert!(plan.in_outage_domain(addr));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod timing;
 pub mod trace;
 
 pub use array::{FlashOpCounts, FlashStateSnapshot};
+pub use fault::{FaultOutcome, FaultPlan, OutageSummary};
 pub use geometry::{PageAddr, SsdGeometry};
 pub use image::{ImageFile, MmapStore, IMAGE_FORMAT_VERSION};
 pub use obs::{FlashEventCounts, FlashMetrics};

@@ -268,6 +268,33 @@ pub struct HistogramSample {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramSample {
+    /// Merges another sample of the *same logical metric* into this
+    /// one: counts and sums add, the sparse buckets union with
+    /// per-bucket addition, and min/max tighten. An empty side leaves
+    /// min untouched (its reported 0 is "no observations", not an
+    /// observation of zero).
+    pub fn merge(&mut self, other: &HistogramSample) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+    }
+}
+
 /// A deterministic copy of a [`MetricsRegistry`] at one instant.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -300,6 +327,28 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds `other` into this snapshot: same-name counters add, same-name
+    /// histograms merge bucket-wise (count/sum add, min/max tighten),
+    /// and names only present in `other` are appended in their original
+    /// order. This is the cluster rollup: N per-drive snapshots merge
+    /// into one device-fleet view, and because every operation is
+    /// commutative over equal name sets, merging drives in any order
+    /// yields the same totals.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for oc in &other.counters {
+            match self.counters.iter_mut().find(|c| c.name == oc.name) {
+                Some(c) => c.value += oc.value,
+                None => self.counters.push(oc.clone()),
+            }
+        }
+        for oh in &other.histograms {
+            match self.histograms.iter_mut().find(|h| h.name == oh.name) {
+                Some(h) => h.merge(oh),
+                None => self.histograms.push(oh.clone()),
+            }
+        }
     }
 }
 
@@ -372,6 +421,74 @@ mod tests {
             reg.snapshot()
         };
         assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_independent() {
+        let build = |c_val: u64, h_vals: &[u64]| {
+            let mut reg = MetricsRegistry::new();
+            let c = reg.counter("ops");
+            let h = reg.histogram("latency");
+            reg.add(c, c_val);
+            for &v in h_vals {
+                reg.record(h, v);
+            }
+            reg.snapshot()
+        };
+        let a = build(3, &[100, 75]);
+        let b = build(9, &[3]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("ops"), Some(12));
+        let h = ab.histogram("latency").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 178);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 100);
+        // Merging the same multiset through one registry gives the
+        // identical sample.
+        let direct = build(12, &[100, 75, 3]);
+        assert_eq!(ab.histogram("latency"), direct.histogram("latency"));
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_keeps_min_honest() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("ns");
+        reg.record(h, 7);
+        let mut snap = reg.snapshot();
+        let empty = MetricsRegistry::new();
+        let mut with_name = MetricsRegistry::new();
+        with_name.histogram("ns");
+        snap.merge(&empty.snapshot());
+        snap.merge(&with_name.snapshot());
+        let s = snap.histogram("ns").unwrap();
+        assert_eq!((s.count, s.min, s.max), (1, 7, 7));
+        // And the other direction: empty absorbs the observation's min.
+        let mut base = with_name.snapshot();
+        base.merge(&snap);
+        let s = base.histogram("ns").unwrap();
+        assert_eq!((s.count, s.min, s.max), (1, 7, 7));
+    }
+
+    #[test]
+    fn merge_appends_unknown_names() {
+        let mut a_reg = MetricsRegistry::new();
+        let ca = a_reg.counter("a");
+        a_reg.add(ca, 1);
+        let mut b_reg = MetricsRegistry::new();
+        let cb = b_reg.counter("b");
+        b_reg.add(cb, 2);
+        let hb = b_reg.histogram("hb");
+        b_reg.record(hb, 5);
+        let mut merged = a_reg.snapshot();
+        merged.merge(&b_reg.snapshot());
+        assert_eq!(merged.counter("a"), Some(1));
+        assert_eq!(merged.counter("b"), Some(2));
+        assert_eq!(merged.histogram("hb").unwrap().count, 1);
     }
 
     #[test]

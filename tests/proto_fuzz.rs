@@ -8,11 +8,13 @@
 //! server keeps answering other clients after every abuse.
 
 use deepstore::core::proto::{
-    decode_command, decode_response, encode_command, encode_response, read_frame, write_frame,
-    Command, Device, HostClient, ProtoError, Response, WireError, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, VERSION,
+    decode_command, decode_rebalance_report, decode_response, encode_command,
+    encode_rebalance_report, encode_response, read_frame, write_frame, Command, Device, HostClient,
+    ProtoError, Response, WireError, HEADER_LEN, MAGIC, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    REBALANCE_REPORT_OPCODE, VERSION,
 };
 use deepstore::core::serve::{channel_transport, serve, ServeConfig, TcpClient, TcpTransport};
+use deepstore::core::RebalanceReport;
 use deepstore::core::{
     AcceleratorLevel, DbId, DeepStore, DeepStoreConfig, ModelId, QueryCacheConfig, QueryId,
     QueryRequest,
@@ -224,6 +226,116 @@ fn header_corruption_is_typed() {
             assert_eq!(max, MAX_FRAME_LEN as u64);
         }
         other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+fn sample_rebalance_reports() -> Vec<RebalanceReport> {
+    vec![
+        RebalanceReport::default(),
+        RebalanceReport {
+            partitions: 4,
+            under_replicated: 2,
+            re_replicated: 2,
+            dropped_replicas: 2,
+            moved_bytes: 65_536,
+            pages_remapped: 3,
+            pages_lost: 0,
+            blocks_retired: 1,
+            unrecoverable: 0,
+            min_replication: 2,
+            max_replication: 2,
+        },
+        RebalanceReport {
+            partitions: 3,
+            under_replicated: 1,
+            re_replicated: 0,
+            dropped_replicas: 2,
+            moved_bytes: 0,
+            pages_remapped: 0,
+            pages_lost: 7,
+            blocks_retired: 0,
+            unrecoverable: 1,
+            min_replication: 0,
+            max_replication: 2,
+        },
+    ]
+}
+
+/// The rebalance stats frame (opcode 0x0D) round-trips exactly and is
+/// rejected — typed, never panicking — under truncation at every
+/// prefix length, header corruption, opcode confusion with the
+/// command/response planes, and payload corruption.
+#[test]
+fn rebalance_report_frame_is_robust() {
+    for report in sample_rebalance_reports() {
+        let frame = encode_rebalance_report(&report);
+        assert_eq!(&frame[..4], &MAGIC);
+        assert_eq!(frame[4], VERSION);
+        assert_eq!(frame[5], REBALANCE_REPORT_OPCODE);
+        assert_eq!(decode_rebalance_report(&frame).expect("decodes"), report);
+
+        // Truncation at every split point is a typed error.
+        for cut in 0..frame.len() {
+            match decode_rebalance_report(&frame[..cut]) {
+                Err(ProtoError::Truncated | ProtoError::BadMagic | ProtoError::BadPayload(_)) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+
+        // Header corruption: magic, version, length prefix.
+        let mut bad = frame.clone();
+        bad[0] = b'!';
+        assert_eq!(
+            decode_rebalance_report(&bad).unwrap_err(),
+            ProtoError::BadMagic
+        );
+        let mut bad = frame.clone();
+        bad[4] = 9;
+        assert_eq!(
+            decode_rebalance_report(&bad).unwrap_err(),
+            ProtoError::BadVersion(9)
+        );
+        let mut bad = frame.clone();
+        bad[6..10].copy_from_slice(&1_000_000u32.to_le_bytes());
+        assert_eq!(
+            decode_rebalance_report(&bad).unwrap_err(),
+            ProtoError::Truncated
+        );
+        let mut bad = frame.clone();
+        bad[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_rebalance_report(&bad).unwrap_err(),
+            ProtoError::FrameTooLarge { .. }
+        ));
+
+        // Opcode confusion: every command opcode and the response
+        // opcode are rejected as UnknownOpcode — a report decoder never
+        // quietly accepts another plane's frame, and vice versa.
+        for other in [0x01u8, 0x09, 0x80, 0x00, 0xFF] {
+            let mut bad = frame.clone();
+            bad[5] = other;
+            assert_eq!(
+                decode_rebalance_report(&bad).unwrap_err(),
+                ProtoError::UnknownOpcode(other)
+            );
+        }
+        assert!(matches!(
+            decode_command(&frame).unwrap_err(),
+            ProtoError::UnknownOpcode(REBALANCE_REPORT_OPCODE)
+        ));
+        assert!(decode_response(&frame).is_err());
+
+        // Payload corruption: flip each payload byte in turn; the
+        // decoder either still parses (JSON-tolerated bytes) or fails
+        // with BadPayload — never panics, never misframes.
+        for i in HEADER_LEN..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] = bad[i].wrapping_add(1);
+            match decode_rebalance_report(&bad) {
+                Ok(_) | Err(ProtoError::BadPayload(_)) => {}
+                other => panic!("payload byte {i}: unexpected {other:?}"),
+            }
+        }
     }
 }
 
